@@ -1,0 +1,70 @@
+// Ablation: ILP mapper vs. greedy baseline (DESIGN.md §3).
+//
+// The paper's mapper "estimates the best mapping by encoding a set of
+// ILP constraints that emulate hand-tuning and optimizations". This
+// ablation quantifies what the ILP buys over a first-fit greedy
+// heuristic: per-NF estimated service cycles and end-to-end predicted
+// latency under both mappers.
+#include "bench_util.hpp"
+
+int main() {
+  using namespace clara;
+  using namespace clara::bench;
+
+  header("Ablation: ILP mapping vs greedy baseline",
+         "the ILP emulates hand-tuning; greedy is the no-optimizer strawman");
+
+  core::Analyzer analyzer(lnic::netronome_agilio_cx());
+  const auto trace = make_trace("tcp=0.8 flows=8000 payload=600 pps=60000 packets=15000");
+
+  struct Case {
+    const char* name;
+    cir::Function fn;
+  };
+  std::vector<Case> cases;
+  cases.push_back({"nat", nf::build_nat_nf()});
+  cases.push_back({"firewall", nf::build_fw_nf()});
+  cases.push_back({"lpm", nf::build_lpm_nf({.rules = 10000, .use_flow_cache = true})});
+  cases.push_back({"heavy_hitter", nf::build_hh_nf()});
+  cases.push_back({"vnf_chain", nf::build_vnf_chain()});
+
+  TextTable table({"NF", "ILP obj (cyc)", "greedy obj (cyc)", "ILP latency", "greedy latency", "greedy penalty"});
+  for (auto& c : cases) {
+    core::AnalyzeOptions ilp_options;
+    core::AnalyzeOptions greedy_options;
+    greedy_options.use_ilp = false;
+    const auto a = analyze_or_die(analyzer, c.fn, trace, ilp_options);
+    const auto b = analyze_or_die(analyzer, c.fn, trace, greedy_options);
+    const double penalty = b.prediction.mean_latency_cycles / a.prediction.mean_latency_cycles;
+    table.add_row({c.name, fmt(a.mapping.objective), fmt(b.mapping.objective),
+                   fmt(a.prediction.mean_latency_cycles), fmt(b.prediction.mean_latency_cycles),
+                   fmt2(penalty) + "x"});
+  }
+  std::printf("%s", table.render().c_str());
+  std::printf("\n(penalty = greedy predicted latency / ILP predicted latency)\n");
+  std::printf("at 60 kpps the easy instances coincide; the Θ constraints separate them under load:\n\n");
+
+  // NAT at 3 Mpps: the single checksum accelerator saturates (≈2.7 Mpps
+  // at 1000 B packets). The ILP's Θ constraint moves the checksum to NPU
+  // software; greedy still picks the per-packet-cheapest accelerator and
+  // its predicted latency blows up with the saturated queue.
+  const auto hot_trace = make_trace("tcp=0.8 flows=8000 payload=1000 pps=3000000 packets=15000");
+  const auto nat = nf::build_nat_nf();
+  core::AnalyzeOptions ilp_options;
+  core::AnalyzeOptions greedy_options;
+  greedy_options.use_ilp = false;
+  const auto a = analyze_or_die(analyzer, nat, hot_trace, ilp_options);
+  const auto b = analyze_or_die(analyzer, nat, hot_trace, greedy_options);
+
+  auto csum_pool = [&](const core::Analysis& analysis) -> std::string {
+    // Report the unit the checksum site landed on via the porting report.
+    const auto pos = analysis.report.find("hint:");
+    return pos == std::string::npos ? "(none)" : analysis.report.substr(pos, 60);
+  };
+
+  TextTable hot({"mapper", "predicted latency (cyc)", "checksum binding"});
+  hot.add_row({"ILP (Θ-aware)", fmt(a.prediction.mean_latency_cycles), csum_pool(a)});
+  hot.add_row({"greedy", fmt(b.prediction.mean_latency_cycles), csum_pool(b)});
+  std::printf("NAT @ 3 Mpps, 1000 B payloads (csum accel capacity ≈ 2.7 Mpps):\n%s", hot.render().c_str());
+  return 0;
+}

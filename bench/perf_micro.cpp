@@ -1,0 +1,130 @@
+// Library microbenchmarks (google-benchmark): throughput of the tool
+// itself — the analyzer has to be fast enough that "predict before you
+// port" is interactively usable.
+#include <benchmark/benchmark.h>
+
+#include "cir/interp.hpp"
+#include "common/rng.hpp"
+#include "core/clara.hpp"
+#include "ilp/simplex.hpp"
+#include "ilp/solver.hpp"
+#include "nf/nf_cir.hpp"
+#include "nf/nf_ported.hpp"
+#include "nicsim/sim.hpp"
+#include "passes/api_subst.hpp"
+#include "workload/tracegen.hpp"
+
+namespace {
+
+using namespace clara;
+
+workload::Trace small_trace() {
+  return workload::generate_trace(
+      workload::parse_profile("tcp=0.8 flows=2000 payload=300 pps=60000 packets=2000").value());
+}
+
+void BM_TraceGeneration(benchmark::State& state) {
+  auto profile = workload::parse_profile("flows=10000 packets=10000").value();
+  for (auto _ : state) {
+    profile.seed++;
+    benchmark::DoNotOptimize(workload::generate_trace(profile));
+  }
+  state.SetItemsProcessed(state.iterations() * 10000);
+}
+BENCHMARK(BM_TraceGeneration);
+
+void BM_SimplexSolve(benchmark::State& state) {
+  // A representative mapping-LP shape: 30 binaries, 20 rows.
+  ilp::Model model;
+  std::vector<int> vars;
+  for (int i = 0; i < 30; ++i) vars.push_back(model.add_binary("b"));
+  for (int r = 0; r < 10; ++r) {
+    ilp::LinExpr row;
+    for (int i = 0; i < 30; ++i) row.add(vars[i], ((i * 7 + r) % 5) - 2.0);
+    model.add_constraint(std::move(row), ilp::Sense::kLe, 3.0);
+  }
+  ilp::LinExpr objective;
+  for (int i = 0; i < 30; ++i) objective.add(vars[i], (i % 7) - 3.0);
+  model.set_objective(std::move(objective));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ilp::solve_lp(model));
+  }
+}
+BENCHMARK(BM_SimplexSolve);
+
+void BM_MilpMapNat(benchmark::State& state) {
+  auto fn = nf::build_nat_nf();
+  passes::substitute_framework_apis(fn);
+  passes::CostHints hints;
+  const auto graph = passes::DataflowGraph::build(fn, hints);
+  const auto profile = lnic::netronome_agilio_cx();
+  const mapping::Mapper mapper(profile);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(mapper.map(graph, hints));
+  }
+}
+BENCHMARK(BM_MilpMapNat);
+
+void BM_InterpretNat(benchmark::State& state) {
+  auto fn = nf::build_nat_nf();
+  passes::substitute_framework_apis(fn);
+  class Handler final : public cir::VCallHandler {
+   public:
+    std::uint64_t handle(cir::VCall v, std::span<const std::uint64_t>) override {
+      return v == cir::VCall::kTableLookup ? 1 : 0;
+    }
+  } handler;
+  cir::Interpreter interp(fn, handler);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(interp.run());
+  }
+}
+BENCHMARK(BM_InterpretNat);
+
+void BM_AnalyzeNatEndToEnd(benchmark::State& state) {
+  const core::Analyzer analyzer(lnic::netronome_agilio_cx());
+  const auto nat = nf::build_nat_nf();
+  const auto trace = small_trace();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(analyzer.analyze(nat, trace));
+  }
+}
+BENCHMARK(BM_AnalyzeNatEndToEnd);
+
+void BM_SimulateNatPacket(benchmark::State& state) {
+  nicsim::NicSim sim;
+  auto& table = sim.create_table("flow_table", 131072, 64, nicsim::MemLevel::kEmem);
+  nf::NatProgram program(table, true);
+  const auto trace = small_trace();
+  std::size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(sim.measure_one(program, trace.packets[i++ % trace.size()]));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_SimulateNatPacket);
+
+void BM_EmemCacheAccess(benchmark::State& state) {
+  nicsim::SetAssocCache cache(3_MiB, 64, 8);
+  std::uint64_t addr = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(cache.access(addr));
+    addr += 4096;
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_EmemCacheAccess);
+
+void BM_ZipfSample(benchmark::State& state) {
+  Rng rng(1);
+  const ZipfSampler zipf(100000, 1.1);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(zipf.sample(rng));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_ZipfSample);
+
+}  // namespace
+
+BENCHMARK_MAIN();

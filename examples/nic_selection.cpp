@@ -1,0 +1,85 @@
+// NIC selection: "which SmartNIC models are best suited for her
+// workloads" (paper §1). Analyze one NF against every built-in LNIC
+// profile and rank the backends — before owning any of the hardware.
+//
+//   $ ./examples/nic_selection [workload-spec]
+//   $ ./examples/nic_selection "tcp=0.9 flows=50000 payload=600 pps=200000 packets=30000"
+#include <algorithm>
+#include <cstdio>
+#include <vector>
+
+#include "common/strings.hpp"
+#include "common/table.hpp"
+#include "core/clara.hpp"
+#include "nf/nf_cir.hpp"
+#include "workload/tracegen.hpp"
+
+int main(int argc, char** argv) {
+  using namespace clara;
+
+  const std::string spec =
+      argc > 1 ? argv[1] : "tcp=0.8 flows=20000 zipf=1.1 payload=400 pps=100000 packets=30000";
+  auto profile_result = workload::parse_profile(spec);
+  if (!profile_result) {
+    std::fprintf(stderr, "bad workload: %s\n", profile_result.error().message.c_str());
+    return 1;
+  }
+  const auto trace = workload::generate_trace(profile_result.value());
+
+  struct Candidate {
+    std::string nf;
+    cir::Function fn;
+  };
+  std::vector<Candidate> nfs;
+  nfs.push_back({"nat", nf::build_nat_nf()});
+  nfs.push_back({"lpm(10k rules)", nf::build_lpm_nf({.rules = 10000, .use_flow_cache = true})});
+  nfs.push_back({"dpi", nf::build_dpi_nf()});
+  nfs.push_back({"firewall", nf::build_fw_nf()});
+
+  std::printf("workload: %s\n\n", spec.c_str());
+
+  for (auto& candidate : nfs) {
+    struct Row {
+      std::string nic;
+      double latency_us = 0.0;
+      double throughput = 0.0;
+      std::string bottleneck;
+      bool feasible = false;
+      std::string reason;
+    };
+    std::vector<Row> rows;
+    for (auto& nic : lnic::all_profiles()) {
+      core::Analyzer analyzer(std::move(nic));
+      Row row;
+      row.nic = analyzer.profile().name;
+      auto analysis = analyzer.analyze(candidate.fn, trace);
+      if (analysis) {
+        row.feasible = true;
+        row.latency_us = analysis.value().prediction.mean_latency_us;
+        row.throughput = analysis.value().prediction.throughput_pps;
+        row.bottleneck = analysis.value().prediction.bottleneck;
+      } else {
+        row.reason = analysis.error().message;
+      }
+      rows.push_back(std::move(row));
+    }
+    std::sort(rows.begin(), rows.end(), [](const Row& a, const Row& b) {
+      if (a.feasible != b.feasible) return a.feasible;
+      return a.latency_us < b.latency_us;
+    });
+
+    std::printf("=== %s ===\n", candidate.nf.c_str());
+    TextTable table({"rank", "NIC", "latency (us)", "max throughput (pps)", "bottleneck / why not"});
+    int rank = 1;
+    for (const auto& row : rows) {
+      if (row.feasible) {
+        table.add_row({strf("%d", rank++), row.nic, strf("%.2f", row.latency_us),
+                       strf("%.0f", row.throughput), row.bottleneck});
+      } else {
+        table.add_row({"-", row.nic, "-", "-", "infeasible: " + row.reason.substr(0, 48)});
+      }
+    }
+    std::printf("%s\n", table.render().c_str());
+  }
+  return 0;
+}

@@ -1,0 +1,264 @@
+#include "cir/builder.hpp"
+
+#include <cassert>
+
+namespace clara::cir {
+
+FunctionBuilder::FunctionBuilder(std::string name) { fn_.name = std::move(name); }
+
+std::uint32_t FunctionBuilder::add_state(StateObject state) {
+  fn_.state_objects.push_back(std::move(state));
+  return static_cast<std::uint32_t>(fn_.state_objects.size() - 1);
+}
+
+std::uint32_t FunctionBuilder::create_block(std::string label) {
+  BasicBlock block;
+  block.label = std::move(label);
+  fn_.blocks.push_back(std::move(block));
+  return static_cast<std::uint32_t>(fn_.blocks.size() - 1);
+}
+
+void FunctionBuilder::set_insert_point(std::uint32_t block) {
+  assert(block < fn_.blocks.size());
+  cur_ = block;
+}
+
+void FunctionBuilder::set_trip(std::uint32_t block, SymExpr trip) {
+  assert(block < fn_.blocks.size());
+  fn_.blocks[block].trip = std::move(trip);
+  fn_.blocks[block].has_trip = true;
+}
+
+BasicBlock& FunctionBuilder::cur_block() {
+  assert(cur_ < fn_.blocks.size());
+  return fn_.blocks[cur_];
+}
+
+Value FunctionBuilder::emit(Opcode op, Type t, std::vector<Value> args, bool produces_value) {
+  Instr instr;
+  instr.op = op;
+  instr.type = t;
+  instr.args = std::move(args);
+  Value result = Value::none();
+  if (produces_value && has_result(op)) {
+    instr.dst = new_reg();
+    result = Value::of_reg(instr.dst);
+  }
+  cur_block().instrs.push_back(std::move(instr));
+  return result;
+}
+
+Value FunctionBuilder::add(Value a, Value b, Type t) { return emit(Opcode::kAdd, t, {a, b}); }
+Value FunctionBuilder::sub(Value a, Value b, Type t) { return emit(Opcode::kSub, t, {a, b}); }
+Value FunctionBuilder::mul(Value a, Value b, Type t) { return emit(Opcode::kMul, t, {a, b}); }
+Value FunctionBuilder::div(Value a, Value b, Type t) { return emit(Opcode::kDiv, t, {a, b}); }
+Value FunctionBuilder::rem(Value a, Value b, Type t) { return emit(Opcode::kRem, t, {a, b}); }
+Value FunctionBuilder::band(Value a, Value b, Type t) { return emit(Opcode::kAnd, t, {a, b}); }
+Value FunctionBuilder::bor(Value a, Value b, Type t) { return emit(Opcode::kOr, t, {a, b}); }
+Value FunctionBuilder::bxor(Value a, Value b, Type t) { return emit(Opcode::kXor, t, {a, b}); }
+Value FunctionBuilder::shl(Value a, Value b, Type t) { return emit(Opcode::kShl, t, {a, b}); }
+Value FunctionBuilder::shr(Value a, Value b, Type t) { return emit(Opcode::kShr, t, {a, b}); }
+Value FunctionBuilder::fadd(Value a, Value b) { return emit(Opcode::kFAdd, Type::kI64, {a, b}); }
+Value FunctionBuilder::fmul(Value a, Value b) { return emit(Opcode::kFMul, Type::kI64, {a, b}); }
+
+Value FunctionBuilder::cmp_eq(Value a, Value b) { return emit(Opcode::kEq, Type::kI64, {a, b}); }
+Value FunctionBuilder::cmp_ne(Value a, Value b) { return emit(Opcode::kNe, Type::kI64, {a, b}); }
+Value FunctionBuilder::cmp_lt(Value a, Value b) { return emit(Opcode::kLt, Type::kI64, {a, b}); }
+Value FunctionBuilder::cmp_le(Value a, Value b) { return emit(Opcode::kLe, Type::kI64, {a, b}); }
+Value FunctionBuilder::cmp_gt(Value a, Value b) { return emit(Opcode::kGt, Type::kI64, {a, b}); }
+Value FunctionBuilder::cmp_ge(Value a, Value b) { return emit(Opcode::kGe, Type::kI64, {a, b}); }
+
+Value FunctionBuilder::select(Value cond, Value a, Value b, Type t) {
+  return emit(Opcode::kSelect, t, {cond, a, b});
+}
+
+Value FunctionBuilder::load_packet(Value offset, Type t) {
+  Instr instr;
+  instr.op = Opcode::kLoad;
+  instr.type = t;
+  instr.space = MemSpace::kPacket;
+  instr.args = {offset};
+  instr.dst = new_reg();
+  cur_block().instrs.push_back(std::move(instr));
+  return Value::of_reg(cur_block().instrs.back().dst);
+}
+
+Value FunctionBuilder::load_scratch(Value addr, Type t) {
+  Instr instr;
+  instr.op = Opcode::kLoad;
+  instr.type = t;
+  instr.space = MemSpace::kScratch;
+  instr.args = {addr};
+  instr.dst = new_reg();
+  cur_block().instrs.push_back(std::move(instr));
+  return Value::of_reg(cur_block().instrs.back().dst);
+}
+
+void FunctionBuilder::store_scratch(Value addr, Value value, Type t) {
+  Instr instr;
+  instr.op = Opcode::kStore;
+  instr.type = t;
+  instr.space = MemSpace::kScratch;
+  instr.args = {addr, value};
+  cur_block().instrs.push_back(std::move(instr));
+}
+
+Value FunctionBuilder::load_state(std::uint32_t state, Value index, Type t) {
+  assert(state < fn_.state_objects.size());
+  Instr instr;
+  instr.op = Opcode::kLoad;
+  instr.type = t;
+  instr.space = MemSpace::kState;
+  instr.state = state;
+  instr.args = {index};
+  instr.dst = new_reg();
+  cur_block().instrs.push_back(std::move(instr));
+  return Value::of_reg(cur_block().instrs.back().dst);
+}
+
+void FunctionBuilder::store_state(std::uint32_t state, Value index, Value value, Type t) {
+  assert(state < fn_.state_objects.size());
+  Instr instr;
+  instr.op = Opcode::kStore;
+  instr.type = t;
+  instr.space = MemSpace::kState;
+  instr.state = state;
+  instr.args = {index, value};
+  cur_block().instrs.push_back(std::move(instr));
+}
+
+void FunctionBuilder::br(std::uint32_t target) {
+  Instr instr;
+  instr.op = Opcode::kBr;
+  instr.type = Type::kVoid;
+  instr.target0 = target;
+  cur_block().instrs.push_back(std::move(instr));
+}
+
+void FunctionBuilder::cond_br(Value cond, std::uint32_t if_true, std::uint32_t if_false) {
+  Instr instr;
+  instr.op = Opcode::kCondBr;
+  instr.type = Type::kVoid;
+  instr.args = {cond};
+  instr.target0 = if_true;
+  instr.target1 = if_false;
+  cur_block().instrs.push_back(std::move(instr));
+}
+
+void FunctionBuilder::ret() {
+  Instr instr;
+  instr.op = Opcode::kRet;
+  instr.type = Type::kVoid;
+  cur_block().instrs.push_back(std::move(instr));
+}
+
+Value FunctionBuilder::phi(Type t) {
+  Instr instr;
+  instr.op = Opcode::kPhi;
+  instr.type = t;
+  instr.dst = new_reg();
+  // Phis must precede non-phi instructions.
+  auto& instrs = cur_block().instrs;
+  std::size_t pos = 0;
+  while (pos < instrs.size() && instrs[pos].op == Opcode::kPhi) ++pos;
+  assert(pos == instrs.size() && "phi must be created before other instructions in the block");
+  instrs.push_back(std::move(instr));
+  return Value::of_reg(instrs.back().dst);
+}
+
+void FunctionBuilder::add_incoming(Value phi_value, Value incoming, std::uint32_t pred_block) {
+  assert(phi_value.is_reg());
+  for (auto& block : fn_.blocks) {
+    for (auto& instr : block.instrs) {
+      if (instr.op == Opcode::kPhi && instr.dst == phi_value.reg) {
+        instr.args.push_back(incoming);
+        instr.phi_preds.push_back(pred_block);
+        return;
+      }
+    }
+  }
+  assert(false && "phi register not found");
+}
+
+Value FunctionBuilder::call(std::string callee, std::vector<Value> args, bool produces_value) {
+  Instr instr;
+  instr.op = Opcode::kCall;
+  instr.type = produces_value ? Type::kI64 : Type::kVoid;
+  instr.callee = std::move(callee);
+  instr.args = std::move(args);
+  Value result = Value::none();
+  if (produces_value) {
+    instr.dst = new_reg();
+    result = Value::of_reg(instr.dst);
+  }
+  cur_block().instrs.push_back(std::move(instr));
+  return result;
+}
+
+Value FunctionBuilder::vcall(VCall v, std::vector<Value> args, bool produces_value) {
+  assert(args.size() == vcall_arg_count(v));
+  return call(vcall_name(v), std::move(args), produces_value && vcall_produces_value(v));
+}
+
+Value FunctionBuilder::get_hdr(HdrField f) {
+  return vcall(VCall::kGetHdr, {Value::of_imm(static_cast<std::int64_t>(f))});
+}
+
+void FunctionBuilder::set_hdr(HdrField f, Value v) {
+  vcall(VCall::kSetHdr, {Value::of_imm(static_cast<std::int64_t>(f)), v}, false);
+}
+
+Function FunctionBuilder::take() {
+  Function out = std::move(fn_);
+  fn_ = Function{};
+  cur_ = 0;
+  return out;
+}
+
+unsigned vcall_arg_count(VCall v) {
+  switch (v) {
+    case VCall::kParse: return 0;
+    case VCall::kGetHdr: return 1;
+    case VCall::kSetHdr: return 2;
+    case VCall::kCsum: return 1;
+    case VCall::kCrypto: return 1;
+    case VCall::kLpmLookup: return 3;  // state, key, use_flow_cache
+    case VCall::kTableLookup: return 2;  // state, key
+    case VCall::kTableUpdate: return 3;  // state, key, value
+    case VCall::kPayloadScan: return 1;
+    case VCall::kMeter: return 2;        // state, flow
+    case VCall::kStatsUpdate: return 2;  // state, key
+    case VCall::kEmit: return 1;
+    case VCall::kDrop: return 0;
+  }
+  return 0;
+}
+
+bool vcall_takes_state(VCall v) {
+  switch (v) {
+    case VCall::kLpmLookup:
+    case VCall::kTableLookup:
+    case VCall::kTableUpdate:
+    case VCall::kMeter:
+    case VCall::kStatsUpdate:
+      return true;
+    default:
+      return false;
+  }
+}
+
+bool vcall_produces_value(VCall v) {
+  switch (v) {
+    case VCall::kGetHdr:
+    case VCall::kLpmLookup:
+    case VCall::kTableLookup:
+    case VCall::kMeter:
+    case VCall::kCsum:         // returns the checksum value
+    case VCall::kPayloadScan:  // returns the match count
+      return true;
+    default:
+      return false;
+  }
+}
+
+}  // namespace clara::cir

@@ -1,0 +1,111 @@
+// Programmatic construction of CIR functions.
+//
+// This is Clara's front-end seam. The paper lowers C programs through
+// LLVM; in this repository NFs are authored once, in "unported" form,
+// against this builder (including framework-style API calls that the
+// substitution pass later rewrites). See DESIGN.md §6 for the
+// substitution rationale.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "cir/function.hpp"
+#include "cir/vcalls.hpp"
+
+namespace clara::cir {
+
+class FunctionBuilder {
+ public:
+  explicit FunctionBuilder(std::string name);
+
+  /// Declares a state object; returns its index for load/store/vcalls.
+  std::uint32_t add_state(StateObject state);
+
+  /// Creates an (initially empty) block and returns its index. Blocks are
+  /// laid out in creation order; the first created block is the entry.
+  std::uint32_t create_block(std::string label);
+  void set_insert_point(std::uint32_t block);
+  [[nodiscard]] std::uint32_t insert_point() const { return cur_; }
+
+  /// Annotates a block with an expected trip count (loop bodies).
+  void set_trip(std::uint32_t block, SymExpr trip);
+
+  // -- Arithmetic / logic -------------------------------------------------
+  Value add(Value a, Value b, Type t = Type::kI64);
+  Value sub(Value a, Value b, Type t = Type::kI64);
+  Value mul(Value a, Value b, Type t = Type::kI64);
+  Value div(Value a, Value b, Type t = Type::kI64);
+  Value rem(Value a, Value b, Type t = Type::kI64);
+  Value band(Value a, Value b, Type t = Type::kI64);
+  Value bor(Value a, Value b, Type t = Type::kI64);
+  Value bxor(Value a, Value b, Type t = Type::kI64);
+  Value shl(Value a, Value b, Type t = Type::kI64);
+  Value shr(Value a, Value b, Type t = Type::kI64);
+  Value fadd(Value a, Value b);
+  Value fmul(Value a, Value b);
+
+  // -- Comparisons (result is 0/1 in an i64 register) ---------------------
+  Value cmp_eq(Value a, Value b);
+  Value cmp_ne(Value a, Value b);
+  Value cmp_lt(Value a, Value b);
+  Value cmp_le(Value a, Value b);
+  Value cmp_gt(Value a, Value b);
+  Value cmp_ge(Value a, Value b);
+
+  Value select(Value cond, Value a, Value b, Type t = Type::kI64);
+
+  // -- Memory --------------------------------------------------------------
+  Value load_packet(Value offset, Type t = Type::kI8);
+  Value load_scratch(Value addr, Type t = Type::kI64);
+  void store_scratch(Value addr, Value value, Type t = Type::kI64);
+  Value load_state(std::uint32_t state, Value index, Type t = Type::kI64);
+  void store_state(std::uint32_t state, Value index, Value value, Type t = Type::kI64);
+
+  // -- Control flow ---------------------------------------------------------
+  void br(std::uint32_t target);
+  void cond_br(Value cond, std::uint32_t if_true, std::uint32_t if_false);
+  void ret();
+
+  /// Creates a phi in the current block (phis must precede all non-phi
+  /// instructions); wire incoming values with add_incoming once the
+  /// predecessor values exist.
+  Value phi(Type t = Type::kI64);
+  void add_incoming(Value phi_value, Value incoming, std::uint32_t pred_block);
+
+  // -- Calls ----------------------------------------------------------------
+  /// Raw call by name (framework APIs use this). `produces_value` controls
+  /// whether a destination register is allocated.
+  Value call(std::string callee, std::vector<Value> args, bool produces_value = true);
+
+  /// Canonical virtual calls.
+  Value vcall(VCall v, std::vector<Value> args, bool produces_value = true);
+  Value get_hdr(HdrField f);
+  void set_hdr(HdrField f, Value v);
+
+  /// Finalizes and returns the function (builder becomes empty).
+  Function take();
+
+ private:
+  Value emit(Opcode op, Type t, std::vector<Value> args, bool produces_value = true);
+  std::uint32_t new_reg() { return fn_.num_regs++; }
+  BasicBlock& cur_block();
+
+  Function fn_;
+  std::uint32_t cur_ = 0;
+};
+
+/// Expected argument count for each vcall (state-taking vcalls include
+/// the leading state-index immediate). Used by the builder (asserts) and
+/// the verifier (errors).
+unsigned vcall_arg_count(VCall v);
+
+/// True if the vcall's first argument must be a state-object index
+/// immediate.
+bool vcall_takes_state(VCall v);
+
+/// True if the vcall produces a result value.
+bool vcall_produces_value(VCall v);
+
+}  // namespace clara::cir

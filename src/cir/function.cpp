@@ -1,0 +1,42 @@
+#include "cir/function.hpp"
+
+namespace clara::cir {
+
+const char* to_string(StatePattern pattern) {
+  switch (pattern) {
+    case StatePattern::kHashTable: return "hash";
+    case StatePattern::kArray: return "array";
+    case StatePattern::kDirect: return "direct";
+  }
+  return "?";
+}
+
+std::uint32_t Function::find_block(std::string_view label) const {
+  for (std::uint32_t i = 0; i < blocks.size(); ++i) {
+    if (blocks[i].label == label) return i;
+  }
+  return ~0u;
+}
+
+std::uint32_t Function::find_state(std::string_view state_name) const {
+  for (std::uint32_t i = 0; i < state_objects.size(); ++i) {
+    if (state_objects[i].name == state_name) return i;
+  }
+  return ~0u;
+}
+
+const Function* Module::find_function(std::string_view fn_name) const {
+  for (const auto& f : functions) {
+    if (f.name == fn_name) return &f;
+  }
+  return nullptr;
+}
+
+Function* Module::find_function(std::string_view fn_name) {
+  for (auto& f : functions) {
+    if (f.name == fn_name) return &f;
+  }
+  return nullptr;
+}
+
+}  // namespace clara::cir

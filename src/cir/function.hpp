@@ -1,0 +1,78 @@
+// CIR containers: basic blocks, state objects, functions, modules.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "cir/instr.hpp"
+#include "common/types.hpp"
+
+namespace clara::cir {
+
+/// A symbolic affine expression `scale * param + bias`, used for loop
+/// trip counts whose value depends on workload parameters (e.g. a DPI
+/// scan loop runs `payload_len` times). An empty param means a constant.
+struct SymExpr {
+  double scale = 0.0;
+  std::string param;
+  double bias = 0.0;
+
+  static SymExpr constant(double c) { return SymExpr{0.0, {}, c}; }
+  static SymExpr of_param(std::string name, double scale = 1.0, double bias = 0.0) {
+    return SymExpr{scale, std::move(name), bias};
+  }
+  [[nodiscard]] bool is_constant() const { return param.empty(); }
+  [[nodiscard]] double eval(double param_value) const { return scale * param_value + bias; }
+};
+
+struct BasicBlock {
+  std::string label;
+  std::vector<Instr> instrs;
+  /// Expected trip count when this block is a loop body; used by the
+  /// static cost model (the interpreter observes real counts instead).
+  SymExpr trip = SymExpr::constant(1.0);
+  bool has_trip = false;
+};
+
+/// How a state object is accessed; drives footprint/working-set math.
+enum class StatePattern : std::uint8_t {
+  kHashTable,  // keyed by flow: working set = active flows * entry size
+  kArray,      // dense index
+  kDirect,     // single record (e.g. an aggregate counter block)
+};
+
+const char* to_string(StatePattern pattern);
+
+/// A named NF state object (flow table, rule table, counters). The
+/// mapper's memory constraints (Γ) decide which LNIC memory region each
+/// state object is placed in.
+struct StateObject {
+  std::string name;
+  Bytes entry_bytes = 0;
+  std::uint64_t entries = 0;
+  StatePattern pattern = StatePattern::kHashTable;
+
+  [[nodiscard]] Bytes total_bytes() const { return entry_bytes * entries; }
+};
+
+struct Function {
+  std::string name;
+  std::vector<BasicBlock> blocks;
+  std::vector<StateObject> state_objects;
+  std::uint32_t num_regs = 0;
+
+  [[nodiscard]] const BasicBlock& entry() const { return blocks.front(); }
+  [[nodiscard]] std::uint32_t find_block(std::string_view label) const;
+  [[nodiscard]] std::uint32_t find_state(std::string_view name) const;
+};
+
+struct Module {
+  std::string name;
+  std::vector<Function> functions;
+
+  [[nodiscard]] const Function* find_function(std::string_view name) const;
+  [[nodiscard]] Function* find_function(std::string_view name);
+};
+
+}  // namespace clara::cir

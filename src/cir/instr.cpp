@@ -1,0 +1,89 @@
+#include "cir/instr.hpp"
+
+namespace clara::cir {
+
+const char* to_string(Type t) {
+  switch (t) {
+    case Type::kVoid: return "void";
+    case Type::kI8: return "i8";
+    case Type::kI16: return "i16";
+    case Type::kI32: return "i32";
+    case Type::kI64: return "i64";
+    case Type::kPtr: return "ptr";
+  }
+  return "?";
+}
+
+unsigned type_size(Type t) {
+  switch (t) {
+    case Type::kVoid: return 0;
+    case Type::kI8: return 1;
+    case Type::kI16: return 2;
+    case Type::kI32: return 4;
+    case Type::kI64: return 8;
+    case Type::kPtr: return 8;
+  }
+  return 8;
+}
+
+const char* to_string(Opcode op) {
+  switch (op) {
+    case Opcode::kAdd: return "add";
+    case Opcode::kSub: return "sub";
+    case Opcode::kMul: return "mul";
+    case Opcode::kDiv: return "div";
+    case Opcode::kRem: return "rem";
+    case Opcode::kAnd: return "and";
+    case Opcode::kOr: return "or";
+    case Opcode::kXor: return "xor";
+    case Opcode::kShl: return "shl";
+    case Opcode::kShr: return "shr";
+    case Opcode::kEq: return "eq";
+    case Opcode::kNe: return "ne";
+    case Opcode::kLt: return "lt";
+    case Opcode::kLe: return "le";
+    case Opcode::kGt: return "gt";
+    case Opcode::kGe: return "ge";
+    case Opcode::kSelect: return "select";
+    case Opcode::kFAdd: return "fadd";
+    case Opcode::kFMul: return "fmul";
+    case Opcode::kLoad: return "load";
+    case Opcode::kStore: return "store";
+    case Opcode::kBr: return "br";
+    case Opcode::kCondBr: return "condbr";
+    case Opcode::kRet: return "ret";
+    case Opcode::kCall: return "call";
+    case Opcode::kPhi: return "phi";
+  }
+  return "?";
+}
+
+bool is_terminator(Opcode op) {
+  return op == Opcode::kBr || op == Opcode::kCondBr || op == Opcode::kRet;
+}
+
+bool has_result(Opcode op) {
+  switch (op) {
+    case Opcode::kStore:
+    case Opcode::kBr:
+    case Opcode::kCondBr:
+    case Opcode::kRet:
+      return false;
+    case Opcode::kCall:
+      return true;  // calls may produce a value; dst == kNoReg when unused
+    default:
+      return true;
+  }
+}
+
+const char* to_string(MemSpace space) {
+  switch (space) {
+    case MemSpace::kPacket: return "packet";
+    case MemSpace::kHeader: return "header";
+    case MemSpace::kState: return "state";
+    case MemSpace::kScratch: return "scratch";
+  }
+  return "?";
+}
+
+}  // namespace clara::cir

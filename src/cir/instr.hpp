@@ -1,0 +1,114 @@
+// Clara IR (CIR) instructions — paper §3.3.
+//
+// The CIR is a hardware-independent bytecode in the spirit of LLVM IR:
+// typed virtual registers in SSA-lite form, basic blocks with explicit
+// terminators, and calls. NF-framework API calls (Click / eBPF / DPDK)
+// appear as ordinary calls and are rewritten to canonical "virtual calls"
+// by the API-substitution pass; virtual calls are what the mapper binds
+// to SmartNIC hardware.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace clara::cir {
+
+enum class Type : std::uint8_t { kVoid, kI8, kI16, kI32, kI64, kPtr };
+
+const char* to_string(Type t);
+
+/// Bit width in bytes (0 for void/ptr-opaque widths use 8).
+unsigned type_size(Type t);
+
+enum class Opcode : std::uint8_t {
+  // Arithmetic / logic (dst = a op b). Unsigned semantics.
+  kAdd, kSub, kMul, kDiv, kRem, kAnd, kOr, kXor, kShl, kShr,
+  // Comparisons (dst = a cmp b ? 1 : 0).
+  kEq, kNe, kLt, kLe, kGt, kGe,
+  // dst = cond ? a : b
+  kSelect,
+  // Floating point marker ops: same shapes as kAdd/kMul but require an
+  // FPU; SmartNIC datapaths without one pay the emulation penalty
+  // (paper §3.4).
+  kFAdd, kFMul,
+  // Memory. kLoad: dst = mem[space/state][addr]; kStore: mem[...] = value.
+  kLoad, kStore,
+  // Control flow.
+  kBr, kCondBr, kRet,
+  // Calls: framework APIs and virtual calls; `callee` holds the name.
+  kCall,
+  // SSA merge; args parallel to `phi_preds`.
+  kPhi,
+};
+
+const char* to_string(Opcode op);
+bool is_terminator(Opcode op);
+bool has_result(Opcode op);
+
+/// Memory spaces a load/store can address. The space determines who pays
+/// for the access: packet bytes live wherever the datapath put the packet
+/// (CTM with EMEM spill), state objects live wherever the Γ constraints
+/// placed them, and scratch is per-core local memory.
+enum class MemSpace : std::uint8_t {
+  kPacket,   // packet payload bytes
+  kHeader,   // parsed header fields (post-parse, in local memory)
+  kState,    // a named state object (flow table, counters, rules)
+  kScratch,  // per-core local scratch
+};
+
+const char* to_string(MemSpace space);
+
+inline constexpr std::uint32_t kNoReg = ~std::uint32_t{0};
+
+/// An operand: a virtual register or an immediate.
+struct Value {
+  enum class Kind : std::uint8_t { kNone, kReg, kImm } kind = Kind::kNone;
+  std::uint32_t reg = kNoReg;
+  std::int64_t imm = 0;
+
+  static Value none() { return {}; }
+  static Value of_reg(std::uint32_t r) {
+    Value v;
+    v.kind = Kind::kReg;
+    v.reg = r;
+    return v;
+  }
+  static Value of_imm(std::int64_t i) {
+    Value v;
+    v.kind = Kind::kImm;
+    v.imm = i;
+    return v;
+  }
+  [[nodiscard]] bool is_reg() const { return kind == Kind::kReg; }
+  [[nodiscard]] bool is_imm() const { return kind == Kind::kImm; }
+  [[nodiscard]] bool is_none() const { return kind == Kind::kNone; }
+
+  friend bool operator==(const Value&, const Value&) = default;
+};
+
+struct Instr {
+  Opcode op = Opcode::kRet;
+  Type type = Type::kI64;
+  std::uint32_t dst = kNoReg;
+  std::vector<Value> args;
+
+  // kBr/kCondBr block targets (indices into Function::blocks). For
+  // kCondBr, target0 is taken when the condition is non-zero.
+  std::uint32_t target0 = ~0u;
+  std::uint32_t target1 = ~0u;
+
+  // kCall payload.
+  std::string callee;
+
+  // kLoad/kStore payload. For kState, `state` indexes
+  // Function::state_objects; args[0] is the address/index (for kStore,
+  // args[1] is the stored value).
+  MemSpace space = MemSpace::kScratch;
+  std::uint32_t state = ~0u;
+
+  // kPhi: incoming block indices, parallel to args.
+  std::vector<std::uint32_t> phi_preds;
+};
+
+}  // namespace clara::cir

@@ -1,0 +1,63 @@
+// Concrete CIR interpreter.
+//
+// Clara does not execute the ported program (none exists) — but it does
+// need to know, per packet, which blocks run and with what vcall
+// arguments (paper §3.5: "simulate the execution for the set of packets,
+// and identify how a packet traverses the parameterized LNIC"). The
+// interpreter provides exactly that: it runs a CIR function against a
+// model environment (the VCallHandler answers header reads and table
+// lookups from a workload model) and records an execution trace — block
+// visit counts plus every vcall with its concrete arguments. The
+// prediction engine prices the trace against the mapping; the
+// interpreter itself knows nothing about hardware.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "cir/function.hpp"
+#include "cir/vcalls.hpp"
+#include "common/result.hpp"
+
+namespace clara::cir {
+
+/// Supplies vcall results during interpretation. Implementations model
+/// the packet (header fields) and NF state (table contents).
+class VCallHandler {
+ public:
+  virtual ~VCallHandler() = default;
+  virtual std::uint64_t handle(VCall v, std::span<const std::uint64_t> args) = 0;
+};
+
+struct VCallEvent {
+  std::uint32_t block = 0;
+  std::uint32_t instr = 0;
+  VCall v = VCall::kDrop;
+  std::vector<std::uint64_t> args;
+  std::uint64_t result = 0;
+};
+
+struct ExecTrace {
+  /// Executions of each block (indexed like Function::blocks).
+  std::vector<std::uint64_t> block_counts;
+  std::vector<VCallEvent> vcalls;
+  std::uint64_t steps = 0;
+};
+
+class Interpreter {
+ public:
+  Interpreter(const Function& fn, VCallHandler& handler) : fn_(fn), handler_(handler) {}
+
+  /// Runs from the entry block to a ret. Fails on unsubstituted
+  /// (non-vcall) calls, division by zero, or exceeding max_steps —
+  /// the step bound protects against non-terminating IR.
+  Result<ExecTrace> run(std::uint64_t max_steps = 10'000'000);
+
+ private:
+  const Function& fn_;
+  VCallHandler& handler_;
+};
+
+}  // namespace clara::cir

@@ -1,0 +1,417 @@
+#include <cassert>
+#include <map>
+#include <optional>
+#include <vector>
+
+#include "cir/printer.hpp"
+#include "common/strings.hpp"
+
+namespace clara::cir {
+
+namespace {
+
+struct Cursor {
+  std::vector<std::string> lines;
+  std::size_t pos = 0;
+
+  [[nodiscard]] bool done() const { return pos >= lines.size(); }
+  [[nodiscard]] std::string_view peek() const { return trim(lines[pos]); }
+  std::string_view next() { return trim(lines[pos++]); }
+  [[nodiscard]] std::size_t line_no() const { return pos; }  // 1-based after next()
+};
+
+using ParseError = Error;
+
+std::optional<Type> parse_type(std::string_view s) {
+  if (s == "void") return Type::kVoid;
+  if (s == "i8") return Type::kI8;
+  if (s == "i16") return Type::kI16;
+  if (s == "i32") return Type::kI32;
+  if (s == "i64") return Type::kI64;
+  if (s == "ptr") return Type::kPtr;
+  return std::nullopt;
+}
+
+std::optional<Opcode> parse_opcode(std::string_view s) {
+  static const std::map<std::string_view, Opcode> kOps = {
+      {"add", Opcode::kAdd}, {"sub", Opcode::kSub}, {"mul", Opcode::kMul}, {"div", Opcode::kDiv},
+      {"rem", Opcode::kRem}, {"and", Opcode::kAnd}, {"or", Opcode::kOr},   {"xor", Opcode::kXor},
+      {"shl", Opcode::kShl}, {"shr", Opcode::kShr}, {"eq", Opcode::kEq},   {"ne", Opcode::kNe},
+      {"lt", Opcode::kLt},   {"le", Opcode::kLe},   {"gt", Opcode::kGt},   {"ge", Opcode::kGe},
+      {"select", Opcode::kSelect}, {"fadd", Opcode::kFAdd}, {"fmul", Opcode::kFMul},
+  };
+  const auto it = kOps.find(s);
+  if (it == kOps.end()) return std::nullopt;
+  return it->second;
+}
+
+std::optional<Value> parse_operand(std::string_view s) {
+  s = trim(s);
+  if (s.empty()) return std::nullopt;
+  if (s.front() == '%') {
+    const auto n = parse_int(s.substr(1));
+    if (!n || *n < 0) return std::nullopt;
+    return Value::of_reg(static_cast<std::uint32_t>(*n));
+  }
+  const auto n = parse_int(s);
+  if (!n) return std::nullopt;
+  return Value::of_imm(*n);
+}
+
+/// Splits top-level comma-separated operands (no nesting in our grammar
+/// except phi brackets, handled separately).
+std::vector<std::string> split_operands(std::string_view s) {
+  std::vector<std::string> out;
+  int depth = 0;
+  std::size_t start = 0;
+  for (std::size_t i = 0; i <= s.size(); ++i) {
+    if (i == s.size() || (s[i] == ',' && depth == 0)) {
+      const auto piece = trim(s.substr(start, i - start));
+      if (!piece.empty()) out.emplace_back(piece);
+      start = i + 1;
+    } else if (s[i] == '[' || s[i] == '(') {
+      ++depth;
+    } else if (s[i] == ']' || s[i] == ')') {
+      --depth;
+    }
+  }
+  return out;
+}
+
+std::optional<SymExpr> parse_trip(std::string_view s) {
+  // "SCALE*PARAM+BIAS" or a bare constant.
+  const auto star = s.find('*');
+  if (star == std::string_view::npos) {
+    const auto c = parse_double(s);
+    if (!c) return std::nullopt;
+    return SymExpr::constant(*c);
+  }
+  const auto scale = parse_double(trim(s.substr(0, star)));
+  if (!scale) return std::nullopt;
+  auto rest = s.substr(star + 1);
+  const auto plus = rest.rfind('+');
+  if (plus == std::string_view::npos) return std::nullopt;
+  const std::string param{trim(rest.substr(0, plus))};
+  const auto bias = parse_double(trim(rest.substr(plus + 1)));
+  if (!bias || param.empty()) return std::nullopt;
+  return SymExpr::of_param(param, *scale, *bias);
+}
+
+struct PendingBranch {
+  std::uint32_t block;
+  std::size_t instr;
+  std::string label0, label1;
+};
+
+struct PendingPhi {
+  std::uint32_t block;
+  std::size_t instr;
+  std::vector<std::string> labels;
+};
+
+class FunctionParser {
+ public:
+  explicit FunctionParser(Cursor& cur) : cur_(cur) {}
+
+  Result<Function> parse(std::string_view header) {
+    // header: "func NAME {"
+    auto rest = trim(header.substr(4));
+    if (rest.empty() || rest.back() != '{') return err("expected 'func NAME {'");
+    rest = trim(rest.substr(0, rest.size() - 1));
+    if (rest.empty()) return err("function needs a name");
+    fn_.name = std::string(rest);
+
+    while (!cur_.done()) {
+      const auto line = cur_.next();
+      if (line.empty() || line.front() == ';' || line.front() == '#') continue;
+      if (line == "}") return finish();
+      if (starts_with(line, "state ")) {
+        if (auto s = parse_state(line); !s) return s.error();
+      } else if (starts_with(line, "block ")) {
+        if (auto s = parse_block_header(line); !s) return s.error();
+      } else {
+        if (cur_block_ == ~0u) return err("instruction outside of a block");
+        if (auto s = parse_instr(line); !s) return s.error();
+      }
+    }
+    return err("unexpected end of input in function body");
+  }
+
+ private:
+  ParseError err(const std::string& msg) { return make_error(strf("line %zu: %s", cur_.line_no(), msg.c_str())); }
+
+  Status parse_state(std::string_view line) {
+    StateObject state;
+    bool have_entries = false, have_bytes = false;
+    std::string_view rest = trim(line.substr(6));
+    for (const auto& tokenstr : split(rest, ' ')) {
+      const auto token = trim(tokenstr);
+      if (token.empty()) continue;
+      const auto eq = token.find('=');
+      if (eq == std::string_view::npos) {
+        if (!state.name.empty()) return err("state: unexpected token");
+        state.name = std::string(token);
+        continue;
+      }
+      const auto key = token.substr(0, eq);
+      const auto value = token.substr(eq + 1);
+      if (key == "entries") {
+        const auto v = parse_int(value);
+        if (!v || *v < 0) return err("state: bad entries");
+        state.entries = static_cast<std::uint64_t>(*v);
+        have_entries = true;
+      } else if (key == "entry_bytes") {
+        const auto v = parse_int(value);
+        if (!v || *v < 0) return err("state: bad entry_bytes");
+        state.entry_bytes = static_cast<Bytes>(*v);
+        have_bytes = true;
+      } else if (key == "pattern") {
+        if (value == "hash") {
+          state.pattern = StatePattern::kHashTable;
+        } else if (value == "array") {
+          state.pattern = StatePattern::kArray;
+        } else if (value == "direct") {
+          state.pattern = StatePattern::kDirect;
+        } else {
+          return err("state: unknown pattern");
+        }
+      } else {
+        return err("state: unknown attribute");
+      }
+    }
+    if (state.name.empty() || !have_entries || !have_bytes) return err("state: needs name, entries, entry_bytes");
+    fn_.state_objects.push_back(std::move(state));
+    return {};
+  }
+
+  Status parse_block_header(std::string_view line) {
+    auto rest = trim(line.substr(6));
+    if (rest.empty() || rest.back() != ':') return err("block header must end with ':'");
+    rest = trim(rest.substr(0, rest.size() - 1));
+    BasicBlock block;
+    const auto bracket = rest.find('[');
+    if (bracket != std::string_view::npos) {
+      auto attr = trim(rest.substr(bracket));
+      block.label = std::string(trim(rest.substr(0, bracket)));
+      if (attr.size() < 2 || attr.back() != ']') return err("unterminated block attribute");
+      attr = attr.substr(1, attr.size() - 2);
+      if (!starts_with(attr, "trip=")) return err("unknown block attribute");
+      const auto trip = parse_trip(trim(attr.substr(5)));
+      if (!trip) return err("bad trip expression");
+      block.trip = *trip;
+      block.has_trip = true;
+    } else {
+      block.label = std::string(rest);
+    }
+    if (block.label.empty()) return err("block needs a label");
+    if (labels_.count(block.label)) return err("duplicate block label");
+    labels_[block.label] = static_cast<std::uint32_t>(fn_.blocks.size());
+    fn_.blocks.push_back(std::move(block));
+    cur_block_ = static_cast<std::uint32_t>(fn_.blocks.size() - 1);
+    return {};
+  }
+
+  Status parse_instr(std::string_view line) {
+    Instr instr;
+    // Optional "%N = " destination.
+    auto body = line;
+    if (body.front() == '%') {
+      const auto eq = body.find('=');
+      if (eq == std::string_view::npos) return err("expected '=' after destination register");
+      const auto dst = parse_operand(trim(body.substr(0, eq)));
+      if (!dst || !dst->is_reg()) return err("bad destination register");
+      instr.dst = dst->reg;
+      track_reg(instr.dst);
+      body = trim(body.substr(eq + 1));
+    }
+
+    // Opcode token (up to first space), with optional ".type".
+    const auto space_pos = body.find(' ');
+    auto opcode_tok = space_pos == std::string_view::npos ? body : body.substr(0, space_pos);
+    auto rest = space_pos == std::string_view::npos ? std::string_view{} : trim(body.substr(space_pos + 1));
+    const auto dot = opcode_tok.find('.');
+    std::string_view type_tok;
+    if (dot != std::string_view::npos) {
+      type_tok = opcode_tok.substr(dot + 1);
+      opcode_tok = opcode_tok.substr(0, dot);
+    }
+    if (!type_tok.empty()) {
+      const auto t = parse_type(type_tok);
+      if (!t) return err("unknown type suffix");
+      instr.type = *t;
+    }
+
+    if (opcode_tok == "br") {
+      instr.op = Opcode::kBr;
+      instr.type = Type::kVoid;
+      pending_branches_.push_back({cur_block_, fn_.blocks[cur_block_].instrs.size(), std::string(rest), {}});
+    } else if (opcode_tok == "condbr") {
+      instr.op = Opcode::kCondBr;
+      instr.type = Type::kVoid;
+      const auto ops = split_operands(rest);
+      if (ops.size() != 3) return err("condbr needs cond, then, else");
+      const auto cond = parse_operand(ops[0]);
+      if (!cond) return err("bad condbr condition");
+      instr.args = {*cond};
+      track_value(*cond);
+      pending_branches_.push_back({cur_block_, fn_.blocks[cur_block_].instrs.size(), ops[1], ops[2]});
+    } else if (opcode_tok == "ret") {
+      instr.op = Opcode::kRet;
+      instr.type = Type::kVoid;
+    } else if (opcode_tok == "load" || opcode_tok == "store") {
+      instr.op = opcode_tok == "load" ? Opcode::kLoad : Opcode::kStore;
+      if (auto s = parse_mem(instr, rest); !s) return s;
+    } else if (opcode_tok == "call") {
+      instr.op = Opcode::kCall;
+      const auto paren = rest.find('(');
+      if (paren == std::string_view::npos || rest.back() != ')') return err("call needs 'name(args)'");
+      instr.callee = std::string(trim(rest.substr(0, paren)));
+      if (instr.callee.empty()) return err("call needs a callee");
+      for (const auto& op_text : split_operands(rest.substr(paren + 1, rest.size() - paren - 2))) {
+        const auto v = parse_operand(op_text);
+        if (!v) return err("bad call operand");
+        instr.args.push_back(*v);
+        track_value(*v);
+      }
+    } else if (opcode_tok == "phi") {
+      instr.op = Opcode::kPhi;
+      PendingPhi pending{cur_block_, fn_.blocks[cur_block_].instrs.size(), {}};
+      for (const auto& piece : split_operands(rest)) {
+        if (piece.size() < 2 || piece.front() != '[' || piece.back() != ']') return err("phi operand needs [v, block]");
+        const auto inner = split_operands(std::string_view(piece).substr(1, piece.size() - 2));
+        if (inner.size() != 2) return err("phi operand needs [v, block]");
+        const auto v = parse_operand(inner[0]);
+        if (!v) return err("bad phi value");
+        instr.args.push_back(*v);
+        track_value(*v);
+        instr.phi_preds.push_back(~0u);
+        pending.labels.push_back(inner[1]);
+      }
+      pending_phis_.push_back(std::move(pending));
+    } else {
+      const auto op = parse_opcode(opcode_tok);
+      if (!op) return err(strf("unknown opcode '%.*s'", (int)opcode_tok.size(), opcode_tok.data()));
+      instr.op = *op;
+      for (const auto& op_text : split_operands(rest)) {
+        const auto v = parse_operand(op_text);
+        if (!v) return err("bad operand");
+        instr.args.push_back(*v);
+        track_value(*v);
+      }
+    }
+
+    fn_.blocks[cur_block_].instrs.push_back(std::move(instr));
+    return {};
+  }
+
+  Status parse_mem(Instr& instr, std::string_view rest) {
+    // "state(NAME)[idx]" / "packet[idx]" / "scratch[idx]" / "header[idx]",
+    // stores followed by ", value".
+    const auto open = rest.find('[');
+    if (open == std::string_view::npos) return err("memory op needs '[index]'");
+    const auto close = rest.find(']', open);
+    if (close == std::string_view::npos) return err("unterminated '['");
+    auto target = trim(rest.substr(0, open));
+    if (starts_with(target, "state(")) {
+      if (target.back() != ')') return err("unterminated state(...)");
+      const auto name = trim(target.substr(6, target.size() - 7));
+      instr.space = MemSpace::kState;
+      instr.state = ~0u;
+      for (std::uint32_t i = 0; i < fn_.state_objects.size(); ++i) {
+        if (fn_.state_objects[i].name == name) instr.state = i;
+      }
+      if (instr.state == ~0u) return err("unknown state object");
+    } else if (target == "packet") {
+      instr.space = MemSpace::kPacket;
+    } else if (target == "scratch") {
+      instr.space = MemSpace::kScratch;
+    } else if (target == "header") {
+      instr.space = MemSpace::kHeader;
+    } else {
+      return err("unknown memory space");
+    }
+    const auto idx = parse_operand(rest.substr(open + 1, close - open - 1));
+    if (!idx) return err("bad memory index");
+    instr.args.push_back(*idx);
+    track_value(*idx);
+    if (instr.op == Opcode::kStore) {
+      auto tail = trim(rest.substr(close + 1));
+      if (tail.empty() || tail.front() != ',') return err("store needs ', value'");
+      const auto v = parse_operand(tail.substr(1));
+      if (!v) return err("bad store value");
+      instr.args.push_back(*v);
+      track_value(*v);
+    }
+    return {};
+  }
+
+  Result<Function> finish() {
+    for (const auto& pb : pending_branches_) {
+      Instr& instr = fn_.blocks[pb.block].instrs[pb.instr];
+      const auto it0 = labels_.find(pb.label0);
+      if (it0 == labels_.end()) return make_error("unknown branch target '" + pb.label0 + "'");
+      instr.target0 = it0->second;
+      if (instr.op == Opcode::kCondBr) {
+        const auto it1 = labels_.find(pb.label1);
+        if (it1 == labels_.end()) return make_error("unknown branch target '" + pb.label1 + "'");
+        instr.target1 = it1->second;
+      }
+    }
+    for (const auto& pp : pending_phis_) {
+      Instr& instr = fn_.blocks[pp.block].instrs[pp.instr];
+      for (std::size_t i = 0; i < pp.labels.size(); ++i) {
+        const auto it = labels_.find(pp.labels[i]);
+        if (it == labels_.end()) return make_error("unknown phi predecessor '" + pp.labels[i] + "'");
+        instr.phi_preds[i] = it->second;
+      }
+    }
+    fn_.num_regs = max_reg_ == ~0u ? 0 : max_reg_ + 1;
+    return std::move(fn_);
+  }
+
+  void track_reg(std::uint32_t reg) {
+    if (max_reg_ == ~0u || reg > max_reg_) max_reg_ = reg;
+  }
+  void track_value(const Value& v) {
+    if (v.is_reg()) track_reg(v.reg);
+  }
+
+  Cursor& cur_;
+  Function fn_;
+  std::uint32_t cur_block_ = ~0u;
+  std::uint32_t max_reg_ = ~0u;
+  std::map<std::string, std::uint32_t, std::less<>> labels_;
+  std::vector<PendingBranch> pending_branches_;
+  std::vector<PendingPhi> pending_phis_;
+};
+
+}  // namespace
+
+Result<Module> parse_module(const std::string& text) {
+  Cursor cur;
+  cur.lines = split(text, '\n');
+
+  Module mod;
+  bool have_header = false;
+  while (!cur.done()) {
+    const auto line = cur.next();
+    if (line.empty() || line.front() == ';' || line.front() == '#') continue;
+    if (starts_with(line, "module ")) {
+      if (have_header) return make_error(strf("line %zu: duplicate module header", cur.line_no()));
+      mod.name = std::string(trim(line.substr(7)));
+      have_header = true;
+    } else if (starts_with(line, "func ")) {
+      if (!have_header) return make_error(strf("line %zu: 'module NAME' must come first", cur.line_no()));
+      FunctionParser fp(cur);
+      auto fn = fp.parse(line);
+      if (!fn) return fn.error();
+      mod.functions.push_back(std::move(fn).value());
+    } else {
+      return make_error(strf("line %zu: expected 'module' or 'func'", cur.line_no()));
+    }
+  }
+  if (!have_header) return make_error("missing 'module NAME' header");
+  return mod;
+}
+
+}  // namespace clara::cir

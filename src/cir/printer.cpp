@@ -1,0 +1,112 @@
+#include "cir/printer.hpp"
+
+#include <sstream>
+
+#include "common/strings.hpp"
+
+namespace clara::cir {
+
+namespace {
+
+std::string value_str(const Value& v) {
+  switch (v.kind) {
+    case Value::Kind::kReg: return strf("%%%u", v.reg);
+    case Value::Kind::kImm: return strf("%lld", (long long)v.imm);
+    case Value::Kind::kNone: return "<none>";
+  }
+  return "?";
+}
+
+std::string trip_str(const SymExpr& e) {
+  if (e.is_constant()) return strf("%g", e.bias);
+  return strf("%g*%s+%g", e.scale, e.param.c_str(), e.bias);
+}
+
+void print_instr(std::ostringstream& os, const Function& fn, const Instr& instr) {
+  os << "    ";
+  if (instr.dst != kNoReg) os << "%" << instr.dst << " = ";
+  switch (instr.op) {
+    case Opcode::kBr:
+      os << "br " << fn.blocks[instr.target0].label;
+      break;
+    case Opcode::kCondBr:
+      os << "condbr " << value_str(instr.args[0]) << ", " << fn.blocks[instr.target0].label << ", "
+         << fn.blocks[instr.target1].label;
+      break;
+    case Opcode::kRet:
+      os << "ret";
+      break;
+    case Opcode::kLoad:
+      os << "load." << to_string(instr.type) << " ";
+      if (instr.space == MemSpace::kState) {
+        os << "state(" << fn.state_objects[instr.state].name << ")";
+      } else {
+        os << to_string(instr.space);
+      }
+      os << "[" << value_str(instr.args[0]) << "]";
+      break;
+    case Opcode::kStore:
+      os << "store." << to_string(instr.type) << " ";
+      if (instr.space == MemSpace::kState) {
+        os << "state(" << fn.state_objects[instr.state].name << ")";
+      } else {
+        os << to_string(instr.space);
+      }
+      os << "[" << value_str(instr.args[0]) << "], " << value_str(instr.args[1]);
+      break;
+    case Opcode::kCall: {
+      os << "call." << to_string(instr.type) << " " << instr.callee << "(";
+      for (std::size_t i = 0; i < instr.args.size(); ++i) {
+        if (i) os << ", ";
+        os << value_str(instr.args[i]);
+      }
+      os << ")";
+      break;
+    }
+    case Opcode::kPhi: {
+      os << "phi." << to_string(instr.type) << " ";
+      for (std::size_t i = 0; i < instr.args.size(); ++i) {
+        if (i) os << ", ";
+        os << "[" << value_str(instr.args[i]) << ", " << fn.blocks[instr.phi_preds[i]].label << "]";
+      }
+      break;
+    }
+    default: {
+      os << to_string(instr.op) << "." << to_string(instr.type) << " ";
+      for (std::size_t i = 0; i < instr.args.size(); ++i) {
+        if (i) os << ", ";
+        os << value_str(instr.args[i]);
+      }
+      break;
+    }
+  }
+  os << "\n";
+}
+
+}  // namespace
+
+std::string print_function(const Function& fn) {
+  std::ostringstream os;
+  os << "func " << fn.name << " {\n";
+  for (const auto& state : fn.state_objects) {
+    os << "  state " << state.name << " entries=" << state.entries << " entry_bytes=" << state.entry_bytes
+       << " pattern=" << to_string(state.pattern) << "\n";
+  }
+  for (const auto& block : fn.blocks) {
+    os << "  block " << block.label;
+    if (block.has_trip) os << " [trip=" << trip_str(block.trip) << "]";
+    os << ":\n";
+    for (const auto& instr : block.instrs) print_instr(os, fn, instr);
+  }
+  os << "}\n";
+  return os.str();
+}
+
+std::string print_module(const Module& mod) {
+  std::ostringstream os;
+  os << "module " << mod.name << "\n";
+  for (const auto& fn : mod.functions) os << print_function(fn);
+  return os.str();
+}
+
+}  // namespace clara::cir

@@ -1,0 +1,20 @@
+// Textual form of CIR. print_* and parse_module round-trip: for any
+// verified module m, parse_module(print_module(m)) is structurally equal.
+#pragma once
+
+#include <string>
+
+#include "cir/function.hpp"
+#include "common/result.hpp"
+
+namespace clara::cir {
+
+std::string print_function(const Function& fn);
+std::string print_module(const Module& mod);
+
+/// Parses the textual form produced by print_module. Errors carry a line
+/// number. The parsed module is verified structurally by the caller (the
+/// parser only enforces syntax).
+Result<Module> parse_module(const std::string& text);
+
+}  // namespace clara::cir

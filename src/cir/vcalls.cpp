@@ -1,0 +1,99 @@
+#include "cir/vcalls.hpp"
+
+#include <unordered_map>
+
+namespace clara::cir {
+
+const char* vcall_name(VCall v) {
+  switch (v) {
+    case VCall::kParse: return "vcall_parse";
+    case VCall::kGetHdr: return "vcall_get_hdr";
+    case VCall::kSetHdr: return "vcall_set_hdr";
+    case VCall::kCsum: return "vcall_csum";
+    case VCall::kCrypto: return "vcall_crypto";
+    case VCall::kLpmLookup: return "vcall_lpm_lookup";
+    case VCall::kTableLookup: return "vcall_table_lookup";
+    case VCall::kTableUpdate: return "vcall_table_update";
+    case VCall::kPayloadScan: return "vcall_payload_scan";
+    case VCall::kMeter: return "vcall_meter";
+    case VCall::kStatsUpdate: return "vcall_stats_update";
+    case VCall::kEmit: return "vcall_emit";
+    case VCall::kDrop: return "vcall_drop";
+  }
+  return "?";
+}
+
+std::optional<VCall> parse_vcall(std::string_view callee) {
+  static const std::unordered_map<std::string_view, VCall> kMap = {
+      {"vcall_parse", VCall::kParse},
+      {"vcall_get_hdr", VCall::kGetHdr},
+      {"vcall_set_hdr", VCall::kSetHdr},
+      {"vcall_csum", VCall::kCsum},
+      {"vcall_crypto", VCall::kCrypto},
+      {"vcall_lpm_lookup", VCall::kLpmLookup},
+      {"vcall_table_lookup", VCall::kTableLookup},
+      {"vcall_table_update", VCall::kTableUpdate},
+      {"vcall_payload_scan", VCall::kPayloadScan},
+      {"vcall_meter", VCall::kMeter},
+      {"vcall_stats_update", VCall::kStatsUpdate},
+      {"vcall_emit", VCall::kEmit},
+      {"vcall_drop", VCall::kDrop},
+  };
+  const auto it = kMap.find(callee);
+  if (it == kMap.end()) return std::nullopt;
+  return it->second;
+}
+
+const char* hdr_field_name(HdrField f) {
+  switch (f) {
+    case HdrField::kProto: return "proto";
+    case HdrField::kSrcIp: return "src_ip";
+    case HdrField::kDstIp: return "dst_ip";
+    case HdrField::kSrcPort: return "src_port";
+    case HdrField::kDstPort: return "dst_port";
+    case HdrField::kTcpFlags: return "tcp_flags";
+    case HdrField::kPayloadLen: return "payload_len";
+    case HdrField::kPktLen: return "pkt_len";
+    case HdrField::kFlowHash: return "flow_hash";
+  }
+  return "?";
+}
+
+std::optional<HdrField> parse_hdr_field(std::string_view name) {
+  for (std::uint8_t i = 0; i < kNumHdrFields; ++i) {
+    const auto f = static_cast<HdrField>(i);
+    if (name == hdr_field_name(f)) return f;
+  }
+  return std::nullopt;
+}
+
+std::optional<VCall> framework_api_to_vcall(std::string_view api) {
+  static const std::unordered_map<std::string_view, VCall> kMap = {
+      // Click element helpers (paper §3.3's 'network_header' example).
+      {"click_network_header", VCall::kParse},
+      {"click_ip_header", VCall::kGetHdr},
+      {"click_set_ip_header", VCall::kSetHdr},
+      {"click_update_checksum", VCall::kCsum},
+      // eBPF helpers.
+      {"bpf_map_lookup_elem", VCall::kTableLookup},
+      {"bpf_map_update_elem", VCall::kTableUpdate},
+      {"bpf_csum_diff", VCall::kCsum},
+      {"bpf_xdp_adjust_head", VCall::kSetHdr},
+      {"bpf_redirect", VCall::kEmit},
+      // DPDK (the paper's evaluation NFs are DPDK programs).
+      {"rte_pktmbuf_mtod", VCall::kParse},
+      {"rte_hash_lookup", VCall::kTableLookup},
+      {"rte_hash_add_key", VCall::kTableUpdate},
+      {"rte_lpm_lookup", VCall::kLpmLookup},
+      {"rte_ipv4_udptcp_cksum", VCall::kCsum},
+      {"rte_meter_srtcm_color_blind_check", VCall::kMeter},
+      {"rte_eth_tx_burst", VCall::kEmit},
+      {"rte_pktmbuf_free", VCall::kDrop},
+      {"rte_crypto_enqueue", VCall::kCrypto},
+  };
+  const auto it = kMap.find(api);
+  if (it == kMap.end()) return std::nullopt;
+  return it->second;
+}
+
+}  // namespace clara::cir

@@ -1,0 +1,73 @@
+// Canonical virtual calls and packet header fields.
+//
+// Virtual calls ("vcalls") are the CIR's interface to SmartNIC-mappable
+// functionality: the API-substitution pass rewrites framework calls
+// (Click / eBPF / DPDK) into these, and the mapper binds each vcall site
+// to a hardware unit (accelerator or software fallback on an NPU).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+
+namespace clara::cir {
+
+enum class VCall : std::uint8_t {
+  kParse,            // vcall_parse() — parse L2-L4 headers
+  kGetHdr,           // vcall_get_hdr(field) -> value
+  kSetHdr,           // vcall_set_hdr(field, value)
+  kCsum,             // vcall_csum(len) — L4 checksum over payload
+  kCrypto,           // vcall_crypto(len) — AES over payload
+  kLpmLookup,        // vcall_lpm_lookup(state, key, use_flow_cache) -> next hop
+  kTableLookup,      // vcall_table_lookup(state, key) -> found(1)/miss(0)
+  kTableUpdate,      // vcall_table_update(state, key, value)
+  kPayloadScan,      // vcall_payload_scan(len) — DPI byte scan (idiom-collapsed)
+  kMeter,            // vcall_meter(state, flow) -> conforming(1)/exceed(0)
+  kStatsUpdate,      // vcall_stats_update(state, key)
+  kEmit,             // vcall_emit(port) — send packet
+  kDrop,             // vcall_drop()
+};
+
+/// Canonical textual name ("vcall_csum", ...).
+const char* vcall_name(VCall v);
+
+/// Recognizes a canonical vcall name.
+std::optional<VCall> parse_vcall(std::string_view callee);
+
+/// True when the callee string is a canonical vcall.
+inline bool is_vcall(std::string_view callee) { return parse_vcall(callee).has_value(); }
+
+/// Packet header/metadata fields addressable by vcall_get_hdr/set_hdr.
+/// Values are stable: they appear as immediates in serialized CIR.
+enum class HdrField : std::uint8_t {
+  kProto = 0,      // IP protocol (6 = TCP, 17 = UDP)
+  kSrcIp = 1,
+  kDstIp = 2,
+  kSrcPort = 3,
+  kDstPort = 4,
+  kTcpFlags = 5,   // bit 1 = SYN, bit 2 = FIN/RST summary
+  kPayloadLen = 6, // L4 payload bytes
+  kPktLen = 7,     // total frame bytes
+  kFlowHash = 8,   // 5-tuple hash, precomputed by the parser
+};
+
+inline constexpr std::uint8_t kNumHdrFields = 9;
+
+const char* hdr_field_name(HdrField f);
+std::optional<HdrField> parse_hdr_field(std::string_view name);
+
+/// TCP flag bits used in kTcpFlags.
+inline constexpr std::uint64_t kTcpFlagSyn = 0x1;
+inline constexpr std::uint64_t kTcpFlagFin = 0x2;
+
+/// Protocol numbers.
+inline constexpr std::uint64_t kProtoTcp = 6;
+inline constexpr std::uint64_t kProtoUdp = 17;
+
+/// Maps a framework-specific API name to the canonical vcall it stands
+/// for, or nullopt for names Clara does not recognize. Covers the Click,
+/// eBPF and DPDK surfaces the paper mentions.
+std::optional<VCall> framework_api_to_vcall(std::string_view api);
+
+}  // namespace clara::cir

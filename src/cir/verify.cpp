@@ -1,0 +1,263 @@
+#include "cir/verify.hpp"
+
+#include <algorithm>
+#include <set>
+#include <vector>
+
+#include "cir/builder.hpp"
+#include "cir/vcalls.hpp"
+#include "common/strings.hpp"
+
+namespace clara::cir {
+
+namespace {
+
+struct Cfg {
+  std::vector<std::vector<std::uint32_t>> preds;
+  std::vector<std::vector<std::uint32_t>> succs;
+};
+
+Cfg build_cfg(const Function& fn) {
+  Cfg cfg;
+  cfg.preds.resize(fn.blocks.size());
+  cfg.succs.resize(fn.blocks.size());
+  for (std::uint32_t b = 0; b < fn.blocks.size(); ++b) {
+    const auto& instrs = fn.blocks[b].instrs;
+    if (instrs.empty()) continue;
+    const Instr& term = instrs.back();
+    auto link = [&](std::uint32_t to) {
+      if (to >= fn.blocks.size()) return;
+      cfg.succs[b].push_back(to);
+      cfg.preds[to].push_back(b);
+    };
+    if (term.op == Opcode::kBr) link(term.target0);
+    if (term.op == Opcode::kCondBr) {
+      link(term.target0);
+      link(term.target1);
+    }
+  }
+  return cfg;
+}
+
+Status check_block_structure(const Function& fn) {
+  if (fn.blocks.empty()) return make_error(strf("function '%s': no blocks", fn.name.c_str()));
+  for (std::uint32_t b = 0; b < fn.blocks.size(); ++b) {
+    const auto& block = fn.blocks[b];
+    if (block.instrs.empty()) {
+      return make_error(strf("%s/%s: empty block", fn.name.c_str(), block.label.c_str()));
+    }
+    bool seen_non_phi = false;
+    for (std::size_t i = 0; i < block.instrs.size(); ++i) {
+      const Instr& instr = block.instrs[i];
+      const bool last = i + 1 == block.instrs.size();
+      if (is_terminator(instr.op) && !last) {
+        return make_error(strf("%s/%s: terminator before end of block", fn.name.c_str(), block.label.c_str()));
+      }
+      if (last && !is_terminator(instr.op)) {
+        return make_error(strf("%s/%s: block does not end in a terminator", fn.name.c_str(), block.label.c_str()));
+      }
+      if (instr.op == Opcode::kPhi) {
+        if (seen_non_phi) {
+          return make_error(strf("%s/%s: phi after non-phi instruction", fn.name.c_str(), block.label.c_str()));
+        }
+      } else {
+        seen_non_phi = true;
+      }
+      if (instr.op == Opcode::kBr && instr.target0 >= fn.blocks.size()) {
+        return make_error(strf("%s/%s: br target out of range", fn.name.c_str(), block.label.c_str()));
+      }
+      if (instr.op == Opcode::kCondBr &&
+          (instr.target0 >= fn.blocks.size() || instr.target1 >= fn.blocks.size())) {
+        return make_error(strf("%s/%s: condbr target out of range", fn.name.c_str(), block.label.c_str()));
+      }
+    }
+  }
+  return {};
+}
+
+Status check_phis(const Function& fn, const Cfg& cfg) {
+  for (std::uint32_t b = 0; b < fn.blocks.size(); ++b) {
+    const auto& block = fn.blocks[b];
+    std::set<std::uint32_t> preds(cfg.preds[b].begin(), cfg.preds[b].end());
+    for (const Instr& instr : block.instrs) {
+      if (instr.op != Opcode::kPhi) continue;
+      if (instr.args.size() != instr.phi_preds.size()) {
+        return make_error(strf("%s/%s: phi arg/pred count mismatch", fn.name.c_str(), block.label.c_str()));
+      }
+      std::set<std::uint32_t> incoming(instr.phi_preds.begin(), instr.phi_preds.end());
+      if (incoming != preds) {
+        return make_error(
+            strf("%s/%s: phi incoming blocks do not match CFG predecessors", fn.name.c_str(), block.label.c_str()));
+      }
+      if (incoming.size() != instr.phi_preds.size()) {
+        return make_error(strf("%s/%s: duplicate phi predecessor", fn.name.c_str(), block.label.c_str()));
+      }
+    }
+  }
+  return {};
+}
+
+Status check_memory_and_calls(const Function& fn) {
+  for (const auto& block : fn.blocks) {
+    for (const Instr& instr : block.instrs) {
+      if (instr.op == Opcode::kLoad || instr.op == Opcode::kStore) {
+        const unsigned want = instr.op == Opcode::kLoad ? 1 : 2;
+        if (instr.args.size() != want) {
+          return make_error(strf("%s/%s: %s needs %u operand(s)", fn.name.c_str(), block.label.c_str(),
+                                 to_string(instr.op), want));
+        }
+        if (instr.space == MemSpace::kState) {
+          if (instr.state >= fn.state_objects.size()) {
+            return make_error(strf("%s/%s: state index out of range", fn.name.c_str(), block.label.c_str()));
+          }
+        } else if (instr.state != ~0u) {
+          return make_error(
+              strf("%s/%s: non-state memory op carries a state index", fn.name.c_str(), block.label.c_str()));
+        }
+      }
+      if (instr.op == Opcode::kCall) {
+        if (instr.callee.empty()) {
+          return make_error(strf("%s/%s: call with empty callee", fn.name.c_str(), block.label.c_str()));
+        }
+        if (const auto v = parse_vcall(instr.callee)) {
+          if (instr.args.size() != vcall_arg_count(*v)) {
+            return make_error(strf("%s/%s: %s expects %u args, got %zu", fn.name.c_str(), block.label.c_str(),
+                                   instr.callee.c_str(), vcall_arg_count(*v), instr.args.size()));
+          }
+          if (vcall_takes_state(*v)) {
+            if (instr.args.empty() || !instr.args[0].is_imm() || instr.args[0].imm < 0 ||
+                static_cast<std::size_t>(instr.args[0].imm) >= fn.state_objects.size()) {
+              return make_error(strf("%s/%s: %s state argument must be an in-range immediate", fn.name.c_str(),
+                                     block.label.c_str(), instr.callee.c_str()));
+            }
+          }
+          if (instr.dst != kNoReg && !vcall_produces_value(*v)) {
+            return make_error(strf("%s/%s: %s does not produce a value", fn.name.c_str(), block.label.c_str(),
+                                   instr.callee.c_str()));
+          }
+        }
+      }
+    }
+  }
+  return {};
+}
+
+Status check_ssa(const Function& fn, const Cfg& cfg) {
+  // Single assignment + register range.
+  std::vector<int> def_block(fn.num_regs, -1);
+  for (std::uint32_t b = 0; b < fn.blocks.size(); ++b) {
+    for (const Instr& instr : fn.blocks[b].instrs) {
+      if (instr.dst == kNoReg) continue;
+      if (instr.dst >= fn.num_regs) {
+        return make_error(strf("%s: register %%%u out of range (num_regs=%u)", fn.name.c_str(), instr.dst,
+                               fn.num_regs));
+      }
+      if (def_block[instr.dst] != -1) {
+        return make_error(strf("%s: register %%%u defined more than once", fn.name.c_str(), instr.dst));
+      }
+      def_block[instr.dst] = static_cast<int>(b);
+    }
+  }
+
+  // Forward must-define dataflow: in[b] = intersection of out[p] over
+  // preds; out[b] = in[b] ∪ defs(b). Uses must be covered by the running
+  // definition set; phi uses are checked against out[pred] instead.
+  const std::size_t n = fn.blocks.size();
+  std::vector<std::vector<bool>> out(n, std::vector<bool>(fn.num_regs, false));
+  std::vector<bool> computed(n, false);
+
+  auto block_defs = [&](std::uint32_t b, std::vector<bool>& set) {
+    for (const Instr& instr : fn.blocks[b].instrs) {
+      if (instr.dst != kNoReg) set[instr.dst] = true;
+    }
+  };
+
+  bool changed = true;
+  int iterations = 0;
+  while (changed && iterations++ < static_cast<int>(n) + 2) {
+    changed = false;
+    for (std::uint32_t b = 0; b < n; ++b) {
+      std::vector<bool> in(fn.num_regs, b != 0);  // entry starts empty; others start "all" for intersection
+      if (b != 0) {
+        bool any_pred = false;
+        for (const std::uint32_t p : cfg.preds[b]) {
+          if (!computed[p]) continue;
+          any_pred = true;
+          for (std::uint32_t r = 0; r < fn.num_regs; ++r) in[r] = in[r] && out[p][r];
+        }
+        if (!any_pred) std::fill(in.begin(), in.end(), false);
+      }
+      block_defs(b, in);
+      if (!computed[b] || in != out[b]) {
+        out[b] = std::move(in);
+        computed[b] = true;
+        changed = true;
+      }
+    }
+  }
+
+  for (std::uint32_t b = 0; b < n; ++b) {
+    // Running definition set within the block, seeded from the
+    // intersection of predecessor outs.
+    std::vector<bool> live(fn.num_regs, b != 0);
+    if (b != 0) {
+      bool any_pred = false;
+      for (const std::uint32_t p : cfg.preds[b]) {
+        any_pred = true;
+        for (std::uint32_t r = 0; r < fn.num_regs; ++r) live[r] = live[r] && out[p][r];
+      }
+      if (!any_pred) std::fill(live.begin(), live.end(), false);
+    }
+    // Phi destinations are defined "at the top" (they execute in parallel).
+    for (const Instr& instr : fn.blocks[b].instrs) {
+      if (instr.op == Opcode::kPhi && instr.dst != kNoReg) live[instr.dst] = true;
+    }
+    for (const Instr& instr : fn.blocks[b].instrs) {
+      if (instr.op == Opcode::kPhi) {
+        for (std::size_t a = 0; a < instr.args.size(); ++a) {
+          const Value& v = instr.args[a];
+          if (!v.is_reg()) continue;
+          const std::uint32_t pred = instr.phi_preds[a];
+          if (v.reg >= fn.num_regs || !out[pred][v.reg]) {
+            return make_error(strf("%s/%s: phi uses %%%u not defined on edge from block %u", fn.name.c_str(),
+                                   fn.blocks[b].label.c_str(), v.reg, pred));
+          }
+        }
+        continue;
+      }
+      for (const Value& v : instr.args) {
+        if (!v.is_reg()) continue;
+        if (v.reg >= fn.num_regs || !live[v.reg]) {
+          return make_error(strf("%s/%s: use of %%%u before definition", fn.name.c_str(),
+                                 fn.blocks[b].label.c_str(), v.reg));
+        }
+      }
+      if (instr.dst != kNoReg) live[instr.dst] = true;
+    }
+  }
+  return {};
+}
+
+}  // namespace
+
+Status verify(const Function& fn) {
+  if (auto s = check_block_structure(fn); !s) return s;
+  const Cfg cfg = build_cfg(fn);
+  if (auto s = check_phis(fn, cfg); !s) return s;
+  if (auto s = check_memory_and_calls(fn); !s) return s;
+  if (auto s = check_ssa(fn, cfg); !s) return s;
+  return {};
+}
+
+Status verify(const Module& mod) {
+  std::set<std::string> names;
+  for (const auto& fn : mod.functions) {
+    if (!names.insert(fn.name).second) {
+      return make_error(strf("module '%s': duplicate function '%s'", mod.name.c_str(), fn.name.c_str()));
+    }
+    if (auto s = verify(fn); !s) return s;
+  }
+  return {};
+}
+
+}  // namespace clara::cir

@@ -1,0 +1,28 @@
+// Structural verification of CIR functions.
+//
+// Invalid IR is an expected outcome at the tool boundary (hand-written
+// .cir files, buggy front-ends), so verification returns a Status rather
+// than asserting. The verifier enforces:
+//  - at least one block; every block ends in exactly one terminator and
+//    contains none before the end;
+//  - branch targets are valid block indices;
+//  - phis precede all non-phi instructions and their incoming blocks are
+//    exactly the block's CFG predecessors;
+//  - SSA: every register is defined exactly once, and every use is
+//    dominated by its definition (computed via forward must-define
+//    dataflow; phi uses are checked against the matching predecessor);
+//  - state indices are in range, and only kState memory ops carry one;
+//  - calls have a callee; canonical vcalls have the right arity, their
+//    state arguments are in-range immediates, and value-producing vcalls
+//    are the only ones with a destination register.
+#pragma once
+
+#include "cir/function.hpp"
+#include "common/result.hpp"
+
+namespace clara::cir {
+
+Status verify(const Function& fn);
+Status verify(const Module& mod);
+
+}  // namespace clara::cir

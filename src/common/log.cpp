@@ -1,0 +1,42 @@
+#include "common/log.hpp"
+
+#include <cstdio>
+
+namespace clara {
+
+namespace {
+
+LogLevel g_level = LogLevel::kWarn;
+
+const char* level_name(LogLevel level) {
+  switch (level) {
+    case LogLevel::kDebug: return "DEBUG";
+    case LogLevel::kInfo: return "INFO";
+    case LogLevel::kWarn: return "WARN";
+    case LogLevel::kError: return "ERROR";
+    case LogLevel::kOff: return "OFF";
+  }
+  return "?";
+}
+
+void default_sink(LogLevel level, const std::string& msg) {
+  std::fprintf(stderr, "[clara %s] %s\n", level_name(level), msg.c_str());
+}
+
+LogSink& sink_slot() {
+  static LogSink sink = default_sink;
+  return sink;
+}
+
+}  // namespace
+
+void set_log_level(LogLevel level) { g_level = level; }
+LogLevel log_level() { return g_level; }
+void set_log_sink(LogSink sink) { sink_slot() = std::move(sink); }
+
+void log_message(LogLevel level, const std::string& msg) {
+  if (level < g_level) return;
+  sink_slot()(level, msg);
+}
+
+}  // namespace clara

@@ -1,0 +1,54 @@
+// Tiny leveled logger. Clara is a library: logging defaults to warnings
+// only and everything routes through one sink so hosting applications can
+// capture it.
+#pragma once
+
+#include <functional>
+#include <sstream>
+#include <string>
+
+namespace clara {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3, kOff = 4 };
+
+using LogSink = std::function<void(LogLevel, const std::string&)>;
+
+/// Sets the minimum level that is emitted. Thread-compatible: set once at
+/// startup before concurrent use.
+void set_log_level(LogLevel level);
+LogLevel log_level();
+
+/// Replace the default stderr sink (e.g., to capture logs in tests).
+void set_log_sink(LogSink sink);
+
+void log_message(LogLevel level, const std::string& msg);
+
+namespace detail {
+class LogLine {
+ public:
+  explicit LogLine(LogLevel level) : level_(level) {}
+  ~LogLine() { log_message(level_, os_.str()); }
+  LogLine(const LogLine&) = delete;
+  LogLine& operator=(const LogLine&) = delete;
+
+  template <typename T>
+  LogLine& operator<<(const T& v) {
+    os_ << v;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::ostringstream os_;
+};
+}  // namespace detail
+
+}  // namespace clara
+
+#define CLARA_LOG(level)                      \
+  if (::clara::log_level() <= (level)) ::clara::detail::LogLine(level)
+
+#define CLARA_DEBUG CLARA_LOG(::clara::LogLevel::kDebug)
+#define CLARA_INFO CLARA_LOG(::clara::LogLevel::kInfo)
+#define CLARA_WARN CLARA_LOG(::clara::LogLevel::kWarn)
+#define CLARA_ERROR CLARA_LOG(::clara::LogLevel::kError)

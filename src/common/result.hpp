@@ -1,0 +1,80 @@
+// A minimal Result<T, E> (std::expected is C++23; we target C++20).
+//
+// Used at API boundaries where failure is an expected outcome (parsing,
+// solving, validation) rather than a programming error. Programming errors
+// stay assertions.
+#pragma once
+
+#include <cassert>
+#include <string>
+#include <utility>
+#include <variant>
+
+namespace clara {
+
+/// Default error payload: a human-readable message.
+struct Error {
+  std::string message;
+};
+
+inline Error make_error(std::string msg) { return Error{std::move(msg)}; }
+
+template <typename T, typename E = Error>
+class Result {
+ public:
+  Result(T value) : data_(std::in_place_index<0>, std::move(value)) {}  // NOLINT(google-explicit-constructor)
+  Result(E error) : data_(std::in_place_index<1>, std::move(error)) {}  // NOLINT(google-explicit-constructor)
+
+  [[nodiscard]] bool ok() const { return data_.index() == 0; }
+  explicit operator bool() const { return ok(); }
+
+  [[nodiscard]] const T& value() const& {
+    assert(ok());
+    return std::get<0>(data_);
+  }
+  [[nodiscard]] T& value() & {
+    assert(ok());
+    return std::get<0>(data_);
+  }
+  [[nodiscard]] T&& value() && {
+    assert(ok());
+    return std::get<0>(std::move(data_));
+  }
+
+  [[nodiscard]] const E& error() const {
+    assert(!ok());
+    return std::get<1>(data_);
+  }
+
+  /// Returns the contained value or `fallback` when in the error state.
+  [[nodiscard]] T value_or(T fallback) const {
+    return ok() ? std::get<0>(data_) : std::move(fallback);
+  }
+
+ private:
+  std::variant<T, E> data_;
+};
+
+/// Result specialization for operations with no value payload.
+template <typename E>
+class Result<void, E> {
+ public:
+  Result() = default;
+  Result(E error) : error_(std::move(error)), ok_(false) {}  // NOLINT(google-explicit-constructor)
+
+  [[nodiscard]] bool ok() const { return ok_; }
+  explicit operator bool() const { return ok_; }
+
+  [[nodiscard]] const E& error() const {
+    assert(!ok_);
+    return error_;
+  }
+
+ private:
+  E error_{};
+  bool ok_ = true;
+};
+
+using Status = Result<void, Error>;
+
+}  // namespace clara

@@ -1,0 +1,40 @@
+#include "common/table.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+namespace clara {
+
+TextTable::TextTable(std::vector<std::string> headers) : headers_(std::move(headers)) {}
+
+void TextTable::add_row(std::vector<std::string> cells) {
+  cells.resize(headers_.size());
+  rows_.push_back(std::move(cells));
+}
+
+std::string TextTable::render() const {
+  std::vector<std::size_t> widths(headers_.size(), 0);
+  for (std::size_t c = 0; c < headers_.size(); ++c) widths[c] = headers_[c].size();
+  for (const auto& row : rows_) {
+    for (std::size_t c = 0; c < row.size(); ++c) widths[c] = std::max(widths[c], row[c].size());
+  }
+
+  auto emit_row = [&](std::ostringstream& os, const std::vector<std::string>& cells) {
+    os << "|";
+    for (std::size_t c = 0; c < headers_.size(); ++c) {
+      const std::string& cell = c < cells.size() ? cells[c] : std::string{};
+      os << " " << cell << std::string(widths[c] - cell.size(), ' ') << " |";
+    }
+    os << "\n";
+  };
+
+  std::ostringstream os;
+  emit_row(os, headers_);
+  os << "|";
+  for (std::size_t c = 0; c < headers_.size(); ++c) os << std::string(widths[c] + 2, '-') << "|";
+  os << "\n";
+  for (const auto& row : rows_) emit_row(os, row);
+  return os.str();
+}
+
+}  // namespace clara

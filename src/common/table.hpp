@@ -1,0 +1,27 @@
+// ASCII table rendering for benchmark harness output. The bench binaries
+// print the same rows/series the paper's figures plot; this formats them
+// consistently.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace clara {
+
+class TextTable {
+ public:
+  explicit TextTable(std::vector<std::string> headers);
+
+  void add_row(std::vector<std::string> cells);
+
+  /// Renders with column alignment and a header separator.
+  [[nodiscard]] std::string render() const;
+
+  [[nodiscard]] std::size_t rows() const { return rows_.size(); }
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace clara

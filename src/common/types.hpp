@@ -1,0 +1,26 @@
+// Fundamental scalar types shared across the Clara code base.
+#pragma once
+
+#include <cstdint>
+
+namespace clara {
+
+/// Cycle counts on the NIC. All latency math in the project is done in
+/// device cycles; conversion to wall-clock time happens only at reporting
+/// boundaries (via a profile's clock frequency).
+using Cycles = std::uint64_t;
+
+/// Sizes and capacities in bytes.
+using Bytes = std::uint64_t;
+
+/// Densely-allocated identifiers used by graph containers.
+using NodeId = std::uint32_t;
+
+inline constexpr NodeId kInvalidNode = ~NodeId{0};
+
+/// Common byte-size literals.
+inline constexpr Bytes operator""_KiB(unsigned long long v) { return Bytes{v} * 1024; }
+inline constexpr Bytes operator""_MiB(unsigned long long v) { return Bytes{v} * 1024 * 1024; }
+inline constexpr Bytes operator""_GiB(unsigned long long v) { return Bytes{v} * 1024 * 1024 * 1024; }
+
+}  // namespace clara

@@ -1,0 +1,52 @@
+// Adversarial workload synthesis — inspired by CASTAN [Pedrosa et al.,
+// SIGCOMM'18], which the paper positions as complementary related work:
+// where Clara predicts performance for a *given* workload, this module
+// turns the predictor around and searches workload space for the traffic
+// mix that maximizes predicted latency. Useful for capacity planning and
+// for understanding which workload axis an NF is most sensitive to.
+//
+// Search: coordinate ascent over the abstract-profile axes (payload
+// size, flow count, popularity skew, TCP share) using the analyzer as
+// the objective function. The predictor is milliseconds per evaluation,
+// so an exhaustive-ish sweep is affordable.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/clara.hpp"
+
+namespace clara::core {
+
+struct AdversarialStep {
+  std::string profile;    // serialized workload profile
+  double latency_cycles;  // predicted mean latency under it
+};
+
+struct AdversarialResult {
+  workload::WorkloadProfile worst;
+  double worst_latency_cycles = 0.0;
+  double seed_latency_cycles = 0.0;
+  /// Accepted ascent steps, in order (for reporting).
+  std::vector<AdversarialStep> trajectory;
+  std::size_t evaluations = 0;
+};
+
+struct AdversarialOptions {
+  /// Packets per evaluation trace (small: only class structure matters).
+  std::uint64_t packets = 5000;
+  std::size_t max_evaluations = 200;
+  /// Axis candidate values.
+  std::vector<std::uint16_t> payloads = {64, 300, 700, 1000, 1200, 1500};
+  std::vector<std::uint32_t> flow_counts = {100, 1000, 10'000, 100'000};
+  std::vector<double> zipf_alphas = {0.0, 0.6, 1.0, 1.3};
+  std::vector<double> tcp_fractions = {0.0, 0.5, 1.0};
+};
+
+/// Finds a latency-maximizing workload profile for the NF on the
+/// analyzer's NIC, starting from `seed` (its pps/packet-count are kept).
+Result<AdversarialResult> find_adversarial_workload(const Analyzer& analyzer, const cir::Function& nf,
+                                                    const workload::WorkloadProfile& seed,
+                                                    const AdversarialOptions& options = {});
+
+}  // namespace clara::core

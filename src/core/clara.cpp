@@ -1,0 +1,114 @@
+#include "core/clara.hpp"
+
+#include <sstream>
+
+#include "cir/verify.hpp"
+#include "common/strings.hpp"
+#include "passes/dataflow.hpp"
+
+namespace clara::core {
+
+Result<Analysis> Analyzer::analyze(const cir::Function& nf, const workload::Trace& trace,
+                                   const AnalyzeOptions& options) const {
+  Analysis analysis;
+  analysis.lowered = nf;  // operate on a copy; the caller's NF is untouched
+
+  analysis.substitution = passes::substitute_framework_apis(analysis.lowered);
+  if (options.fail_on_unknown_calls && !analysis.substitution.unknown_calls.empty()) {
+    std::ostringstream os;
+    os << "unrecognized calls in '" << nf.name << "':";
+    for (const auto& name : analysis.substitution.unknown_calls) os << " " << name;
+    return make_error(os.str());
+  }
+
+  if (options.pattern_matching) {
+    analysis.patterns = passes::collapse_packet_loops(analysis.lowered);
+  }
+
+  if (options.optimize_ir) {
+    analysis.optimizations = passes::optimize(analysis.lowered);
+  }
+
+  if (auto status = cir::verify(analysis.lowered); !status) {
+    return make_error("lowered NF failed verification: " + status.error().message);
+  }
+
+  const passes::CostHints hints = hints_from_trace(trace, profile_);
+  const auto graph = passes::DataflowGraph::build(analysis.lowered, hints);
+
+  mapping::MapOptions map_options = options.map;
+  if (map_options.pps == mapping::MapOptions{}.pps && trace.profile.pps > 0.0) {
+    map_options.pps = trace.profile.pps;
+  }
+
+  const mapping::Mapper mapper(profile_);
+  auto mapped = options.use_ilp ? mapper.map(graph, hints, map_options)
+                                : mapper.map_greedy(graph, hints, map_options);
+  if (!mapped) return mapped.error();
+  analysis.mapping = std::move(mapped).value();
+
+  auto prediction = predict(analysis.lowered, graph, analysis.mapping, mapper, trace, options.predict);
+  if (!prediction) return prediction.error();
+  analysis.prediction = std::move(prediction).value();
+
+  analysis.report = mapping::describe_mapping(analysis.mapping, graph, mapper, analysis.lowered);
+  return analysis;
+}
+
+namespace {
+
+/// EMEM working-set pressure one NF exerts on its neighbours: active
+/// bytes of its EMEM-placed state objects, plus the spilled packet-tail
+/// buffer pool when its traffic exceeds the CTM residency.
+double emem_pressure(const Analysis& analysis, const workload::Trace& trace, const lnic::NicProfile& profile) {
+  double pressure = 0.0;
+  const double residency = profile.params.scalar(lnic::keys::kCtmPacketResidency);
+  if (residency > 0.0 && trace.mean_payload() + 54.0 > residency) pressure += 1024.0 * 2048.0;
+  const std::uint32_t flows = trace.distinct_flows();
+  for (std::size_t s = 0; s < analysis.lowered.state_objects.size(); ++s) {
+    const NodeId region = analysis.mapping.state_region[s];
+    const auto* mem = profile.graph.node(region).memory();
+    if (mem == nullptr || mem->kind != lnic::MemKind::kEmem) continue;
+    const auto& obj = analysis.lowered.state_objects[s];
+    double active = static_cast<double>(obj.total_bytes());
+    if (obj.pattern == cir::StatePattern::kHashTable) {
+      active = std::min(active, static_cast<double>(flows) * static_cast<double>(obj.entry_bytes));
+    }
+    pressure += active;
+  }
+  return pressure;
+}
+
+}  // namespace
+
+Result<CoResident> analyze_coresident(const Analyzer& analyzer, const cir::Function& nf_a,
+                                      const workload::Trace& trace_a, const cir::Function& nf_b,
+                                      const workload::Trace& trace_b, const AnalyzeOptions& options) {
+  // Solo pass to obtain mappings and working sets.
+  auto solo_a = analyzer.analyze(nf_a, trace_a, options);
+  if (!solo_a) return solo_a.error();
+  auto solo_b = analyzer.analyze(nf_b, trace_b, options);
+  if (!solo_b) return solo_b.error();
+
+  const double pressure_a = emem_pressure(solo_a.value(), trace_a, analyzer.profile());
+  const double pressure_b = emem_pressure(solo_b.value(), trace_b, analyzer.profile());
+
+  AnalyzeOptions opts_a = options;
+  opts_a.predict.nic_share = 0.5;
+  opts_a.predict.foreign_cache_pressure_bytes = pressure_b;
+  AnalyzeOptions opts_b = options;
+  opts_b.predict.nic_share = 0.5;
+  opts_b.predict.foreign_cache_pressure_bytes = pressure_a;
+
+  auto shared_a = analyzer.analyze(nf_a, trace_a, opts_a);
+  if (!shared_a) return shared_a.error();
+  auto shared_b = analyzer.analyze(nf_b, trace_b, opts_b);
+  if (!shared_b) return shared_b.error();
+
+  CoResident out;
+  out.first = std::move(shared_a).value();
+  out.second = std::move(shared_b).value();
+  return out;
+}
+
+}  // namespace clara::core

@@ -1,0 +1,84 @@
+// Clara — the top-level API (paper Fig. 2 workflow).
+//
+//   Analyzer clara(lnic::netronome_agilio_cx());
+//   auto analysis = clara.analyze(my_nf_cir, trace);
+//   // analysis.value().prediction.mean_latency_cycles, .report, ...
+//
+// analyze() runs the full pipeline on an *unported* NF:
+//   API substitution (framework calls -> virtual calls)
+//   -> idiom pattern matching (checksum/scan loops -> vcalls)
+//   -> verification
+//   -> dataflow-graph construction
+//   -> ILP mapping onto the parameterized LNIC (Π, Γ, Θ)
+//   -> workload replay and latency/throughput prediction.
+#pragma once
+
+#include <optional>
+#include <string>
+
+#include "cir/function.hpp"
+#include "core/predict.hpp"
+#include "lnic/profiles.hpp"
+#include "mapping/mapping.hpp"
+#include "passes/api_subst.hpp"
+#include "passes/optimize.hpp"
+#include "passes/patterns.hpp"
+#include "workload/tracegen.hpp"
+
+namespace clara::core {
+
+struct AnalyzeOptions {
+  /// false selects the greedy baseline mapper (ablation).
+  bool use_ilp = true;
+  /// false skips idiom pattern matching (ablation) — byte loops then map
+  /// as general NPU code.
+  bool pattern_matching = true;
+  /// Run constant folding / DCE / CFG cleanup before analysis (what a
+  /// real front-end's -O pipeline would already have done).
+  bool optimize_ir = true;
+  /// Treat calls Clara cannot recognize as an error (default) or ignore
+  /// them (costing them zero).
+  bool fail_on_unknown_calls = true;
+  mapping::MapOptions map;
+  PredictOptions predict;
+};
+
+struct Analysis {
+  /// The NF after substitution and pattern collapse (what was mapped).
+  cir::Function lowered;
+  passes::SubstitutionReport substitution;
+  passes::PatternReport patterns;
+  passes::OptimizeReport optimizations;
+  mapping::Mapping mapping;
+  Prediction prediction;
+  /// Human-readable porting plan (paper §6 "offloading hints").
+  std::string report;
+};
+
+class Analyzer {
+ public:
+  explicit Analyzer(lnic::NicProfile profile) : profile_(std::move(profile)) {}
+
+  /// Analyzes an unported NF against a workload trace. The offered rate
+  /// is taken from the trace's profile unless options.map.pps overrides.
+  [[nodiscard]] Result<Analysis> analyze(const cir::Function& nf, const workload::Trace& trace,
+                                         const AnalyzeOptions& options = {}) const;
+
+  [[nodiscard]] const lnic::NicProfile& profile() const { return profile_; }
+
+ private:
+  lnic::NicProfile profile_;
+};
+
+/// Co-resident interference analysis (paper §3.5): each NF gets half the
+/// NIC's compute parallelism and sees the other's working set as EMEM
+/// cache pressure. Returns the two degraded analyses.
+struct CoResident {
+  Analysis first;
+  Analysis second;
+};
+Result<CoResident> analyze_coresident(const Analyzer& analyzer, const cir::Function& nf_a,
+                                      const workload::Trace& trace_a, const cir::Function& nf_b,
+                                      const workload::Trace& trace_b, const AnalyzeOptions& options = {});
+
+}  // namespace clara::core

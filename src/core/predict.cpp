@@ -1,0 +1,418 @@
+#include "core/predict.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "cir/builder.hpp"
+#include "cir/interp.hpp"
+#include "common/strings.hpp"
+#include "passes/costmodel.hpp"
+
+namespace clara::core {
+
+using passes::CostHints;
+using passes::DataflowGraph;
+namespace keys = lnic::keys;
+
+namespace {
+
+struct PacketClass {
+  std::uint8_t proto = 6;
+  bool syn = false;
+  bool new_flow = false;
+  std::uint32_t bucket = 0;
+  std::uint64_t count = 0;
+  double payload_sum = 0.0;
+  workload::PacketMeta rep;
+
+  [[nodiscard]] double payload() const {
+    return count > 0 ? payload_sum / static_cast<double>(count) : 0.0;
+  }
+  [[nodiscard]] double frame_len() const { return payload() + (proto == 6 ? 54.0 : 42.0); }
+  [[nodiscard]] std::string name() const {
+    return strf("%s%s%s/p%.0f", proto == 6 ? "tcp" : "udp", syn ? "+syn" : "", new_flow ? "+new" : "",
+                payload());
+  }
+};
+
+std::vector<PacketClass> classify(const workload::Trace& trace, std::size_t buckets) {
+  std::uint16_t lo = 0xffff, hi = 0;
+  for (const auto& p : trace.packets) {
+    lo = std::min(lo, p.payload_len);
+    hi = std::max(hi, p.payload_len);
+  }
+  const double width = hi > lo ? static_cast<double>(hi - lo) / static_cast<double>(buckets) : 1.0;
+
+  std::unordered_set<std::uint32_t> seen_flows;
+  std::map<std::uint32_t, PacketClass> classes;
+  for (const auto& p : trace.packets) {
+    const bool new_flow = seen_flows.insert(p.flow_id).second;
+    auto bucket = static_cast<std::uint32_t>((p.payload_len - lo) / width);
+    if (bucket >= buckets) bucket = static_cast<std::uint32_t>(buckets) - 1;
+    const std::uint32_t key = p.proto | (p.is_syn() ? 1u << 8 : 0) | (new_flow ? 1u << 9 : 0) | (bucket << 16);
+    auto& cls = classes[key];
+    if (cls.count == 0) {
+      cls.proto = p.proto;
+      cls.syn = p.is_syn();
+      cls.new_flow = new_flow;
+      cls.bucket = bucket;
+      cls.rep = p;
+    }
+    ++cls.count;
+    cls.payload_sum += p.payload_len;
+  }
+  std::vector<PacketClass> out;
+  out.reserve(classes.size());
+  for (auto& [key, cls] : classes) out.push_back(std::move(cls));
+  return out;
+}
+
+/// Answers vcalls from the class's representative packet and a flow
+/// model: hash tables keyed by flow hit exactly when the flow is not
+/// new (the workload model the paper calls "simulate the execution for
+/// the set of packets").
+class ModelHandler final : public cir::VCallHandler {
+ public:
+  ModelHandler(const PacketClass& cls, const cir::Function& fn) : cls_(cls), fn_(fn) {}
+
+  std::uint64_t handle(cir::VCall v, std::span<const std::uint64_t> args) override {
+    using cir::VCall;
+    switch (v) {
+      case VCall::kGetHdr: {
+        const auto field = static_cast<cir::HdrField>(args[0]);
+        using cir::HdrField;
+        switch (field) {
+          case HdrField::kProto: return cls_.proto;
+          case HdrField::kSrcIp: return cls_.rep.src_ip;
+          case HdrField::kDstIp: return cls_.rep.dst_ip;
+          case HdrField::kSrcPort: return cls_.rep.src_port;
+          case HdrField::kDstPort: return cls_.rep.dst_port;
+          case HdrField::kTcpFlags: return cls_.syn ? cir::kTcpFlagSyn : 0;
+          case HdrField::kPayloadLen: return static_cast<std::uint64_t>(cls_.payload());
+          case HdrField::kPktLen: return static_cast<std::uint64_t>(cls_.frame_len());
+          case HdrField::kFlowHash: return cls_.rep.flow_hash();
+        }
+        return 0;
+      }
+      case VCall::kTableLookup: {
+        const auto& state = fn_.state_objects[args[0]];
+        if (state.pattern == cir::StatePattern::kHashTable) return cls_.new_flow ? 0 : 1;
+        return 1;
+      }
+      case VCall::kMeter:
+        return 1;  // conforming
+      case VCall::kCsum:
+        return 0xbeef;
+      default:
+        return 0;
+    }
+  }
+
+ private:
+  const PacketClass& cls_;
+  const cir::Function& fn_;
+};
+
+}  // namespace
+
+CostHints hints_from_trace(const workload::Trace& trace, const lnic::NicProfile& profile) {
+  CostHints hints;
+  hints.avg_payload = trace.mean_payload();
+  hints.params["payload_len"] = hints.avg_payload;
+  hints.params["pkt_len"] = hints.avg_payload + 54.0;
+
+  // Flow-cache hit rate: coverage of the top-capacity flows, less one
+  // compulsory miss per cached flow.
+  const double capacity = profile.params.try_scalar(keys::kFlowCacheCapacity).value_or(0.0);
+  if (capacity > 0.0 && !trace.packets.empty()) {
+    std::unordered_map<std::uint32_t, std::uint64_t> counts;
+    for (const auto& p : trace.packets) ++counts[p.flow_id];
+    std::vector<std::uint64_t> sorted;
+    sorted.reserve(counts.size());
+    for (const auto& [flow, count] : counts) sorted.push_back(count);
+    std::sort(sorted.rbegin(), sorted.rend());
+    const auto top = std::min<std::size_t>(static_cast<std::size_t>(capacity), sorted.size());
+    std::uint64_t covered = 0;
+    for (std::size_t i = 0; i < top; ++i) covered += sorted[i];
+    const double total = static_cast<double>(trace.packets.size());
+    hints.flow_cache_hit_rate = std::max(0.0, (static_cast<double>(covered) - static_cast<double>(top)) / total);
+  } else {
+    hints.flow_cache_hit_rate = 0.0;
+  }
+  return hints;
+}
+
+Result<Prediction> predict(const cir::Function& fn, const DataflowGraph& graph, const mapping::Mapping& mapping,
+                           const mapping::Mapper& mapper, const workload::Trace& trace,
+                           const PredictOptions& options) {
+  if (trace.packets.empty()) return make_error("predict: empty trace");
+  const auto& profile = mapper.profile();
+  const auto& params = profile.params;
+  const CostHints hints = hints_from_trace(trace, profile);
+
+  // --- EMEM cache hit-rate estimate (working set vs. capacity) ----------
+  double emem_ws = options.foreign_cache_pressure_bytes;
+  Bytes emem_cache_capacity = 0;
+  for (const NodeId region : profile.graph.memory_regions()) {
+    const auto* mem = profile.graph.node(region).memory();
+    if (mem->kind == lnic::MemKind::kEmem) emem_cache_capacity = mem->cache_capacity;
+  }
+  const std::uint32_t distinct = trace.distinct_flows();
+  for (std::size_t s = 0; s < fn.state_objects.size(); ++s) {
+    const NodeId region = mapping.state_region[s];
+    const auto* mem = profile.graph.node(region).memory();
+    if (mem->kind != lnic::MemKind::kEmem) continue;
+    const auto& obj = fn.state_objects[s];
+    double active = static_cast<double>(obj.total_bytes());
+    if (obj.pattern == cir::StatePattern::kHashTable) {
+      active = std::min(active, static_cast<double>(distinct) * static_cast<double>(obj.entry_bytes));
+    }
+    emem_ws += active;
+  }
+  // Spilled packet tails occupy a recycled buffer pool (~1k regions of
+  // 2 kB); they join the contended working set and, when the pool fits
+  // in what the state leaves of the cache, tail reads mostly hit.
+  const double residency = params.scalar(keys::kCtmPacketResidency);
+  const double avg_frame = trace.mean_payload() + 54.0;
+  const double tail_pool = 1024.0 * 2048.0;
+  const bool tails_spill = residency > 0.0 && avg_frame > residency;
+  if (tails_spill) emem_ws += tail_pool;
+
+  double hr_emem = 1.0;
+  if (emem_ws > 0.0 && emem_cache_capacity > 0) {
+    hr_emem = std::min(1.0, static_cast<double>(emem_cache_capacity) / emem_ws);
+  }
+  double hr_tail = 0.0;
+  if (tails_spill && emem_cache_capacity > 0) {
+    const double state_ws = emem_ws - tail_pool;
+    hr_tail = std::clamp((static_cast<double>(emem_cache_capacity) - state_ws) / tail_pool, 0.0, 1.0);
+  }
+  if (!options.model_emem_cache) {
+    hr_emem = 0.0;
+    hr_tail = 0.0;
+  }
+
+  // Interference slicing scales available parallelism.
+  const double share = std::clamp(options.nic_share, 0.05, 1.0);
+
+  // Packet-byte access price with the cache-aware tail model: bytes in
+  // the CTM head at CTM latency, spilled tail bytes at the estimated
+  // tail hit rate.
+  auto pkt_access_cycles = [&](double frame) {
+    const double ctm = params.scalar(keys::kMemReadCtm);
+    if (residency <= 0.0) return params.scalar(keys::kEmemCacheHit);
+    if (frame <= residency) return ctm;
+    const double tail_lat =
+        hr_tail * params.scalar(keys::kEmemCacheHit) + (1.0 - hr_tail) * params.scalar(keys::kMemReadEmem);
+    const double head_frac = residency / frame;
+    return head_frac * ctm + (1.0 - head_frac) * tail_lat;
+  };
+
+  // Effective state-access latency under the cache model. `worst`
+  // prices every cacheable access as a miss (the WCET bound).
+  auto eff_state_latency = [&](const mapping::UnitPool& pool, NodeId region, bool worst = false) {
+    const double base = mapper.access_cycles(pool, region);
+    const auto* mem = profile.graph.node(region).memory();
+    if (!worst && mem->kind == lnic::MemKind::kEmem && mem->cache_capacity > 0) {
+      return hr_emem * params.scalar(keys::kEmemCacheHit) + (1.0 - hr_emem) * base;
+    }
+    return base;
+  };
+
+  // --- Per-class costing --------------------------------------------------
+  auto classes = classify(trace, options.payload_buckets);
+  const double total_packets = static_cast<double>(trace.packets.size());
+
+  struct ClassCost {
+    double base = 0.0;                       // latency without queueing
+    double worst = 0.0;                      // all cache accesses priced as misses
+    std::map<std::size_t, double> pool_use;  // pool -> service cycles (queueable)
+  };
+  std::vector<ClassCost> costs(classes.size());
+  std::vector<double> pool_demand(mapper.pools().size(), 0.0);  // cycles/packet avg
+
+  const double hub_service = params.scalar(keys::kHubService);
+  const double ingress_base = params.scalar(keys::kIngressDmaBase);
+  const double ingress_per_byte = params.scalar(keys::kIngressDmaPerByte);
+  const double spill_per_byte = params.scalar(keys::kSpillPerByte);
+
+  for (std::size_t c = 0; c < classes.size(); ++c) {
+    const PacketClass& cls = classes[c];
+    ModelHandler handler(cls, fn);
+    cir::Interpreter interp(fn, handler);
+    auto exec = interp.run();
+    if (!exec) return make_error("predict: interpretation failed: " + exec.error().message);
+    const cir::ExecTrace& et = exec.value();
+
+    ClassCost& cost = costs[c];
+    const double frame = cls.frame_len();
+    cost.base += hub_service + ingress_base + ingress_per_byte * frame;
+    if (residency > 0.0 && frame > residency) cost.base += spill_per_byte * (frame - residency);
+    cost.worst = cost.base;
+
+    // Node bodies: instruction mixes, packet accesses, explicit state ops.
+    for (const auto& node : graph.nodes()) {
+      const std::uint64_t execs = et.block_counts[node.block];
+      if (execs == 0) continue;
+      const auto& pool = mapper.pools()[mapping.node_pool[node.id]];
+      double per_exec = passes::mix_compute_cycles(node.mix, pool.kind, params);
+      per_exec += static_cast<double>(node.mix.packet_loads + node.mix.packet_stores) * pkt_access_cycles(frame);
+      for (const auto& [s, n] : node.mix.state_reads) {
+        per_exec += static_cast<double>(n) * eff_state_latency(pool, mapping.state_region[s]);
+      }
+      for (const auto& [s, n] : node.mix.state_writes) {
+        per_exec += static_cast<double>(n) * eff_state_latency(pool, mapping.state_region[s]);
+      }
+      const double cycles = static_cast<double>(execs) * per_exec;
+      cost.base += cycles;
+      double per_exec_worst = passes::mix_compute_cycles(node.mix, pool.kind, params);
+      per_exec_worst += static_cast<double>(node.mix.packet_loads + node.mix.packet_stores) *
+                        passes::packet_access_cycles(frame, frame - 1.0, params);
+      for (const auto& [s, n] : node.mix.state_reads) {
+        per_exec_worst += static_cast<double>(n) * eff_state_latency(pool, mapping.state_region[s], true);
+      }
+      for (const auto& [s, n] : node.mix.state_writes) {
+        per_exec_worst += static_cast<double>(n) * eff_state_latency(pool, mapping.state_region[s], true);
+      }
+      cost.worst += static_cast<double>(execs) * per_exec_worst;
+      cost.pool_use[mapping.node_pool[node.id]] += static_cast<double>(execs) *
+                                                   passes::mix_compute_cycles(node.mix, pool.kind, params);
+    }
+
+    // Vcall events with their concrete arguments.
+    for (const auto& event : et.vcalls) {
+      const std::uint32_t node_id = graph.node_of(event.block, event.instr);
+      if (node_id == ~0u) continue;
+      const std::size_t pool_idx = mapping.node_pool[node_id];
+      const auto& pool = mapper.pools()[pool_idx];
+      const cir::StateObject* state = nullptr;
+      std::uint32_t state_idx = ~0u;
+      if (cir::vcall_takes_state(event.v) && !event.args.empty()) {
+        state_idx = static_cast<std::uint32_t>(event.args[0]);
+        state = &fn.state_objects[state_idx];
+      }
+      double arg = hints.avg_payload;
+      if (event.v == cir::VCall::kCsum || event.v == cir::VCall::kCrypto ||
+          event.v == cir::VCall::kPayloadScan) {
+        arg = static_cast<double>(event.args[0]);
+      }
+      const bool use_fc =
+          event.v != cir::VCall::kLpmLookup || (event.args.size() >= 3 && event.args[2] != 0);
+      double service = passes::vcall_compute_cycles(event.v, pool.kind, arg, state, params, hints, use_fc);
+      if (event.v == cir::VCall::kPayloadScan) {
+        service += std::ceil(arg / 64.0) * pkt_access_cycles(frame);
+      }
+      if (event.v == cir::VCall::kEmit) service += hub_service;  // egress hub
+      cost.base += service;
+      // Worst case: the flow cache misses too.
+      passes::CostHints worst_hints = hints;
+      worst_hints.flow_cache_hit_rate = 0.0;
+      double worst_service =
+          passes::vcall_compute_cycles(event.v, pool.kind, arg, state, params, worst_hints, use_fc);
+      // Deepest match-action walk: per-key walk depth varies around the
+      // microbenchmarked mean curve; allow ~15% for the worst key.
+      if (event.v == cir::VCall::kLpmLookup) worst_service *= 1.15;
+      if (event.v == cir::VCall::kPayloadScan) {
+        worst_service += std::ceil(arg / 64.0) * passes::packet_access_cycles(frame, frame - 1.0, params);
+      }
+      if (event.v == cir::VCall::kEmit) worst_service += hub_service;
+      cost.worst += worst_service;
+
+      if (state_idx != ~0u) {
+        const double accesses = passes::vcall_state_accesses(event.v, pool.kind, state);
+        cost.base += accesses * eff_state_latency(pool, mapping.state_region[state_idx]);
+        cost.worst += accesses * eff_state_latency(pool, mapping.state_region[state_idx], true);
+      }
+
+      // Queueable share: LPM DRAM walks overlap across threads, so only
+      // the SRAM front-end occupies the engine.
+      double queueable = service;
+      if (event.v == cir::VCall::kLpmLookup && pool.kind == lnic::UnitKind::kLpmEngine) {
+        queueable = params.scalar(keys::kFlowCacheHit);
+      }
+      cost.pool_use[pool_idx] += queueable;
+    }
+
+    const double fraction = static_cast<double>(cls.count) / total_packets;
+    for (const auto& [p, use] : cost.pool_use) pool_demand[p] += fraction * use;
+  }
+
+  // --- Queueing (Θ) and throughput ----------------------------------------
+  const double clock = params.scalar(keys::kClockHz);
+  const double pps = trace.profile.pps;
+  const double lambda_cycles = pps / clock;  // packets per cycle
+
+  Prediction pred;
+  pred.emem_cache_hit_rate = hr_emem;
+  pred.flow_cache_hit_rate = hints.flow_cache_hit_rate;
+
+  std::vector<double> pool_wait(mapper.pools().size(), 0.0);
+  double best_throughput = 1e18;
+  for (std::size_t p = 0; p < mapper.pools().size(); ++p) {
+    if (pool_demand[p] <= 0.0) continue;
+    const double servers = std::max(1.0, mapper.pools()[p].parallelism * share);
+    const double rho = lambda_cycles * pool_demand[p] / servers;
+    double wait = 0.0;
+    if (options.model_queueing) {
+      if (rho < 1.0) {
+        wait = (pool_demand[p] / servers) * rho / (2.0 * (1.0 - rho));  // M/D/c approximation
+      } else {
+        wait = 1e9;  // saturated
+      }
+    }
+    pool_wait[p] = wait;
+    pred.loads.push_back({mapper.pools()[p].name, rho, wait});
+    const double cap_pps = servers * clock / pool_demand[p];
+    if (cap_pps < best_throughput) {
+      best_throughput = cap_pps;
+      pred.bottleneck = mapper.pools()[p].name;
+    }
+  }
+  // The ingress hub serves every packet once; it caps throughput for
+  // NFs light enough that no compute pool binds first.
+  const double hub_cap_pps = clock / std::max(1.0, hub_service);
+  if (hub_cap_pps < best_throughput) {
+    best_throughput = hub_cap_pps;
+    pred.bottleneck = "ingress-hub";
+  }
+  pred.throughput_pps = best_throughput == 1e18 ? 0.0 : best_throughput;
+
+  // --- Aggregate ------------------------------------------------------------
+  double mean = 0.0;
+  double worst_case = 0.0;
+  for (std::size_t c = 0; c < classes.size(); ++c) {
+    double latency = costs[c].base;
+    double worst = costs[c].worst;
+    for (const auto& [p, use] : costs[c].pool_use) {
+      if (use > 0.0) {
+        latency += pool_wait[p];
+        worst += 3.0 * pool_wait[p];  // queue tail allowance
+      }
+    }
+    worst_case = std::max(worst_case, worst);
+    const double fraction = static_cast<double>(classes[c].count) / total_packets;
+    mean += fraction * latency;
+
+    ClassProfile cp;
+    cp.name = classes[c].name();
+    cp.fraction = fraction;
+    cp.payload_len = classes[c].payload();
+    cp.latency_cycles = latency;
+    cp.tcp = classes[c].proto == 6;
+    cp.syn = classes[c].syn;
+    cp.new_flow = classes[c].new_flow;
+    pred.classes.push_back(std::move(cp));
+  }
+  std::sort(pred.classes.begin(), pred.classes.end(),
+            [](const ClassProfile& a, const ClassProfile& b) { return a.fraction > b.fraction; });
+
+  pred.mean_latency_cycles = mean;
+  pred.mean_latency_us = mean / clock * 1e6;
+  pred.worst_case_cycles = worst_case;
+  return pred;
+}
+
+}  // namespace clara::core

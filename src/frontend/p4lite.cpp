@@ -1,0 +1,454 @@
+#include "frontend/p4lite.hpp"
+
+#include <map>
+#include <optional>
+#include <vector>
+
+#include "cir/builder.hpp"
+#include "cir/verify.hpp"
+#include "common/strings.hpp"
+
+namespace clara::frontend {
+
+using cir::FunctionBuilder;
+using cir::Value;
+using cir::VCall;
+
+namespace {
+
+// --- Tokenizer ----------------------------------------------------------------
+
+struct Token {
+  enum class Kind { kIdent, kNumber, kSymbol, kEnd } kind = Kind::kEnd;
+  std::string text;
+  std::int64_t number = 0;
+  std::size_t line = 0;
+};
+
+Result<std::vector<Token>> tokenize(const std::string& source) {
+  std::vector<Token> tokens;
+  std::size_t line = 1;
+  std::size_t i = 0;
+  const auto n = source.size();
+  while (i < n) {
+    const char c = source[i];
+    if (c == '\n') {
+      ++line;
+      ++i;
+      continue;
+    }
+    if (c == ' ' || c == '\t' || c == '\r') {
+      ++i;
+      continue;
+    }
+    if (c == '#') {
+      while (i < n && source[i] != '\n') ++i;
+      continue;
+    }
+    if (std::isalpha(static_cast<unsigned char>(c)) || c == '_') {
+      std::size_t j = i;
+      while (j < n && (std::isalnum(static_cast<unsigned char>(source[j])) || source[j] == '_')) ++j;
+      tokens.push_back({Token::Kind::kIdent, source.substr(i, j - i), 0, line});
+      i = j;
+      continue;
+    }
+    if (std::isdigit(static_cast<unsigned char>(c))) {
+      std::size_t j = i;
+      while (j < n && (std::isalnum(static_cast<unsigned char>(source[j])))) ++j;  // 0x.. too
+      const std::string text = source.substr(i, j - i);
+      char* end = nullptr;
+      const long long value = std::strtoll(text.c_str(), &end, 0);
+      if (end != text.c_str() + text.size()) {
+        return make_error(strf("line %zu: bad number '%s'", line, text.c_str()));
+      }
+      tokens.push_back({Token::Kind::kNumber, text, value, line});
+      i = j;
+      continue;
+    }
+    // Two-char operators first.
+    static const char* kTwo[] = {"==", "!=", "<=", ">="};
+    bool matched = false;
+    for (const char* op : kTwo) {
+      if (source.compare(i, 2, op) == 0) {
+        tokens.push_back({Token::Kind::kSymbol, op, 0, line});
+        i += 2;
+        matched = true;
+        break;
+      }
+    }
+    if (matched) continue;
+    static const std::string kOne = "{}()=<>+-*&|^.";
+    if (kOne.find(c) != std::string::npos) {
+      tokens.push_back({Token::Kind::kSymbol, std::string(1, c), 0, line});
+      ++i;
+      continue;
+    }
+    return make_error(strf("line %zu: unexpected character '%c'", line, c));
+  }
+  tokens.push_back({Token::Kind::kEnd, "", 0, line});
+  return tokens;
+}
+
+// --- Compiler -------------------------------------------------------------------
+
+class Compiler {
+ public:
+  explicit Compiler(std::vector<Token> tokens) : tokens_(std::move(tokens)), builder_("p4nf") {}
+
+  Result<cir::Function> compile() {
+    if (!expect_ident("p4nf")) return err("program must start with 'p4nf NAME'");
+    const Token name = next();
+    if (name.kind != Token::Kind::kIdent) return err("p4nf needs a name");
+    builder_ = FunctionBuilder(name.text);
+
+    while (peek().kind == Token::Kind::kIdent && peek().text == "state") {
+      if (auto s = parse_state(); !s) return s.error();
+    }
+
+    if (!expect_ident("control")) return err("expected 'control { ... }'");
+    if (!expect_symbol("{")) return err("expected '{' after control");
+
+    entry_ = builder_.create_block("entry");
+    builder_.set_insert_point(entry_);
+    open_ = true;
+    if (auto s = parse_statements(); !s) return s.error();
+    if (!expect_symbol("}")) return err("expected '}' closing control");
+    if (peek().kind != Token::Kind::kEnd) return err("trailing input after control block");
+
+    if (open_) {
+      builder_.vcall(VCall::kEmit, {Value::of_imm(1)}, false);
+      builder_.ret();
+    }
+
+    auto fn = builder_.take();
+    if (auto status = cir::verify(fn); !status) {
+      return make_error("p4lite: generated IR failed verification: " + status.error().message);
+    }
+    return fn;
+  }
+
+ private:
+  // -- token helpers -------------------------------------------------------
+  const Token& peek(std::size_t ahead = 0) const {
+    const std::size_t idx = std::min(pos_ + ahead, tokens_.size() - 1);
+    return tokens_[idx];
+  }
+  Token next() { return tokens_[std::min(pos_++, tokens_.size() - 1)]; }
+  bool expect_ident(const std::string& word) {
+    if (peek().kind == Token::Kind::kIdent && peek().text == word) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+  bool expect_symbol(const std::string& sym) {
+    if (peek().kind == Token::Kind::kSymbol && peek().text == sym) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+  Error err(const std::string& msg) const { return make_error(strf("line %zu: %s", peek().line, msg.c_str())); }
+
+  // -- sections --------------------------------------------------------------
+  Status parse_state() {
+    next();  // 'state'
+    const Token name = next();
+    if (name.kind != Token::Kind::kIdent) return err("state needs a name");
+    cir::StateObject state;
+    state.name = name.text;
+    bool have_entries = false, have_bytes = false;
+    while (peek().kind == Token::Kind::kIdent &&
+           (peek().text == "entries" || peek().text == "entry_bytes" || peek().text == "pattern")) {
+      const Token key = next();
+      if (!expect_symbol("=")) return err("state attribute needs '='");
+      const Token value = next();
+      if (key.text == "entries") {
+        if (value.kind != Token::Kind::kNumber) return err("entries needs a number");
+        state.entries = static_cast<std::uint64_t>(value.number);
+        have_entries = true;
+      } else if (key.text == "entry_bytes") {
+        if (value.kind != Token::Kind::kNumber) return err("entry_bytes needs a number");
+        state.entry_bytes = static_cast<Bytes>(value.number);
+        have_bytes = true;
+      } else {
+        if (value.text == "hash") {
+          state.pattern = cir::StatePattern::kHashTable;
+        } else if (value.text == "array") {
+          state.pattern = cir::StatePattern::kArray;
+        } else if (value.text == "direct") {
+          state.pattern = cir::StatePattern::kDirect;
+        } else {
+          return err("pattern must be hash|array|direct");
+        }
+      }
+    }
+    if (!have_entries || !have_bytes) return err("state needs entries= and entry_bytes=");
+    states_[state.name] = builder_.add_state(state);
+    return {};
+  }
+
+  Result<std::uint32_t> state_ref() {
+    const Token name = next();
+    if (name.kind != Token::Kind::kIdent) return Error{strf("line %zu: expected state name", name.line)};
+    const auto it = states_.find(name.text);
+    if (it == states_.end()) return Error{strf("line %zu: unknown state '%s'", name.line, name.text.c_str())};
+    return it->second;
+  }
+
+  // -- expressions (precedence climbing) -------------------------------------
+  static int precedence(const std::string& op) {
+    if (op == "==" || op == "!=" || op == "<" || op == "<=" || op == ">" || op == ">=") return 1;
+    if (op == "|" || op == "^") return 2;
+    if (op == "&") return 3;
+    if (op == "+" || op == "-") return 4;
+    if (op == "*") return 5;
+    return 0;
+  }
+
+  Result<Value> parse_primary() {
+    const Token token = next();
+    if (token.kind == Token::Kind::kNumber) return Value::of_imm(token.number);
+    if (token.kind == Token::Kind::kSymbol && token.text == "(") {
+      auto inner = parse_expr(1);
+      if (!inner) return inner;
+      if (!expect_symbol(")")) return Error{strf("line %zu: expected ')'", peek().line)};
+      return inner;
+    }
+    if (token.kind == Token::Kind::kIdent) {
+      if (token.text == "hdr") {
+        if (!expect_symbol(".")) return Error{strf("line %zu: expected '.' after hdr", token.line)};
+        const Token field = next();
+        const auto f = cir::parse_hdr_field(field.text);
+        if (!f) return Error{strf("line %zu: unknown header field '%s'", field.line, field.text.c_str())};
+        return builder_.get_hdr(*f);
+      }
+      const auto it = vars_.find(token.text);
+      if (it == vars_.end()) {
+        return Error{strf("line %zu: use of unset variable '%s'", token.line, token.text.c_str())};
+      }
+      return builder_.load_scratch(Value::of_imm(static_cast<std::int64_t>(it->second)));
+    }
+    return Error{strf("line %zu: expected expression", token.line)};
+  }
+
+  Result<Value> parse_expr(int min_prec) {
+    auto lhs = parse_primary();
+    if (!lhs) return lhs;
+    Value left = lhs.value();
+    while (peek().kind == Token::Kind::kSymbol && precedence(peek().text) >= min_prec &&
+           precedence(peek().text) > 0) {
+      const std::string op = next().text;
+      auto rhs = parse_expr(precedence(op) + 1);
+      if (!rhs) return rhs;
+      const Value right = rhs.value();
+      if (op == "+") left = builder_.add(left, right);
+      else if (op == "-") left = builder_.sub(left, right);
+      else if (op == "*") left = builder_.mul(left, right);
+      else if (op == "&") left = builder_.band(left, right);
+      else if (op == "|") left = builder_.bor(left, right);
+      else if (op == "^") left = builder_.bxor(left, right);
+      else if (op == "==") left = builder_.cmp_eq(left, right);
+      else if (op == "!=") left = builder_.cmp_ne(left, right);
+      else if (op == "<") left = builder_.cmp_lt(left, right);
+      else if (op == "<=") left = builder_.cmp_le(left, right);
+      else if (op == ">") left = builder_.cmp_gt(left, right);
+      else left = builder_.cmp_ge(left, right);
+    }
+    return left;
+  }
+
+  // -- statements --------------------------------------------------------------
+  Status parse_statements() {
+    while (true) {
+      const Token& token = peek();
+      if (token.kind == Token::Kind::kSymbol && token.text == "}") return {};
+      if (token.kind == Token::Kind::kEnd) return err("unexpected end of input (missing '}')");
+      if (!open_) return err("unreachable statement after emit/drop");
+      if (auto s = parse_statement(); !s) return s;
+    }
+  }
+
+  std::uint32_t var_slot(const std::string& name) {
+    const auto it = vars_.find(name);
+    if (it != vars_.end()) return it->second;
+    const auto slot = static_cast<std::uint32_t>(vars_.size()) * 8;
+    vars_[name] = slot;
+    return slot;
+  }
+
+  Status parse_statement() {
+    const Token token = next();
+    if (token.kind != Token::Kind::kIdent) return err("expected a statement");
+    const std::string& word = token.text;
+
+    if (word == "parse") {
+      builder_.vcall(VCall::kParse, {}, false);
+      return {};
+    }
+    if (word == "emit") {
+      builder_.vcall(VCall::kEmit, {Value::of_imm(1)}, false);
+      builder_.ret();
+      open_ = false;
+      return {};
+    }
+    if (word == "drop") {
+      builder_.vcall(VCall::kDrop, {}, false);
+      builder_.ret();
+      open_ = false;
+      return {};
+    }
+    if (word == "set") {
+      const Token name = next();
+      if (name.kind != Token::Kind::kIdent) return err("set needs a variable name");
+      if (!expect_symbol("=")) return err("set needs '='");
+      Value value = Value::none();
+      if (peek().kind == Token::Kind::kIdent && peek().text == "lookup") {
+        next();
+        auto state = state_ref();
+        if (!state) return state.error();
+        auto key = parse_expr(1);
+        if (!key) return key.error();
+        value = builder_.vcall(VCall::kTableLookup,
+                               {Value::of_imm(static_cast<std::int64_t>(state.value())), key.value()});
+      } else if (peek().kind == Token::Kind::kIdent && peek().text == "meter") {
+        next();
+        auto state = state_ref();
+        if (!state) return state.error();
+        auto key = parse_expr(1);
+        if (!key) return key.error();
+        value = builder_.vcall(VCall::kMeter,
+                               {Value::of_imm(static_cast<std::int64_t>(state.value())), key.value()});
+      } else {
+        auto expr = parse_expr(1);
+        if (!expr) return expr.error();
+        value = expr.value();
+      }
+      builder_.store_scratch(Value::of_imm(static_cast<std::int64_t>(var_slot(name.text))), value);
+      return {};
+    }
+    if (word == "update" || word == "count") {
+      auto state = state_ref();
+      if (!state) return state.error();
+      auto key = parse_expr(1);
+      if (!key) return key.error();
+      if (word == "update") {
+        builder_.vcall(VCall::kTableUpdate,
+                       {Value::of_imm(static_cast<std::int64_t>(state.value())), key.value(), Value::of_imm(1)},
+                       false);
+      } else {
+        builder_.vcall(VCall::kStatsUpdate,
+                       {Value::of_imm(static_cast<std::int64_t>(state.value())), key.value()}, false);
+      }
+      return {};
+    }
+    if (word == "lpm") {
+      auto state = state_ref();
+      if (!state) return state.error();
+      auto key = parse_expr(1);
+      if (!key) return key.error();
+      bool use_cache = true;
+      if (peek().kind == Token::Kind::kIdent && peek().text == "nocache") {
+        next();
+        use_cache = false;
+      }
+      builder_.vcall(VCall::kLpmLookup, {Value::of_imm(static_cast<std::int64_t>(state.value())), key.value(),
+                                         Value::of_imm(use_cache ? 1 : 0)});
+      return {};
+    }
+    if (word == "csum" || word == "crypto" || word == "scan") {
+      auto len = parse_expr(1);
+      if (!len) return len.error();
+      if (word == "csum") {
+        builder_.vcall(VCall::kCsum, {len.value()});
+      } else if (word == "crypto") {
+        builder_.vcall(VCall::kCrypto, {len.value()}, false);
+      } else {
+        builder_.vcall(VCall::kPayloadScan, {len.value()});
+      }
+      return {};
+    }
+    if (word == "sethdr") {
+      const Token field = next();
+      const auto f = cir::parse_hdr_field(field.text);
+      if (!f) return err(strf("unknown header field '%s'", field.text.c_str()));
+      auto value = parse_expr(1);
+      if (!value) return value.error();
+      builder_.set_hdr(*f, value.value());
+      return {};
+    }
+    if (word == "if") {
+      return parse_if();
+    }
+    return make_error(strf("line %zu: unknown statement '%s'", token.line, word.c_str()));
+  }
+
+  Status parse_if() {
+    auto cond = parse_expr(1);
+    if (!cond) return cond.error();
+    if (!expect_symbol("{")) return err("if needs '{'");
+
+    const auto then_block = builder_.create_block(strf("then%u", label_counter_));
+    const auto else_block = builder_.create_block(strf("else%u", label_counter_));
+    ++label_counter_;
+    builder_.cond_br(cond.value(), then_block, else_block);
+
+    builder_.set_insert_point(then_block);
+    open_ = true;
+    if (auto s = parse_statements(); !s) return s;
+    if (!expect_symbol("}")) return err("if needs '}'");
+    const bool then_open = open_;
+    const auto then_end = builder_.insert_point();
+
+    bool else_open = true;
+    std::uint32_t else_end = else_block;
+    builder_.set_insert_point(else_block);
+    open_ = true;
+    if (peek().kind == Token::Kind::kIdent && peek().text == "else") {
+      next();
+      if (!expect_symbol("{")) return err("else needs '{'");
+      if (auto s = parse_statements(); !s) return s;
+      if (!expect_symbol("}")) return err("else needs '}'");
+      else_open = open_;
+      else_end = builder_.insert_point();
+    }
+
+    if (!then_open && !else_open) {
+      // Both arms terminated; nothing follows.
+      open_ = false;
+      return {};
+    }
+    const auto join = builder_.create_block(strf("join%u", label_counter_++));
+    if (then_open) {
+      builder_.set_insert_point(then_end);
+      builder_.br(join);
+    }
+    if (else_open) {
+      builder_.set_insert_point(else_end);
+      builder_.br(join);
+    }
+    builder_.set_insert_point(join);
+    open_ = true;
+    return {};
+  }
+
+  std::vector<Token> tokens_;
+  std::size_t pos_ = 0;
+  FunctionBuilder builder_;
+  std::map<std::string, std::uint32_t> states_;
+  std::map<std::string, std::uint32_t> vars_;  // name -> scratch slot
+  std::uint32_t entry_ = 0;
+  bool open_ = false;
+  std::uint32_t label_counter_ = 0;
+};
+
+}  // namespace
+
+Result<cir::Function> compile_p4lite(const std::string& source) {
+  auto tokens = tokenize(source);
+  if (!tokens) return tokens.error();
+  Compiler compiler(std::move(tokens).value());
+  return compiler.compile();
+}
+
+}  // namespace clara::frontend

@@ -1,0 +1,64 @@
+// P4-lite front end.
+//
+// The paper's NF-diversity argument (§3.3) is that Clara analyzes a
+// lower-level representation so the source language stops mattering:
+// "most network functions are written in general-purpose C, recent work
+// has also considered alternatives such as eBPF and P4". The builder
+// front end covers the C/DPDK shape; this module is the P4-shaped one —
+// a small match-action language compiled to CIR.
+//
+// Language (line/brace structured, `#` comments):
+//
+//   p4nf my_firewall
+//   state conn entries=16384 entry_bytes=64 pattern=hash
+//
+//   control {
+//     parse
+//     set seen = lookup conn hdr.flow_hash
+//     if seen {
+//       emit
+//     } else {
+//       if hdr.tcp_flags & 1 {
+//         update conn hdr.flow_hash
+//         emit
+//       } else {
+//         drop
+//       }
+//     }
+//   }
+//
+// Statements:
+//   parse
+//   set VAR = EXPR
+//   set VAR = lookup STATE EXPR          (exact match; 1 = hit)
+//   set VAR = meter STATE EXPR           (1 = conforming)
+//   update STATE EXPR                    (install/refresh entry)
+//   count STATE EXPR                     (statistics counter)
+//   lpm STATE EXPR [nocache]             (longest-prefix match)
+//   csum EXPR | crypto EXPR | scan EXPR  (payload-length argument)
+//   sethdr FIELD EXPR
+//   emit | drop                          (terminal; control falls off the
+//                                         end -> implicit emit)
+//   if EXPR { ... } [else { ... }]
+//
+// Expressions: integer literals, `hdr.FIELD` (proto, src_ip, dst_ip,
+// src_port, dst_port, tcp_flags, payload_len, pkt_len, flow_hash),
+// variables, and left-associative binary operators
+// `+ - * & | ^ == != < <= > >=` with explicit parentheses for grouping.
+//
+// Variables compile to per-core scratch slots (P4 metadata containers),
+// so assignments in both arms of an `if` need no SSA merging.
+#pragma once
+
+#include <string>
+
+#include "cir/function.hpp"
+#include "common/result.hpp"
+
+namespace clara::frontend {
+
+/// Compiles a P4-lite program into a verified CIR function. Errors carry
+/// a line number.
+Result<cir::Function> compile_p4lite(const std::string& source);
+
+}  // namespace clara::frontend

@@ -1,0 +1,60 @@
+#include "ilp/model.hpp"
+
+#include <cassert>
+
+namespace clara::ilp {
+
+LinExpr& LinExpr::operator+=(const LinExpr& other) {
+  terms_.insert(terms_.end(), other.terms_.begin(), other.terms_.end());
+  constant_ += other.constant_;
+  return *this;
+}
+
+std::vector<double> LinExpr::dense(std::size_t n) const {
+  std::vector<double> out(n, 0.0);
+  for (const auto& t : terms_) {
+    assert(t.var >= 0 && static_cast<std::size_t>(t.var) < n);
+    out[static_cast<std::size_t>(t.var)] += t.coef;
+  }
+  return out;
+}
+
+int Model::add_continuous(std::string name, double lo, double hi) {
+  assert(lo <= hi);
+  vars_.push_back({std::move(name), VarKind::kContinuous, lo, hi});
+  return static_cast<int>(vars_.size() - 1);
+}
+
+int Model::add_binary(std::string name) {
+  vars_.push_back({std::move(name), VarKind::kBinary, 0.0, 1.0});
+  return static_cast<int>(vars_.size() - 1);
+}
+
+int Model::add_integer(std::string name, double lo, double hi) {
+  assert(lo <= hi);
+  vars_.push_back({std::move(name), VarKind::kInteger, lo, hi});
+  return static_cast<int>(vars_.size() - 1);
+}
+
+void Model::add_constraint(LinExpr expr, Sense sense, double rhs, std::string name) {
+  constraints_.push_back({std::move(expr), sense, rhs, std::move(name)});
+}
+
+bool Model::has_integers() const {
+  for (const auto& v : vars_) {
+    if (v.kind != VarKind::kContinuous) return true;
+  }
+  return false;
+}
+
+const char* to_string(SolveStatus status) {
+  switch (status) {
+    case SolveStatus::kOptimal: return "optimal";
+    case SolveStatus::kInfeasible: return "infeasible";
+    case SolveStatus::kUnbounded: return "unbounded";
+    case SolveStatus::kLimit: return "limit";
+  }
+  return "?";
+}
+
+}  // namespace clara::ilp

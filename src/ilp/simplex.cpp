@@ -1,0 +1,301 @@
+#include "ilp/simplex.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+namespace clara::ilp {
+
+namespace {
+
+constexpr double kEps = 1e-9;
+
+/// Standard-form problem: minimize c'y subject to A y = b, y >= 0,
+/// built from the model by shifting variables to zero lower bounds,
+/// adding upper-bound rows, and introducing slack/surplus/artificial
+/// columns.
+struct Standard {
+  std::size_t n_model = 0;   // original variable count
+  std::size_t n = 0;         // total columns
+  std::size_t m = 0;         // rows
+  std::vector<std::vector<double>> a;
+  std::vector<double> b;
+  std::vector<double> c;
+  std::vector<std::size_t> artificials;  // column indices
+  std::vector<double> shift;             // y_i = x_i - lo_i for model vars
+  double obj_const = 0.0;
+  bool infeasible_bounds = false;
+};
+
+Standard build_standard(const Model& model, const LpOptions& options) {
+  Standard s;
+  s.n_model = model.num_vars();
+
+  std::vector<double> lo(s.n_model), hi(s.n_model);
+  for (std::size_t i = 0; i < s.n_model; ++i) {
+    const auto& v = model.variables()[i];
+    lo[i] = options.lo_override.empty() ? v.lo : options.lo_override[i];
+    hi[i] = options.hi_override.empty() ? v.hi : options.hi_override[i];
+    if (lo[i] > hi[i] + kEps) s.infeasible_bounds = true;
+  }
+  if (s.infeasible_bounds) return s;
+
+  s.shift = lo;
+
+  // Row construction: model constraints (with senses) then upper-bound
+  // rows for variables with finite hi.
+  struct Row {
+    std::vector<double> coefs;
+    Sense sense;
+    double rhs;
+  };
+  std::vector<Row> rows;
+  for (const auto& con : model.constraints()) {
+    Row row;
+    row.coefs = con.expr.dense(s.n_model);
+    row.sense = con.sense;
+    row.rhs = con.rhs - con.expr.constant();
+    // Shift variables: Σ a_i (y_i + lo_i) ⋈ rhs.
+    for (std::size_t i = 0; i < s.n_model; ++i) row.rhs -= row.coefs[i] * lo[i];
+    rows.push_back(std::move(row));
+  }
+  for (std::size_t i = 0; i < s.n_model; ++i) {
+    if (hi[i] == kInf) continue;
+    Row row;
+    row.coefs.assign(s.n_model, 0.0);
+    row.coefs[i] = 1.0;
+    row.sense = Sense::kLe;
+    row.rhs = hi[i] - lo[i];
+    rows.push_back(std::move(row));
+  }
+
+  s.m = rows.size();
+  // Columns: model vars + one slack/surplus per inequality + artificials
+  // (added below as needed).
+  std::size_t extra = 0;
+  for (const auto& row : rows) {
+    if (row.sense != Sense::kEq) ++extra;
+  }
+  s.n = s.n_model + extra;
+
+  s.a.assign(s.m, std::vector<double>(s.n, 0.0));
+  s.b.assign(s.m, 0.0);
+  std::size_t slack_col = s.n_model;
+  for (std::size_t r = 0; r < s.m; ++r) {
+    auto row = rows[r];
+    // Normalize to non-negative rhs.
+    if (row.rhs < 0) {
+      for (auto& cval : row.coefs) cval = -cval;
+      row.rhs = -row.rhs;
+      if (row.sense == Sense::kLe) {
+        row.sense = Sense::kGe;
+      } else if (row.sense == Sense::kGe) {
+        row.sense = Sense::kLe;
+      }
+    }
+    for (std::size_t i = 0; i < s.n_model; ++i) s.a[r][i] = row.coefs[i];
+    s.b[r] = row.rhs;
+    if (row.sense == Sense::kLe) {
+      s.a[r][slack_col++] = 1.0;
+    } else if (row.sense == Sense::kGe) {
+      s.a[r][slack_col++] = -1.0;
+    }
+    rows[r] = std::move(row);
+  }
+
+  // Objective over shifted variables.
+  s.c.assign(s.n, 0.0);
+  const auto obj = model.objective().dense(s.n_model);
+  s.obj_const = model.objective().constant();
+  for (std::size_t i = 0; i < s.n_model; ++i) {
+    s.c[i] = obj[i];
+    s.obj_const += obj[i] * lo[i];
+  }
+
+  // Artificial variables for every row (simplest correct phase-1 start;
+  // slack columns double as basis where possible via the initial basis
+  // detection in the tableau).
+  return s;
+}
+
+/// Tableau-based simplex on the standard form. Maintains an explicit
+/// basis; phase 1 minimizes artificial sum, phase 2 the true objective.
+class Tableau {
+ public:
+  Tableau(Standard std_form, std::size_t max_pivots)
+      : s_(std::move(std_form)), max_pivots_(max_pivots) {}
+
+  Solution solve(const Model& model) {
+    Solution sol;
+    if (s_.infeasible_bounds) {
+      sol.status = SolveStatus::kInfeasible;
+      return sol;
+    }
+
+    const std::size_t m = s_.m;
+    // Add artificial columns for rows lacking an obvious basic column.
+    basis_.assign(m, ~std::size_t{0});
+    // A slack column with +1 in exactly this row and rhs >= 0 can start
+    // in the basis.
+    for (std::size_t r = 0; r < m; ++r) {
+      for (std::size_t j = s_.n_model; j < s_.n; ++j) {
+        if (s_.a[r][j] == 1.0) {
+          bool clean = true;
+          for (std::size_t r2 = 0; r2 < m; ++r2) {
+            if (r2 != r && s_.a[r2][j] != 0.0) {
+              clean = false;
+              break;
+            }
+          }
+          if (clean) {
+            basis_[r] = j;
+            break;
+          }
+        }
+      }
+    }
+    std::size_t n_total = s_.n;
+    for (std::size_t r = 0; r < m; ++r) {
+      if (basis_[r] != ~std::size_t{0}) continue;
+      for (auto& row : s_.a) row.push_back(0.0);
+      s_.a[r][n_total] = 1.0;
+      s_.artificials.push_back(n_total);
+      basis_[r] = n_total;
+      ++n_total;
+    }
+    s_.c.resize(n_total, 0.0);
+
+    // Phase 1.
+    if (!s_.artificials.empty()) {
+      std::vector<double> phase1_cost(n_total, 0.0);
+      for (const auto j : s_.artificials) phase1_cost[j] = 1.0;
+      const auto status = run(phase1_cost, n_total);
+      if (status != SolveStatus::kOptimal) {
+        sol.status = status == SolveStatus::kUnbounded ? SolveStatus::kInfeasible : status;
+        return sol;
+      }
+      double art_sum = 0.0;
+      for (std::size_t r = 0; r < m; ++r) {
+        if (std::find(s_.artificials.begin(), s_.artificials.end(), basis_[r]) != s_.artificials.end()) {
+          art_sum += s_.b[r];
+        }
+      }
+      if (art_sum > 1e-7) {
+        sol.status = SolveStatus::kInfeasible;
+        return sol;
+      }
+      // Pivot remaining (degenerate) artificials out of the basis.
+      for (std::size_t r = 0; r < m; ++r) {
+        if (std::find(s_.artificials.begin(), s_.artificials.end(), basis_[r]) == s_.artificials.end()) continue;
+        bool pivoted = false;
+        for (std::size_t j = 0; j < s_.n && !pivoted; ++j) {
+          const bool is_art = std::find(s_.artificials.begin(), s_.artificials.end(), j) != s_.artificials.end();
+          if (is_art) continue;
+          if (std::abs(s_.a[r][j]) > kEps) {
+            pivot(r, j);
+            pivoted = true;
+          }
+        }
+        // A row with no pivotable column is all-zero: redundant; the
+        // artificial stays basic at value 0, which is harmless.
+      }
+    }
+
+    // Phase 2: forbid artificials from re-entering by pricing them +inf
+    // (practically: skip them as entering candidates inside run()).
+    phase2_ = true;
+    const auto status = run(s_.c, n_total);
+    sol.status = status;
+    if (status != SolveStatus::kOptimal) return sol;
+
+    std::vector<double> y(n_total, 0.0);
+    for (std::size_t r = 0; r < m; ++r) y[basis_[r]] = s_.b[r];
+    sol.values.assign(model.num_vars(), 0.0);
+    double obj = s_.obj_const;
+    for (std::size_t i = 0; i < s_.n_model; ++i) {
+      sol.values[i] = y[i] + s_.shift[i];
+      obj += s_.c[i] * y[i];
+    }
+    sol.objective = obj;
+    return sol;
+  }
+
+ private:
+  void pivot(std::size_t row, std::size_t col) {
+    const double p = s_.a[row][col];
+    assert(std::abs(p) > kEps);
+    const std::size_t n_total = s_.a[row].size();
+    for (std::size_t j = 0; j < n_total; ++j) s_.a[row][j] /= p;
+    s_.b[row] /= p;
+    for (std::size_t r = 0; r < s_.m; ++r) {
+      if (r == row) continue;
+      const double factor = s_.a[r][col];
+      if (std::abs(factor) < kEps) continue;
+      for (std::size_t j = 0; j < n_total; ++j) s_.a[r][j] -= factor * s_.a[row][j];
+      s_.b[r] -= factor * s_.b[row];
+    }
+    basis_[row] = col;
+  }
+
+  SolveStatus run(const std::vector<double>& cost, std::size_t n_total) {
+    std::size_t pivots = 0;
+    while (true) {
+      if (++pivots > max_pivots_) return SolveStatus::kLimit;
+
+      // Reduced costs: r_j = c_j - c_B' B^-1 A_j. With an explicit
+      // tableau, B^-1 A is s_.a itself, so r_j = c_j - Σ_r c_basis[r] a[r][j].
+      std::size_t entering = ~std::size_t{0};
+      for (std::size_t j = 0; j < n_total; ++j) {
+        if (phase2_ &&
+            std::find(s_.artificials.begin(), s_.artificials.end(), j) != s_.artificials.end()) {
+          continue;
+        }
+        bool basic = false;
+        for (std::size_t r = 0; r < s_.m; ++r) {
+          if (basis_[r] == j) {
+            basic = true;
+            break;
+          }
+        }
+        if (basic) continue;
+        double reduced = cost[j];
+        for (std::size_t r = 0; r < s_.m; ++r) reduced -= cost[basis_[r]] * s_.a[r][j];
+        if (reduced < -1e-8) {
+          entering = j;  // Bland: first improving index
+          break;
+        }
+      }
+      if (entering == ~std::size_t{0}) return SolveStatus::kOptimal;
+
+      // Ratio test (Bland: smallest basis index breaks ties).
+      std::size_t leaving = ~std::size_t{0};
+      double best_ratio = kInf;
+      for (std::size_t r = 0; r < s_.m; ++r) {
+        if (s_.a[r][entering] > kEps) {
+          const double ratio = s_.b[r] / s_.a[r][entering];
+          if (ratio < best_ratio - kEps ||
+              (ratio < best_ratio + kEps && (leaving == ~std::size_t{0} || basis_[r] < basis_[leaving]))) {
+            best_ratio = ratio;
+            leaving = r;
+          }
+        }
+      }
+      if (leaving == ~std::size_t{0}) return SolveStatus::kUnbounded;
+      pivot(leaving, entering);
+    }
+  }
+
+  Standard s_;
+  std::size_t max_pivots_;
+  std::vector<std::size_t> basis_;
+  bool phase2_ = false;
+};
+
+}  // namespace
+
+Solution solve_lp(const Model& model, const LpOptions& options) {
+  Tableau tableau(build_standard(model, options), options.max_pivots);
+  return tableau.solve(model);
+}
+
+}  // namespace clara::ilp

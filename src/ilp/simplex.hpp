@@ -1,0 +1,27 @@
+// Dense two-phase primal simplex for LP relaxations.
+//
+// The solver works on a Model, ignoring integrality (branch-and-bound
+// enforces it by tightening variable bounds). Bland's rule guards
+// against cycling; a dense tableau is appropriate at Clara's problem
+// sizes (hundreds of variables).
+#pragma once
+
+#include <vector>
+
+#include "ilp/model.hpp"
+
+namespace clara::ilp {
+
+struct LpOptions {
+  /// Per-variable bound overrides used by branch-and-bound; empty means
+  /// use the model's own bounds. Sized num_vars when present.
+  std::vector<double> lo_override;
+  std::vector<double> hi_override;
+  std::size_t max_pivots = 200'000;
+};
+
+/// Solves the LP relaxation. Solution::values has one entry per model
+/// variable (in model order) when status is kOptimal.
+Solution solve_lp(const Model& model, const LpOptions& options = {});
+
+}  // namespace clara::ilp

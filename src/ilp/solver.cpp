@@ -1,0 +1,142 @@
+#include "ilp/solver.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <memory>
+#include <queue>
+
+#include "ilp/simplex.hpp"
+
+namespace clara::ilp {
+
+namespace {
+
+struct Node {
+  std::vector<double> lo;
+  std::vector<double> hi;
+  double bound = -kInf;  // LP relaxation objective (lower bound for min)
+};
+
+struct NodeOrder {
+  bool operator()(const std::shared_ptr<Node>& a, const std::shared_ptr<Node>& b) const {
+    return a->bound > b->bound;  // best-bound-first
+  }
+};
+
+/// Index of the most fractional integer variable, or -1 if all integral.
+int pick_branch_var(const Model& model, const std::vector<double>& values, double tol) {
+  int best = -1;
+  double best_frac = tol;
+  for (std::size_t i = 0; i < model.num_vars(); ++i) {
+    if (model.variables()[i].kind == VarKind::kContinuous) continue;
+    const double v = values[i];
+    const double frac = std::abs(v - std::round(v));
+    const double dist_to_half = std::abs(frac - 0.5);
+    if (frac > tol) {
+      // prefer fractions near 0.5
+      const double score = 0.5 - dist_to_half + 0.5;
+      if (best == -1 || score > best_frac) {
+        best = static_cast<int>(i);
+        best_frac = score;
+      }
+    }
+  }
+  return best;
+}
+
+}  // namespace
+
+Solution solve_milp(const Model& model, const MilpOptions& options) {
+  if (!model.has_integers()) return solve_lp(model);
+
+  Solution incumbent;
+  incumbent.status = SolveStatus::kInfeasible;
+  incumbent.objective = kInf;
+
+  auto root = std::make_shared<Node>();
+  root->lo.resize(model.num_vars());
+  root->hi.resize(model.num_vars());
+  for (std::size_t i = 0; i < model.num_vars(); ++i) {
+    root->lo[i] = model.variables()[i].lo;
+    root->hi[i] = model.variables()[i].hi;
+  }
+
+  std::priority_queue<std::shared_ptr<Node>, std::vector<std::shared_ptr<Node>>, NodeOrder> open;
+  open.push(root);
+
+  std::size_t explored = 0;
+  bool hit_limit = false;
+
+  while (!open.empty()) {
+    if (explored >= options.max_nodes) {
+      hit_limit = true;
+      break;
+    }
+    const auto node = open.top();
+    open.pop();
+    ++explored;
+
+    // Bound pruning against the incumbent.
+    if (node->bound >= incumbent.objective - 1e-12) continue;
+
+    LpOptions lp_options;
+    lp_options.lo_override = node->lo;
+    lp_options.hi_override = node->hi;
+    const Solution relax = solve_lp(model, lp_options);
+    if (relax.status == SolveStatus::kInfeasible) continue;
+    if (relax.status == SolveStatus::kUnbounded) {
+      // An unbounded relaxation of a bounded-integer problem means the
+      // continuous part is unbounded; report it.
+      Solution out;
+      out.status = SolveStatus::kUnbounded;
+      out.nodes_explored = explored;
+      return out;
+    }
+    if (relax.status == SolveStatus::kLimit) {
+      hit_limit = true;
+      continue;
+    }
+    if (relax.objective >= incumbent.objective - 1e-12) continue;
+
+    const int branch_var = pick_branch_var(model, relax.values, options.int_tol);
+    if (branch_var < 0) {
+      // Integral: new incumbent.
+      Solution candidate = relax;
+      // Snap near-integers exactly.
+      for (std::size_t i = 0; i < model.num_vars(); ++i) {
+        if (model.variables()[i].kind != VarKind::kContinuous) {
+          candidate.values[i] = std::round(candidate.values[i]);
+        }
+      }
+      if (candidate.objective < incumbent.objective) {
+        incumbent = candidate;
+        incumbent.status = SolveStatus::kOptimal;
+      }
+      if (options.rel_gap > 0.0 && !open.empty()) {
+        const double bound = open.top()->bound;
+        if (incumbent.objective - bound <= options.rel_gap * std::max(1.0, std::abs(incumbent.objective))) break;
+      }
+      continue;
+    }
+
+    const double v = relax.values[static_cast<std::size_t>(branch_var)];
+    auto down = std::make_shared<Node>(*node);
+    down->hi[static_cast<std::size_t>(branch_var)] = std::floor(v);
+    down->bound = relax.objective;
+    auto up = std::make_shared<Node>(*node);
+    up->lo[static_cast<std::size_t>(branch_var)] = std::ceil(v);
+    up->bound = relax.objective;
+    if (down->lo[static_cast<std::size_t>(branch_var)] <= down->hi[static_cast<std::size_t>(branch_var)]) {
+      open.push(down);
+    }
+    if (up->lo[static_cast<std::size_t>(branch_var)] <= up->hi[static_cast<std::size_t>(branch_var)]) {
+      open.push(up);
+    }
+  }
+
+  incumbent.nodes_explored = explored;
+  if (incumbent.status != SolveStatus::kOptimal && hit_limit) incumbent.status = SolveStatus::kLimit;
+  return incumbent;
+}
+
+}  // namespace clara::ilp

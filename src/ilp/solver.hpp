@@ -1,0 +1,24 @@
+// Branch-and-bound MILP solver over the simplex LP relaxation.
+#pragma once
+
+#include "ilp/model.hpp"
+
+namespace clara::ilp {
+
+struct MilpOptions {
+  std::size_t max_nodes = 100'000;
+  /// Integrality tolerance: values within this of an integer count.
+  double int_tol = 1e-6;
+  /// Stop early when the incumbent is within this relative gap of the
+  /// best bound (0 = prove optimality).
+  double rel_gap = 0.0;
+};
+
+/// Solves the model, honoring binary/integer variable kinds. Returns
+/// kOptimal with the best integer solution, kInfeasible when none
+/// exists, kLimit when the node budget ran out with no incumbent
+/// (with an incumbent, kOptimal is returned — the caller can inspect
+/// nodes_explored against max_nodes if it cares about proof quality).
+Solution solve_milp(const Model& model, const MilpOptions& options = {});
+
+}  // namespace clara::ilp

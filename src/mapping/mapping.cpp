@@ -1,0 +1,433 @@
+#include "mapping/mapping.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+#include <tuple>
+
+#include "common/strings.hpp"
+#include "ilp/solver.hpp"
+#include "passes/costmodel.hpp"
+
+namespace clara::mapping {
+
+using passes::CostHints;
+using passes::DataflowGraph;
+using passes::DfNode;
+
+std::vector<UnitPool> build_pools(const lnic::Graph& graph) {
+  std::map<std::tuple<int, int, bool>, UnitPool> grouped;  // (kind, stage, match-action) -> pool
+  for (const NodeId id : graph.compute_units()) {
+    const auto* cu = graph.node(id).compute();
+    const auto key = std::make_tuple(static_cast<int>(cu->kind), cu->pipeline_stage, cu->match_action);
+    auto& pool = grouped[key];
+    if (pool.members.empty()) {
+      pool.kind = cu->kind;
+      pool.pipeline_stage = cu->pipeline_stage;
+      pool.match_action = cu->match_action;
+      pool.representative = id;
+      pool.parallelism = 0.0;
+      pool.name = lnic::to_string(cu->kind);
+      if (cu->pipeline_stage != 0) pool.name += strf("@%d", cu->pipeline_stage);
+    }
+    pool.members.push_back(id);
+    pool.parallelism += std::max(1, cu->threads);
+  }
+  std::vector<UnitPool> pools;
+  pools.reserve(grouped.size());
+  for (auto& [key, pool] : grouped) pools.push_back(std::move(pool));
+  return pools;
+}
+
+Mapper::Mapper(const lnic::NicProfile& profile) : profile_(&profile), pools_(build_pools(profile.graph)) {}
+
+bool Mapper::pool_feasible(const DfNode& node, const UnitPool& pool) const {
+  for (const auto& site : node.vcalls) {
+    if (!passes::unit_supports_vcall(pool.kind, pool.match_action, site.v)) return false;
+  }
+  return passes::unit_supports_general_compute(pool.kind, pool.match_action, node.mix);
+}
+
+double Mapper::access_cycles(const UnitPool& pool, NodeId region) const {
+  // Average NUMA weight over pool members that can reach the region; a
+  // pool where no member reaches it gets an effectively-infinite cost
+  // (the ILP forbids the pairing with a hard constraint as well).
+  double total = 0.0;
+  int reachable = 0;
+  for (const NodeId member : pool.members) {
+    if (const auto w = profile_->graph.access_weight(member, region)) {
+      total += *w;
+      ++reachable;
+    }
+  }
+  if (reachable == 0) return 1e12;
+  const double avg_weight = total / reachable;
+  const auto* mem = profile_->graph.node(region).memory();
+  const char* key = nullptr;
+  switch (mem->kind) {
+    case lnic::MemKind::kLocal: key = lnic::keys::kMemReadLocal; break;
+    case lnic::MemKind::kCtm: key = lnic::keys::kMemReadCtm; break;
+    case lnic::MemKind::kImem: key = lnic::keys::kMemReadImem; break;
+    case lnic::MemKind::kEmem: key = lnic::keys::kMemReadEmem; break;
+  }
+  return profile_->params.scalar(key) * avg_weight;
+}
+
+double Mapper::node_cost_on_pool(const DfNode& node, const UnitPool& pool, const cir::Function& fn,
+                                 const CostHints& hints) const {
+  const auto& params = profile_->params;
+  double cycles = passes::mix_compute_cycles(node.mix, pool.kind, params);
+
+  // Packet-byte accesses from explicit loads/stores in the mix.
+  const double pkt_len = hints.avg_payload + 54.0;
+  cycles += static_cast<double>(node.mix.packet_loads + node.mix.packet_stores) *
+            passes::packet_access_cycles(pkt_len, -1.0, params);
+
+  for (const auto& site : node.vcalls) {
+    const double arg = site.arg_hint > 0.0 ? site.arg_hint : hints.avg_payload;
+    const cir::StateObject* state = site.state != ~0u ? &fn.state_objects[site.state] : nullptr;
+    cycles += passes::vcall_compute_cycles(site.v, pool.kind, arg, state, params, hints, site.use_flow_cache);
+    // Payload scans stream packet bytes in cache-line chunks.
+    if (site.v == cir::VCall::kPayloadScan) {
+      cycles += std::ceil(arg / 64.0) * passes::packet_access_cycles(arg + 54.0, -1.0, params);
+    }
+  }
+  return cycles;
+}
+
+double Mapper::node_queueable_cost_on_pool(const DfNode& node, const UnitPool& pool, const cir::Function& fn,
+                                           const CostHints& hints) const {
+  double cycles = node_cost_on_pool(node, pool, fn, hints);
+  if (pool.kind == lnic::UnitKind::kLpmEngine) {
+    const double front_end = profile_->params.scalar(lnic::keys::kFlowCacheHit);
+    for (const auto& site : node.vcalls) {
+      if (site.v != cir::VCall::kLpmLookup) continue;
+      const cir::StateObject* state = site.state != ~0u ? &fn.state_objects[site.state] : nullptr;
+      cycles -= passes::vcall_compute_cycles(site.v, pool.kind, 0.0, state, profile_->params, hints,
+                                             site.use_flow_cache);
+      cycles += front_end;
+    }
+  }
+  return std::max(0.0, cycles);
+}
+
+double Mapper::node_state_accesses(const DfNode& node, lnic::UnitKind kind, std::uint32_t state,
+                                   const cir::Function& fn) {
+  double accesses = 0.0;
+  const auto rit = node.mix.state_reads.find(state);
+  if (rit != node.mix.state_reads.end()) accesses += static_cast<double>(rit->second);
+  const auto wit = node.mix.state_writes.find(state);
+  if (wit != node.mix.state_writes.end()) accesses += static_cast<double>(wit->second);
+  for (const auto& site : node.vcalls) {
+    if (site.state != state) continue;
+    const cir::StateObject* obj = &fn.state_objects[state];
+    accesses += passes::vcall_state_accesses(site.v, kind, obj);
+  }
+  return accesses;
+}
+
+std::vector<NodeId> Mapper::state_regions() const {
+  std::vector<NodeId> out;
+  for (const NodeId id : profile_->graph.memory_regions()) {
+    const auto* mem = profile_->graph.node(id).memory();
+    if (mem->kind == lnic::MemKind::kLocal) continue;  // per-core, not shareable state
+    out.push_back(id);
+  }
+  return out;
+}
+
+Result<Mapping> Mapper::map(const DataflowGraph& graph, const CostHints& hints, const MapOptions& options) const {
+  const cir::Function& fn = *graph.function();
+  const auto& nodes = graph.nodes();
+  const auto regions = state_regions();
+  const std::size_t n_states = fn.state_objects.size();
+
+  ilp::Model model;
+
+  // x[i][p]: node i on pool p (only feasible pairs get variables).
+  std::vector<std::vector<int>> x(nodes.size(), std::vector<int>(pools_.size(), -1));
+  for (std::size_t i = 0; i < nodes.size(); ++i) {
+    ilp::LinExpr assign;
+    bool any = false;
+    for (std::size_t p = 0; p < pools_.size(); ++p) {
+      if (!pool_feasible(nodes[i], pools_[p])) continue;
+      x[i][p] = model.add_binary(strf("x_%zu_%zu", i, p));
+      assign.add(x[i][p], 1.0);
+      any = true;
+    }
+    if (!any) {
+      return make_error(strf("node '%s' cannot be placed on any compute unit of %s", nodes[i].label.c_str(),
+                             profile_->name.c_str()));
+    }
+    model.add_constraint(std::move(assign), ilp::Sense::kEq, 1.0, strf("assign_node_%zu", i));
+  }
+
+  // y[s][r]: state s in region r.
+  std::vector<std::vector<int>> y(n_states, std::vector<int>(regions.size(), -1));
+  for (std::size_t s = 0; s < n_states; ++s) {
+    ilp::LinExpr assign;
+    bool any = false;
+    for (std::size_t r = 0; r < regions.size(); ++r) {
+      const auto* mem = profile_->graph.node(regions[r]).memory();
+      double usable = static_cast<double>(mem->capacity);
+      if (mem->kind == lnic::MemKind::kCtm) usable *= options.ctm_state_fraction;
+      if (static_cast<double>(fn.state_objects[s].total_bytes()) > usable) continue;  // never fits alone
+      y[s][r] = model.add_binary(strf("y_%zu_%zu", s, r));
+      assign.add(y[s][r], 1.0);
+      any = true;
+    }
+    if (!any) {
+      return make_error(strf("state object '%s' (%s) fits no memory region of %s",
+                             fn.state_objects[s].name.c_str(),
+                             format_bytes(fn.state_objects[s].total_bytes()).c_str(), profile_->name.c_str()));
+    }
+    model.add_constraint(std::move(assign), ilp::Sense::kEq, 1.0, strf("assign_state_%zu", s));
+  }
+
+  // Γ capacity: states sharing a region must fit together.
+  for (std::size_t r = 0; r < regions.size(); ++r) {
+    const auto* mem = profile_->graph.node(regions[r]).memory();
+    double usable = static_cast<double>(mem->capacity);
+    if (mem->kind == lnic::MemKind::kCtm) usable *= options.ctm_state_fraction;
+    ilp::LinExpr used;
+    bool any = false;
+    for (std::size_t s = 0; s < n_states; ++s) {
+      if (y[s][r] < 0) continue;
+      used.add(y[s][r], static_cast<double>(fn.state_objects[s].total_bytes()));
+      any = true;
+    }
+    if (any) model.add_constraint(std::move(used), ilp::Sense::kLe, usable, strf("capacity_%zu", r));
+  }
+
+  // Π pipeline order: stage(node k) >= stage(node t) along dataflow edges.
+  for (const auto& edge : graph.edges()) {
+    ilp::LinExpr diff;
+    bool nontrivial = false;
+    for (std::size_t p = 0; p < pools_.size(); ++p) {
+      const double stage = pools_[p].pipeline_stage;
+      if (x[edge.from][p] >= 0) diff.add(x[edge.from][p], stage);
+      if (x[edge.to][p] >= 0) diff.add(x[edge.to][p], -stage);
+      if (stage != 0.0) nontrivial = true;
+    }
+    if (nontrivial) {
+      model.add_constraint(std::move(diff), ilp::Sense::kLe, 0.0, strf("order_%u_%u", edge.from, edge.to));
+    }
+  }
+
+  // Objective: compute costs + linearized state-access costs.
+  ilp::LinExpr objective;
+  for (std::size_t i = 0; i < nodes.size(); ++i) {
+    for (std::size_t p = 0; p < pools_.size(); ++p) {
+      if (x[i][p] < 0) continue;
+      objective.add(x[i][p], nodes[i].weight * node_cost_on_pool(nodes[i], pools_[p], fn, hints));
+    }
+  }
+
+  // State-access terms: w >= x_sum_by_kind + y - 1 with w continuous; the
+  // positive objective coefficient pins w to the product at optimum.
+  for (std::size_t i = 0; i < nodes.size(); ++i) {
+    for (std::size_t s = 0; s < n_states; ++s) {
+      // Group feasible pools by kind: the access count depends on the
+      // unit kind, not the specific pool.
+      std::map<lnic::UnitKind, std::vector<std::size_t>> by_kind;
+      for (std::size_t p = 0; p < pools_.size(); ++p) {
+        if (x[i][p] >= 0) by_kind[pools_[p].kind].push_back(p);
+      }
+      for (const auto& [kind, pool_idxs] : by_kind) {
+        const double accesses = node_state_accesses(nodes[i], kind, static_cast<std::uint32_t>(s), fn);
+        if (accesses <= 0.0) continue;
+        for (std::size_t r = 0; r < regions.size(); ++r) {
+          if (y[s][r] < 0) continue;
+          // Representative pool of this kind for latency purposes.
+          const double lat = access_cycles(pools_[pool_idxs.front()], regions[r]);
+          if (lat >= 1e11) {
+            // Unreachable pairing: forbid x (any pool of this kind) with y.
+            for (const std::size_t p : pool_idxs) {
+              ilp::LinExpr forbid;
+              forbid.add(x[i][p], 1.0).add(y[s][r], 1.0);
+              model.add_constraint(std::move(forbid), ilp::Sense::kLe, 1.0);
+            }
+            continue;
+          }
+          const int w = model.add_continuous(strf("w_%zu_%zu_%d_%zu", i, s, static_cast<int>(kind), r), 0.0, 1.0);
+          ilp::LinExpr link;  // w >= Σ x + y - 1  ⇔  Σ x + y - w <= 1
+          for (const std::size_t p : pool_idxs) link.add(x[i][p], 1.0);
+          link.add(y[s][r], 1.0).add(w, -1.0);
+          model.add_constraint(std::move(link), ilp::Sense::kLe, 1.0);
+          objective.add(w, nodes[i].weight * accesses * lat);
+        }
+      }
+    }
+  }
+
+  // Θ service capacity: per-packet demand on a pool must not exceed its
+  // parallelism budget at the offered rate.
+  const double clock = profile_->params.scalar(lnic::keys::kClockHz);
+  const double budget_per_unit = clock / options.pps;
+  for (std::size_t p = 0; p < pools_.size(); ++p) {
+    ilp::LinExpr demand;
+    bool any = false;
+    for (std::size_t i = 0; i < nodes.size(); ++i) {
+      if (x[i][p] < 0) continue;
+      demand.add(x[i][p], nodes[i].weight * node_queueable_cost_on_pool(nodes[i], pools_[p], fn, hints));
+      any = true;
+    }
+    if (any) {
+      model.add_constraint(std::move(demand), ilp::Sense::kLe, budget_per_unit * pools_[p].parallelism,
+                           strf("theta_%zu", p));
+    }
+  }
+
+  model.set_objective(std::move(objective));
+
+  ilp::MilpOptions milp_options;
+  milp_options.max_nodes = options.max_ilp_nodes;
+  const auto solution = ilp::solve_milp(model, milp_options);
+  if (solution.status == ilp::SolveStatus::kInfeasible) {
+    return make_error(strf("mapping infeasible on %s at %.0f pps (capacity or ordering constraints)",
+                           profile_->name.c_str(), options.pps));
+  }
+  if (solution.status == ilp::SolveStatus::kLimit) {
+    return make_error("ILP node budget exhausted without an integer solution");
+  }
+  if (solution.status == ilp::SolveStatus::kUnbounded) {
+    return make_error("mapping ILP unbounded (model bug)");
+  }
+
+  Mapping mapping;
+  mapping.status = solution.status;
+  mapping.ilp_nodes_explored = solution.nodes_explored;
+  mapping.objective = solution.objective;
+  mapping.node_pool.assign(nodes.size(), 0);
+  for (std::size_t i = 0; i < nodes.size(); ++i) {
+    for (std::size_t p = 0; p < pools_.size(); ++p) {
+      if (x[i][p] >= 0 && solution.value(x[i][p]) > 0.5) mapping.node_pool[i] = static_cast<std::uint32_t>(p);
+    }
+  }
+  mapping.state_region.assign(n_states, kInvalidNode);
+  for (std::size_t s = 0; s < n_states; ++s) {
+    for (std::size_t r = 0; r < regions.size(); ++r) {
+      if (y[s][r] >= 0 && solution.value(y[s][r]) > 0.5) mapping.state_region[s] = regions[r];
+    }
+  }
+  return mapping;
+}
+
+Result<Mapping> Mapper::map_greedy(const DataflowGraph& graph, const CostHints& hints,
+                                   const MapOptions& options) const {
+  const cir::Function& fn = *graph.function();
+  const auto& nodes = graph.nodes();
+  const auto regions = state_regions();
+
+  Mapping mapping;
+  mapping.greedy = true;
+  mapping.status = ilp::SolveStatus::kOptimal;
+  mapping.node_pool.assign(nodes.size(), 0);
+  mapping.state_region.assign(fn.state_objects.size(), kInvalidNode);
+
+  // Nodes: cheapest feasible pool, compute cost only (the greedy mapper
+  // does not anticipate state placement — that is its weakness).
+  for (std::size_t i = 0; i < nodes.size(); ++i) {
+    double best = 1e300;
+    int best_pool = -1;
+    for (std::size_t p = 0; p < pools_.size(); ++p) {
+      if (!pool_feasible(nodes[i], pools_[p])) continue;
+      const double cost = node_cost_on_pool(nodes[i], pools_[p], fn, hints);
+      if (cost < best) {
+        best = cost;
+        best_pool = static_cast<int>(p);
+      }
+    }
+    if (best_pool < 0) {
+      return make_error(strf("greedy: node '%s' cannot be placed on %s", nodes[i].label.c_str(),
+                             profile_->name.c_str()));
+    }
+    mapping.node_pool[i] = static_cast<std::uint32_t>(best_pool);
+    mapping.objective += nodes[i].weight * best;
+  }
+
+  // States: process in declaration order; first region (sorted by access
+  // latency from the NPU pool) with space left.
+  std::vector<double> remaining(regions.size());
+  std::vector<std::size_t> region_order(regions.size());
+  const UnitPool* npu_pool = nullptr;
+  for (const auto& pool : pools_) {
+    if (pool.kind == lnic::UnitKind::kNpuCore) npu_pool = &pool;
+  }
+  for (std::size_t r = 0; r < regions.size(); ++r) {
+    const auto* mem = profile_->graph.node(regions[r]).memory();
+    remaining[r] = static_cast<double>(mem->capacity);
+    if (mem->kind == lnic::MemKind::kCtm) remaining[r] *= options.ctm_state_fraction;
+    region_order[r] = r;
+  }
+  std::sort(region_order.begin(), region_order.end(), [&](std::size_t a, std::size_t b) {
+    const double la = npu_pool != nullptr ? access_cycles(*npu_pool, regions[a]) : 0.0;
+    const double lb = npu_pool != nullptr ? access_cycles(*npu_pool, regions[b]) : 0.0;
+    return la < lb;
+  });
+
+  for (std::size_t s = 0; s < fn.state_objects.size(); ++s) {
+    const double need = static_cast<double>(fn.state_objects[s].total_bytes());
+    bool placed = false;
+    for (const std::size_t r : region_order) {
+      if (remaining[r] < need) continue;
+      remaining[r] -= need;
+      mapping.state_region[s] = regions[r];
+      placed = true;
+      break;
+    }
+    if (!placed) {
+      return make_error(strf("greedy: state '%s' fits no region", fn.state_objects[s].name.c_str()));
+    }
+    // Account access cost against the chosen region.
+    for (std::size_t i = 0; i < nodes.size(); ++i) {
+      const auto& pool = pools_[mapping.node_pool[i]];
+      const double accesses = node_state_accesses(nodes[i], pool.kind, static_cast<std::uint32_t>(s), fn);
+      if (accesses > 0.0) {
+        mapping.objective += nodes[i].weight * accesses * access_cycles(pool, mapping.state_region[s]);
+      }
+    }
+  }
+  return mapping;
+}
+
+std::string describe_mapping(const Mapping& mapping, const DataflowGraph& graph, const Mapper& mapper,
+                             const cir::Function& fn) {
+  std::string out;
+  out += strf("Porting plan for '%s' on %s (%s mapper, est. %.0f cycles/pkt service)\n", fn.name.c_str(),
+              mapper.profile().name.c_str(), mapping.greedy ? "greedy" : "ILP", mapping.objective);
+  out += "  compute bindings:\n";
+  for (std::size_t i = 0; i < graph.nodes().size(); ++i) {
+    const auto& node = graph.nodes()[i];
+    const auto& pool = mapper.pools()[mapping.node_pool[i]];
+    out += strf("    %-28s -> %-16s (weight %.3f)\n", node.label.c_str(), pool.name.c_str(), node.weight);
+  }
+  if (!fn.state_objects.empty()) {
+    out += "  state placement:\n";
+    for (std::size_t s = 0; s < fn.state_objects.size(); ++s) {
+      const auto& obj = fn.state_objects[s];
+      const auto& region = mapper.profile().graph.node(mapping.state_region[s]);
+      out += strf("    %-28s -> %-16s (%s)\n", obj.name.c_str(), region.name.c_str(),
+                  format_bytes(obj.total_bytes()).c_str());
+    }
+  }
+  // Hand-tuning hints mirroring the paper's examples.
+  for (std::size_t i = 0; i < graph.nodes().size(); ++i) {
+    const auto& node = graph.nodes()[i];
+    const auto& pool = mapper.pools()[mapping.node_pool[i]];
+    for (const auto& site : node.vcalls) {
+      if (site.v == cir::VCall::kLpmLookup && pool.kind == lnic::UnitKind::kLpmEngine) {
+        out += "  hint: route LPM through the match-action engine and enable the flow cache\n";
+      }
+      if (site.v == cir::VCall::kCsum && pool.kind == lnic::UnitKind::kChecksumAccel) {
+        out += "  hint: use the ingress checksum unit instead of NPU software checksum\n";
+      }
+      if (site.v == cir::VCall::kCsum && pool.kind == lnic::UnitKind::kNpuCore) {
+        out += "  hint: checksum runs in NPU software here; consider restructuring to reach the accelerator\n";
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace clara::mapping

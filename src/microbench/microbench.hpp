@@ -1,0 +1,46 @@
+// Hardware microbenchmarking and parameter extraction — paper §3.2.
+//
+// "Clara needs to obtain [parameters] from hardware specifications or
+// microbenchmarking, as a one-time effort for each SmartNIC." This
+// module is that one-time effort against the simulated device: a suite
+// of NF-independent "unit-test" programs covering 1) packet parsers,
+// 2) checksum units, 3) the flow cache, 4) header/metadata
+// modifications, 5) memory loads/stores at every hierarchy level, and
+// 6) datapath costs — the six categories §4 lists. Measured values are
+// fitted (linear fits for size-dependent curves; knee detection via the
+// half-latency rule for capacity discovery) and written into a
+// ParameterStore under the same keys the profiles use, so extracted
+// parameters can replace databook defaults transparently.
+//
+// Instruction-class cycle tables (ALU/MUL/DIV/branch) come from the
+// databook profile: per-instruction timing is not observable through
+// the ported-program API, exactly as on real hardware without
+// cycle-accurate tracing.
+#pragma once
+
+#include <string>
+
+#include "lnic/params.hpp"
+#include "nicsim/sim.hpp"
+
+namespace clara::microbench {
+
+struct ExtractionResult {
+  lnic::ParameterStore params;
+  /// Human-readable measurement log (one line per parameter).
+  std::string report;
+  /// EMEM cache capacity discovered by the working-set knee sweep.
+  Bytes discovered_emem_cache = 0;
+};
+
+/// Runs the full microbenchmark suite on a fresh simulator instance and
+/// returns extracted parameters. `databook` provides the values that
+/// cannot be measured through the program API (instruction tables,
+/// clock); everything else is measured.
+ExtractionResult extract_parameters(const nicsim::NicConfig& config, const lnic::ParameterStore& databook);
+
+/// Sweeps EMEM working-set size and returns average access latency per
+/// size (the latency curve whose knee reveals the cache capacity).
+std::vector<std::pair<double, double>> emem_workingset_curve(const nicsim::NicConfig& config);
+
+}  // namespace clara::microbench

@@ -1,0 +1,112 @@
+#include "nf/compose.hpp"
+
+#include "cir/builder.hpp"
+#include "cir/vcalls.hpp"
+#include "cir/verify.hpp"
+#include "common/strings.hpp"
+
+namespace clara::nf {
+
+using cir::Instr;
+using cir::kNoReg;
+using cir::Opcode;
+using cir::Value;
+
+namespace {
+
+/// Rebases a stage's blocks/registers/states by fixed offsets.
+void rebase(cir::Function& stage, std::uint32_t block_offset, std::uint32_t reg_offset,
+            std::uint32_t state_offset, const std::string& prefix) {
+  for (auto& block : stage.blocks) {
+    block.label = prefix + "." + block.label;
+    for (auto& instr : block.instrs) {
+      if (instr.dst != kNoReg) instr.dst += reg_offset;
+      for (auto& arg : instr.args) {
+        if (arg.is_reg()) arg.reg += reg_offset;
+      }
+      if (instr.op == Opcode::kBr || instr.op == Opcode::kCondBr) {
+        instr.target0 += block_offset;
+        if (instr.op == Opcode::kCondBr) instr.target1 += block_offset;
+      }
+      for (auto& pred : instr.phi_preds) pred += block_offset;
+      if (instr.space == cir::MemSpace::kState) instr.state += state_offset;
+      // State-taking vcalls carry the state index as the first immediate.
+      if (instr.op == Opcode::kCall) {
+        if (const auto v = cir::parse_vcall(instr.callee); v && cir::vcall_takes_state(*v)) {
+          instr.args[0] = Value::of_imm(instr.args[0].imm + static_cast<std::int64_t>(state_offset));
+        }
+      }
+    }
+  }
+}
+
+/// Rewrites every `vcall_emit; ret` exit of blocks [begin, end) into a
+/// branch to `next_entry`. Returns the number of rewritten exits.
+std::size_t redirect_emits(cir::Function& fn, std::size_t begin, std::size_t end, std::uint32_t next_entry) {
+  std::size_t redirected = 0;
+  for (std::size_t b = begin; b < end; ++b) {
+    auto& instrs = fn.blocks[b].instrs;
+    if (instrs.size() < 2) continue;
+    Instr& last = instrs.back();
+    Instr& prev = instrs[instrs.size() - 2];
+    if (last.op != Opcode::kRet) continue;
+    if (prev.op != Opcode::kCall || prev.callee != cir::vcall_name(cir::VCall::kEmit)) continue;
+    // Drop the emit, turn the ret into a branch.
+    instrs.erase(instrs.end() - 2);
+    Instr& term = instrs.back();
+    term.op = Opcode::kBr;
+    term.target0 = next_entry;
+    ++redirected;
+  }
+  return redirected;
+}
+
+}  // namespace
+
+Result<cir::Function> compose_chain(const std::string& name, const std::vector<cir::Function>& stages) {
+  if (stages.empty()) return make_error("compose_chain: no stages");
+  for (const auto& stage : stages) {
+    if (auto status = cir::verify(stage); !status) {
+      return make_error(strf("compose_chain: stage '%s' invalid: %s", stage.name.c_str(),
+                             status.error().message.c_str()));
+    }
+  }
+
+  cir::Function out;
+  out.name = name;
+
+  std::vector<std::size_t> stage_begin;  // first block index of each stage
+  for (const auto& original : stages) {
+    cir::Function stage = original;  // copy, then rebase in place
+    const auto block_offset = static_cast<std::uint32_t>(out.blocks.size());
+    const auto state_offset = static_cast<std::uint32_t>(out.state_objects.size());
+    rebase(stage, block_offset, out.num_regs, state_offset, stage.name);
+    stage_begin.push_back(out.blocks.size());
+    for (auto& block : stage.blocks) out.blocks.push_back(std::move(block));
+    for (auto& state : stage.state_objects) {
+      // Keep state names unique across stages.
+      state.name = stage.name + "." + state.name;
+      out.state_objects.push_back(std::move(state));
+    }
+    out.num_regs += stage.num_regs;
+  }
+  stage_begin.push_back(out.blocks.size());
+
+  // Wire each stage's emits into the next stage's entry.
+  for (std::size_t k = 0; k + 1 < stages.size(); ++k) {
+    const auto next_entry = static_cast<std::uint32_t>(stage_begin[k + 1]);
+    const std::size_t redirected =
+        redirect_emits(out, stage_begin[k], stage_begin[k + 1], next_entry);
+    if (redirected == 0) {
+      return make_error(strf("compose_chain: stage '%s' never emits; nothing reaches '%s'",
+                             stages[k].name.c_str(), stages[k + 1].name.c_str()));
+    }
+  }
+
+  if (auto status = cir::verify(out); !status) {
+    return make_error("compose_chain: composed function invalid: " + status.error().message);
+  }
+  return out;
+}
+
+}  // namespace clara::nf

@@ -1,0 +1,31 @@
+// NF chain composition.
+//
+// The paper's VNF workload is "a function chain that includes DPI,
+// metering, header modifications, and flow statistics". Operators build
+// such chains from individual elements (Click's whole premise); this
+// utility composes CIR functions the same way: the packets a stage
+// *emits* flow into the next stage, drops terminate the chain.
+//
+// Mechanically: stage k's `vcall_emit; ret` exits are rewritten into
+// branches to stage k+1's entry; blocks, registers and state-object
+// indices of later stages are re-based. Only the final stage's emits
+// leave the chain. The result is a single verified CIR function that
+// the analyzer treats like any other NF — per-stage mapping decisions
+// (e.g. this stage's lookup on the LPM engine, that one's checksum on
+// the accelerator) fall out of the ILP as usual.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "cir/function.hpp"
+#include "common/result.hpp"
+
+namespace clara::nf {
+
+/// Composes the stages into one function named `name`. Fails when a
+/// stage has no emit (nothing would flow onward) — except the last, or
+/// when any stage fails verification.
+Result<cir::Function> compose_chain(const std::string& name, const std::vector<cir::Function>& stages);
+
+}  // namespace clara::nf

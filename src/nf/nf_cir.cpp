@@ -1,0 +1,384 @@
+#include "nf/nf_cir.hpp"
+
+#include "cir/builder.hpp"
+
+namespace clara::nf {
+
+using cir::FunctionBuilder;
+using cir::HdrField;
+using cir::StateObject;
+using cir::StatePattern;
+using cir::SymExpr;
+using cir::Value;
+using cir::VCall;
+
+namespace {
+Value imm(std::int64_t v) { return Value::of_imm(v); }
+}  // namespace
+
+cir::Function build_lpm_nf(const LpmConfig& config) {
+  FunctionBuilder b("lpm");
+  const auto routes = b.add_state(StateObject{"routes", 16, config.rules, StatePattern::kArray});
+
+  const auto entry = b.create_block("entry");
+  b.set_insert_point(entry);
+  b.call("rte_pktmbuf_mtod", {}, false);  // DPDK parse idiom
+  const Value dst = b.get_hdr(HdrField::kDstIp);
+  // rte_lpm_lookup(table, ip [, flow-cache flag filled by substitution]).
+  const Value nh = b.call("rte_lpm_lookup",
+                          {imm(static_cast<std::int64_t>(routes)), dst,
+                           imm(config.use_flow_cache ? 1 : 0)});
+  b.set_hdr(HdrField::kDstPort, nh);  // stash next-hop in metadata
+  b.vcall(VCall::kEmit, {imm(1)}, false);
+  b.ret();
+  return b.take();
+}
+
+cir::Function build_nat_nf(const NatConfig& config) {
+  FunctionBuilder b("nat");
+  const auto flow_table =
+      b.add_state(StateObject{"flow_table", 64, config.flow_entries, StatePattern::kHashTable});
+
+  const auto entry = b.create_block("entry");
+  const auto insert = b.create_block("insert");
+  const auto translate = b.create_block("translate");
+
+  b.set_insert_point(entry);
+  b.call("rte_pktmbuf_mtod", {}, false);
+  const Value hash = b.get_hdr(HdrField::kFlowHash);
+  const Value hit = b.call("rte_hash_lookup", {imm(static_cast<std::int64_t>(flow_table)), hash});
+  b.cond_br(hit, translate, insert);
+
+  b.set_insert_point(insert);
+  b.call("rte_hash_add_key", {imm(static_cast<std::int64_t>(flow_table)), hash, imm(1)}, false);
+  b.br(translate);
+
+  b.set_insert_point(translate);
+  // Rewrite the source endpoint to the NAT'd address, then fix up the
+  // L4 checksum over the payload.
+  const Value src = b.get_hdr(HdrField::kSrcIp);
+  const Value nat_ip = b.bxor(src, imm(0x0a0a0a0a));
+  b.set_hdr(HdrField::kSrcIp, nat_ip);
+  b.set_hdr(HdrField::kSrcPort, imm(4242));
+  const Value len = b.get_hdr(HdrField::kPayloadLen);
+  const Value ck = b.call("rte_ipv4_udptcp_cksum", {len});
+  b.set_hdr(HdrField::kTcpFlags, ck);  // metadata slot standing in for the csum field
+  b.call("rte_eth_tx_burst", {imm(1)}, false);
+  b.ret();
+  return b.take();
+}
+
+cir::Function build_fw_nf(const FwConfig& config) {
+  FunctionBuilder b("firewall");
+  const auto conn = b.add_state(StateObject{"conn_table", config.conn_entry_bytes, config.conn_entries,
+                                            StatePattern::kHashTable});
+  const auto rules = b.add_state(StateObject{"rules", 32, config.rules, StatePattern::kArray});
+
+  const auto entry = b.create_block("entry");
+  const auto established = b.create_block("established");
+  const auto fresh = b.create_block("fresh");
+  const auto check_rules = b.create_block("check_rules");
+  const auto accept = b.create_block("accept");
+  const auto reject = b.create_block("reject");
+
+  b.set_insert_point(entry);
+  b.vcall(VCall::kParse, {}, false);
+  const Value hash = b.get_hdr(HdrField::kFlowHash);
+  const Value hit = b.call("bpf_map_lookup_elem", {imm(static_cast<std::int64_t>(conn)), hash});
+  b.cond_br(hit, established, fresh);
+
+  b.set_insert_point(established);
+  b.br(accept);
+
+  b.set_insert_point(fresh);
+  // Only TCP SYNs may open a connection.
+  const Value flags = b.get_hdr(HdrField::kTcpFlags);
+  const Value syn = b.band(flags, imm(1));
+  b.cond_br(syn, check_rules, reject);
+
+  b.set_insert_point(check_rules);
+  const Value dport = b.get_hdr(HdrField::kDstPort);
+  const Value rule = b.call("bpf_map_lookup_elem", {imm(static_cast<std::int64_t>(rules)), dport});
+  // Install connection state regardless of rule verdict shape; the
+  // verdict gates the accept edge.
+  b.call("bpf_map_update_elem", {imm(static_cast<std::int64_t>(conn)), hash, imm(1)}, false);
+  b.cond_br(rule, accept, reject);
+
+  b.set_insert_point(accept);
+  b.vcall(VCall::kEmit, {imm(1)}, false);
+  b.ret();
+
+  b.set_insert_point(reject);
+  b.vcall(VCall::kDrop, {}, false);
+  b.ret();
+  return b.take();
+}
+
+cir::Function build_dpi_nf() {
+  FunctionBuilder b("dpi");
+
+  const auto entry = b.create_block("entry");
+  const auto loop = b.create_block("scan_loop");
+  const auto check = b.create_block("check");
+  const auto pass = b.create_block("pass");
+  const auto alarm = b.create_block("alarm");
+
+  b.set_insert_point(entry);
+  b.vcall(VCall::kParse, {}, false);
+  const Value len = b.get_hdr(HdrField::kPayloadLen);
+  const Value have = b.cmp_gt(len, imm(0));
+  b.cond_br(have, loop, pass);
+
+  // Explicit byte-scan loop: load each payload byte, compare against the
+  // signature byte, accumulate a match flag. The idiom matcher collapses
+  // this block to vcall_payload_scan(len).
+  b.set_insert_point(loop);
+  const Value i = b.phi();
+  const Value acc = b.phi();
+  const Value byte = b.load_packet(i);
+  const Value is_sig = b.cmp_eq(byte, imm(0x47));
+  const Value acc1 = b.bor(acc, is_sig);
+  const Value i1 = b.add(i, imm(1));
+  const Value more = b.cmp_lt(i1, len);
+  b.cond_br(more, loop, check);
+  b.add_incoming(i, imm(0), entry);
+  b.add_incoming(i, i1, loop);
+  b.add_incoming(acc, imm(0), entry);
+  b.add_incoming(acc, acc1, loop);
+  b.set_trip(loop, SymExpr::of_param("payload_len"));
+
+  b.set_insert_point(check);
+  b.cond_br(acc1, alarm, pass);
+
+  b.set_insert_point(pass);
+  b.vcall(VCall::kEmit, {imm(1)}, false);
+  b.ret();
+
+  b.set_insert_point(alarm);
+  b.vcall(VCall::kDrop, {}, false);
+  b.ret();
+  return b.take();
+}
+
+cir::Function build_hh_nf(const HhConfig& config) {
+  FunctionBuilder b("heavy_hitter");
+  const auto counters = b.add_state(StateObject{"counters", 32, config.counters, StatePattern::kHashTable});
+
+  const auto entry = b.create_block("entry");
+  const auto flag = b.create_block("flag");
+  const auto out = b.create_block("out");
+
+  b.set_insert_point(entry);
+  b.vcall(VCall::kParse, {}, false);
+  const Value hash = b.get_hdr(HdrField::kFlowHash);
+  b.vcall(VCall::kStatsUpdate, {imm(static_cast<std::int64_t>(counters)), hash}, false);
+  const Value count = b.load_state(counters, hash);
+  const Value heavy = b.cmp_gt(count, imm(1000));
+  b.cond_br(heavy, flag, out);
+
+  b.set_insert_point(flag);
+  b.set_hdr(HdrField::kTcpFlags, imm(0x80));  // mark as heavy in metadata
+  b.br(out);
+
+  b.set_insert_point(out);
+  b.vcall(VCall::kEmit, {imm(1)}, false);
+  b.ret();
+  return b.take();
+}
+
+cir::Function build_meter_nf(const MeterConfig& config) {
+  FunctionBuilder b("meter");
+  const auto buckets = b.add_state(StateObject{"buckets", 32, config.buckets, StatePattern::kHashTable});
+
+  const auto entry = b.create_block("entry");
+  const auto ok = b.create_block("conform");
+  const auto exceed = b.create_block("exceed");
+
+  b.set_insert_point(entry);
+  b.vcall(VCall::kParse, {}, false);
+  const Value hash = b.get_hdr(HdrField::kFlowHash);
+  const Value verdict =
+      b.call("rte_meter_srtcm_color_blind_check", {imm(static_cast<std::int64_t>(buckets)), hash});
+  b.cond_br(verdict, ok, exceed);
+
+  b.set_insert_point(ok);
+  b.vcall(VCall::kEmit, {imm(1)}, false);
+  b.ret();
+
+  b.set_insert_point(exceed);
+  b.vcall(VCall::kDrop, {}, false);
+  b.ret();
+  return b.take();
+}
+
+cir::Function build_flowstats_nf(const FlowStatsConfig& config) {
+  FunctionBuilder b("flow_stats");
+  const auto stats = b.add_state(StateObject{"stats", 32, config.entries, StatePattern::kHashTable});
+
+  const auto entry = b.create_block("entry");
+  b.set_insert_point(entry);
+  b.vcall(VCall::kParse, {}, false);
+  const Value hash = b.get_hdr(HdrField::kFlowHash);
+  b.vcall(VCall::kStatsUpdate, {imm(static_cast<std::int64_t>(stats)), hash}, false);   // packet count
+  const Value len = b.get_hdr(HdrField::kPktLen);
+  const Value byte_key = b.add(hash, imm(1));
+  b.vcall(VCall::kStatsUpdate, {imm(static_cast<std::int64_t>(stats)), byte_key}, false);  // byte count
+  b.set_hdr(HdrField::kTcpFlags, len);
+  b.vcall(VCall::kEmit, {imm(1)}, false);
+  b.ret();
+  return b.take();
+}
+
+cir::Function build_rewrite_nf() {
+  FunctionBuilder b("rewrite");
+  const auto entry = b.create_block("entry");
+  b.set_insert_point(entry);
+  b.call("click_network_header", {}, false);  // Click parse idiom
+  const Value dst = b.get_hdr(HdrField::kDstIp);
+  const Value rewritten = b.bxor(dst, imm(0x01010101));
+  b.call("click_set_ip_header", {imm(static_cast<std::int64_t>(HdrField::kDstIp)), rewritten}, false);
+  b.set_hdr(HdrField::kSrcPort, imm(8080));
+  b.vcall(VCall::kEmit, {imm(1)}, false);
+  b.ret();
+  return b.take();
+}
+
+cir::Function build_vnf_chain(const VnfConfig& config) {
+  FunctionBuilder b("vnf_chain");
+  const auto meters = b.add_state(StateObject{"meters", 32, config.meter_buckets, StatePattern::kHashTable});
+  const auto stats = b.add_state(StateObject{"flow_stats", 32, config.stats_entries, StatePattern::kHashTable});
+
+  const auto entry = b.create_block("entry");
+  const auto loop = b.create_block("dpi_loop");
+  const auto meter_blk = b.create_block("meter");
+  const auto modify = b.create_block("modify");
+  const auto exceed = b.create_block("exceed");
+
+  // Stage 1: parse + DPI scan (explicit loop, as in the original C).
+  b.set_insert_point(entry);
+  b.vcall(VCall::kParse, {}, false);
+  const Value len = b.get_hdr(HdrField::kPayloadLen);
+  const Value have = b.cmp_gt(len, imm(0));
+  b.cond_br(have, loop, meter_blk);
+
+  b.set_insert_point(loop);
+  const Value i = b.phi();
+  const Value byte = b.load_packet(i);
+  const Value tmp = b.bxor(byte, imm(0x5a));
+  const Value i1 = b.add(i, imm(1));
+  const Value more = b.cmp_lt(i1, len);
+  (void)tmp;
+  b.cond_br(more, loop, meter_blk);
+  b.add_incoming(i, imm(0), entry);
+  b.add_incoming(i, i1, loop);
+  b.set_trip(loop, SymExpr::of_param("payload_len"));
+
+  // Stage 2: metering.
+  b.set_insert_point(meter_blk);
+  const Value hash = b.get_hdr(HdrField::kFlowHash);
+  const Value verdict =
+      b.call("rte_meter_srtcm_color_blind_check", {imm(static_cast<std::int64_t>(meters)), hash});
+  b.cond_br(verdict, modify, exceed);
+
+  // Stage 3+4: header modifications and flow statistics.
+  b.set_insert_point(modify);
+  const Value src = b.get_hdr(HdrField::kSrcIp);
+  const Value marked = b.bor(src, imm(0x80000000));
+  b.set_hdr(HdrField::kSrcIp, marked);
+  b.set_hdr(HdrField::kDstPort, imm(9999));
+  b.vcall(VCall::kStatsUpdate, {imm(static_cast<std::int64_t>(stats)), hash}, false);
+  b.vcall(VCall::kEmit, {imm(1)}, false);
+  b.ret();
+
+  b.set_insert_point(exceed);
+  b.vcall(VCall::kDrop, {}, false);
+  b.ret();
+  return b.take();
+}
+
+cir::Function build_crypto_gw_nf(const CryptoGwConfig& config) {
+  FunctionBuilder b("crypto_gw");
+  const auto sa_table = b.add_state(StateObject{"sa_table", 64, config.sa_entries, StatePattern::kHashTable});
+
+  const auto entry = b.create_block("entry");
+  const auto encrypt = b.create_block("encrypt");
+  const auto bypass = b.create_block("bypass");
+
+  b.set_insert_point(entry);
+  b.vcall(VCall::kParse, {}, false);
+  const Value hash = b.get_hdr(HdrField::kFlowHash);
+  // Security-association lookup; flows without an SA pass in the clear.
+  const Value sa = b.call("bpf_map_lookup_elem", {imm(static_cast<std::int64_t>(sa_table)), hash});
+  b.cond_br(sa, encrypt, bypass);
+
+  b.set_insert_point(encrypt);
+  const Value len = b.get_hdr(HdrField::kPayloadLen);
+  b.call("rte_crypto_enqueue", {len}, false);
+  // Tunnel header rewrite.
+  b.set_hdr(HdrField::kDstIp, imm(0x0a636363));
+  b.set_hdr(HdrField::kDstPort, imm(4500));
+  b.vcall(VCall::kEmit, {imm(1)}, false);
+  b.ret();
+
+  b.set_insert_point(bypass);
+  b.vcall(VCall::kEmit, {imm(1)}, false);
+  b.ret();
+  return b.take();
+}
+
+cir::Function build_csum_loop_nf() {
+  FunctionBuilder b("csum_loop");
+  const auto entry = b.create_block("entry");
+  const auto loop = b.create_block("sum_loop");
+  const auto out = b.create_block("out");
+
+  b.set_insert_point(entry);
+  b.vcall(VCall::kParse, {}, false);
+  const Value len = b.get_hdr(HdrField::kPayloadLen);
+  const Value have = b.cmp_gt(len, imm(0));
+  b.cond_br(have, loop, out);
+
+  // Checksum as an accumulation loop: add each payload byte into a
+  // running sum — the csum idiom.
+  b.set_insert_point(loop);
+  const Value i = b.phi();
+  const Value sum = b.phi();
+  const Value byte = b.load_packet(i);
+  const Value sum1 = b.add(sum, byte);
+  const Value i1 = b.add(i, imm(1));
+  const Value more = b.cmp_lt(i1, len);
+  b.cond_br(more, loop, out);
+  b.add_incoming(i, imm(0), entry);
+  b.add_incoming(i, i1, loop);
+  b.add_incoming(sum, imm(0), entry);
+  b.add_incoming(sum, sum1, loop);
+  b.set_trip(loop, SymExpr::of_param("payload_len"));
+
+  b.set_insert_point(out);
+  b.vcall(VCall::kEmit, {imm(1)}, false);
+  b.ret();
+  return b.take();
+}
+
+cir::Function build_rate_estimator_nf() {
+  FunctionBuilder b("rate_estimator");
+  const auto rates = b.add_state(StateObject{"rates", 16, 8192, StatePattern::kHashTable});
+
+  const auto entry = b.create_block("entry");
+  b.set_insert_point(entry);
+  b.vcall(VCall::kParse, {}, false);
+  const Value hash = b.get_hdr(HdrField::kFlowHash);
+  const Value old_rate = b.load_state(rates, hash);
+  const Value len = b.get_hdr(HdrField::kPktLen);
+  // EWMA: rate = 0.9*rate + 0.1*len — floating point on the datapath,
+  // which NPU cores must emulate in software (paper §3.4).
+  const Value scaled_old = b.fmul(old_rate, imm(9));
+  const Value scaled_new = b.fmul(len, imm(1));
+  const Value blended = b.fadd(scaled_old, scaled_new);
+  b.store_state(rates, hash, blended);
+  b.vcall(VCall::kEmit, {imm(1)}, false);
+  b.ret();
+  return b.take();
+}
+
+}  // namespace clara::nf

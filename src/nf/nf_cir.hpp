@@ -1,0 +1,95 @@
+// The NF corpus, in "unported" form — paper §4.
+//
+// Each builder returns the CIR a front-end would produce from the
+// original C sources (DESIGN.md §6 explains why the builder is the
+// front-end seam in this repository). The functions deliberately use
+// framework-specific API names (DPDK for the paper's evaluation NFs,
+// Click/eBPF elsewhere) so the API-substitution pass has real work to
+// do, and the DPI scan is an explicit byte loop so idiom pattern
+// matching has real work to do.
+//
+// NFs: LPM, NAT, stateful firewall, DPI, heavy-hitter detection,
+// metering, flow statistics, header rewrite, and the VNF chain
+// (DPI -> meter -> header modification -> flow statistics) from the
+// paper's Figure 3(b).
+#pragma once
+
+#include "cir/function.hpp"
+
+namespace clara::nf {
+
+/// Longest-prefix match on destination IPs. `rules` sets the
+/// match-action table size (the Figure 3(a) sweep variable);
+/// `use_flow_cache` is the hand-tuning knob Figure 1 varies.
+struct LpmConfig {
+  std::uint64_t rules = 10'000;
+  bool use_flow_cache = true;
+};
+cir::Function build_lpm_nf(const LpmConfig& config = {});
+
+/// Network address translation: per-flow table, header translation and
+/// checksum update per packet (Figure 3(c)).
+struct NatConfig {
+  std::uint64_t flow_entries = 131'072;  // x 64 B = 8 MiB, EMEM-resident
+};
+cir::Function build_nat_nf(const NatConfig& config = {});
+
+/// Stateful firewall: established-connection fast path; TCP SYNs consult
+/// the rule table and install state; everything else drops.
+struct FwConfig {
+  std::uint64_t conn_entries = 16'384;
+  Bytes conn_entry_bytes = 64;
+  std::uint64_t rules = 1024;
+};
+cir::Function build_fw_nf(const FwConfig& config = {});
+
+/// Deep packet inspection: an explicit per-byte scan loop over the
+/// payload (collapsed to vcall_payload_scan by pattern matching).
+cir::Function build_dpi_nf();
+
+/// Heavy-hitter detection: per-flow counters with a threshold check.
+struct HhConfig {
+  std::uint64_t counters = 16'384;
+};
+cir::Function build_hh_nf(const HhConfig& config = {});
+
+/// Token-bucket metering.
+struct MeterConfig {
+  std::uint64_t buckets = 4096;
+};
+cir::Function build_meter_nf(const MeterConfig& config = {});
+
+/// Per-flow byte/packet statistics.
+struct FlowStatsConfig {
+  std::uint64_t entries = 16'384;
+};
+cir::Function build_flowstats_nf(const FlowStatsConfig& config = {});
+
+/// Header rewrite: parse + a handful of metadata modifications (the
+/// minimal NF; useful for calibration and tests).
+cir::Function build_rewrite_nf();
+
+/// The paper's VNF chain: DPI, metering, header modifications, flow
+/// statistics (Figure 3(b)).
+struct VnfConfig {
+  std::uint64_t meter_buckets = 4096;
+  std::uint64_t stats_entries = 16'384;
+};
+cir::Function build_vnf_chain(const VnfConfig& config = {});
+
+/// IPsec-style encryption gateway: SA lookup, payload encryption on the
+/// crypto engine, header rewrite. Exercises the crypto accelerator path.
+struct CryptoGwConfig {
+  std::uint64_t sa_entries = 4096;
+};
+cir::Function build_crypto_gw_nf(const CryptoGwConfig& config = {});
+
+/// An NF with a checksum computed as an explicit accumulation loop —
+/// exercises the csum idiom matcher (tests/ablation only).
+cir::Function build_csum_loop_nf();
+
+/// An NF that uses floating-point arithmetic (EWMA-based rate
+/// estimation) — exercises the FPU-emulation cost path of §3.4.
+cir::Function build_rate_estimator_nf();
+
+}  // namespace clara::nf

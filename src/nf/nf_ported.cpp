@@ -1,0 +1,118 @@
+#include "nf/nf_ported.hpp"
+
+namespace clara::nf {
+
+using cir::HdrField;
+using nicsim::NicApi;
+
+void LpmProgram::handle(NicApi& api) {
+  api.parse();
+  const std::uint64_t dst = api.get_hdr(HdrField::kDstIp);
+  (void)dst;
+  api.lpm_lookup(*routes_, api.pkt().flow_hash(), use_flow_cache_);
+  api.set_hdr(HdrField::kDstPort, 1);  // stash next hop
+  api.emit();
+}
+
+void NatProgram::handle(NicApi& api) {
+  api.parse();
+  const std::uint64_t hash = api.get_hdr(HdrField::kFlowHash);
+  const bool hit = api.table_lookup(*flow_table_, hash);
+  if (!hit) api.table_update(*flow_table_, hash);
+  const std::uint64_t src = api.get_hdr(HdrField::kSrcIp);
+  api.set_hdr(HdrField::kSrcIp, src ^ 0x0a0a0a0a);
+  api.set_hdr(HdrField::kSrcPort, 4242);
+  const auto len = static_cast<std::uint32_t>(api.get_hdr(HdrField::kPayloadLen));
+  const std::uint64_t ck = api.csum(len, use_csum_accel_);
+  api.set_hdr(HdrField::kTcpFlags, ck);
+  api.emit();
+}
+
+void FwProgram::handle(NicApi& api) {
+  api.parse();
+  const std::uint64_t hash = api.get_hdr(HdrField::kFlowHash);
+  if (api.table_lookup(*conn_table_, hash)) {
+    api.emit();
+    return;
+  }
+  const std::uint64_t flags = api.get_hdr(HdrField::kTcpFlags);
+  if ((flags & 0x1) == 0) {
+    api.drop();
+    return;
+  }
+  const std::uint64_t dport = api.get_hdr(HdrField::kDstPort);
+  api.table_lookup(*rules_, dport);  // rule check (verdict modeled permissive)
+  api.table_update(*conn_table_, hash);
+  api.emit();
+}
+
+void DpiProgram::handle(NicApi& api) {
+  api.parse();
+  const std::uint64_t len = api.get_hdr(HdrField::kPayloadLen);
+  if (len > 0) api.payload_scan();
+  api.emit();
+}
+
+void HhProgram::handle(NicApi& api) {
+  api.parse();
+  const std::uint64_t hash = api.get_hdr(HdrField::kFlowHash);
+  api.stats_update(*counters_, hash);
+  // Threshold check reads the counter back.
+  const auto plan = counters_->lookup(hash);
+  api.mem_read(counters_->placement(), plan.addr0);
+  api.set_hdr(HdrField::kTcpFlags, 0x80);
+  api.emit();
+}
+
+void MeterProgram::handle(NicApi& api) {
+  api.parse();
+  const std::uint64_t hash = api.get_hdr(HdrField::kFlowHash);
+  api.meter(*buckets_, hash);
+  api.emit();
+}
+
+void FlowStatsProgram::handle(NicApi& api) {
+  api.parse();
+  const std::uint64_t hash = api.get_hdr(HdrField::kFlowHash);
+  api.stats_update(*stats_, hash);
+  const std::uint64_t len = api.get_hdr(HdrField::kPktLen);
+  api.stats_update(*stats_, hash + 1);
+  api.set_hdr(HdrField::kTcpFlags, len);
+  api.emit();
+}
+
+void RewriteProgram::handle(NicApi& api) {
+  api.parse();
+  const std::uint64_t dst = api.get_hdr(HdrField::kDstIp);
+  api.set_hdr(HdrField::kDstIp, dst ^ 0x01010101);
+  api.set_hdr(HdrField::kSrcPort, 8080);
+  api.emit();
+}
+
+void CryptoGwProgram::handle(NicApi& api) {
+  api.parse();
+  const std::uint64_t hash = api.get_hdr(HdrField::kFlowHash);
+  const bool has_sa = api.table_lookup(*sa_table_, hash);
+  if (has_sa) {
+    const auto len = static_cast<std::uint32_t>(api.get_hdr(HdrField::kPayloadLen));
+    api.crypto(len, use_crypto_accel_);
+    api.set_hdr(HdrField::kDstIp, 0x0a636363);
+    api.set_hdr(HdrField::kDstPort, 4500);
+  }
+  api.emit();
+}
+
+void VnfProgram::handle(NicApi& api) {
+  api.parse();
+  const std::uint64_t len = api.get_hdr(HdrField::kPayloadLen);
+  if (len > 0) api.payload_scan();
+  const std::uint64_t hash = api.get_hdr(HdrField::kFlowHash);
+  api.meter(*meters_, hash);
+  const std::uint64_t src = api.get_hdr(HdrField::kSrcIp);
+  api.set_hdr(HdrField::kSrcIp, src | 0x80000000);
+  api.set_hdr(HdrField::kDstPort, 9999);
+  api.stats_update(*stats_, hash);
+  api.emit();
+}
+
+}  // namespace clara::nf

@@ -1,0 +1,114 @@
+// Hand-ported NF implementations for the simulator — the paper's
+// "manually ported to Netronome using its development toolkits"
+// baselines (§4). Each mirrors the corresponding CIR builder in
+// nf_cir.hpp, with the hand-tuning knobs Figure 1 varies exposed as
+// constructor parameters (accelerator use, memory placement, flow-cache
+// use).
+#pragma once
+
+#include "nicsim/sim.hpp"
+
+namespace clara::nf {
+
+class LpmProgram final : public nicsim::NicProgram {
+ public:
+  LpmProgram(nicsim::LpmTable& routes, bool use_flow_cache)
+      : routes_(&routes), use_flow_cache_(use_flow_cache) {}
+  void handle(nicsim::NicApi& api) override;
+  [[nodiscard]] std::string name() const override { return "lpm"; }
+
+ private:
+  nicsim::LpmTable* routes_;
+  bool use_flow_cache_;
+};
+
+class NatProgram final : public nicsim::NicProgram {
+ public:
+  NatProgram(nicsim::ExactTable& flow_table, bool use_csum_accel)
+      : flow_table_(&flow_table), use_csum_accel_(use_csum_accel) {}
+  void handle(nicsim::NicApi& api) override;
+  [[nodiscard]] std::string name() const override { return "nat"; }
+
+ private:
+  nicsim::ExactTable* flow_table_;
+  bool use_csum_accel_;
+};
+
+class FwProgram final : public nicsim::NicProgram {
+ public:
+  FwProgram(nicsim::ExactTable& conn_table, nicsim::ExactTable& rules)
+      : conn_table_(&conn_table), rules_(&rules) {}
+  void handle(nicsim::NicApi& api) override;
+  [[nodiscard]] std::string name() const override { return "firewall"; }
+
+ private:
+  nicsim::ExactTable* conn_table_;
+  nicsim::ExactTable* rules_;
+};
+
+class DpiProgram final : public nicsim::NicProgram {
+ public:
+  void handle(nicsim::NicApi& api) override;
+  [[nodiscard]] std::string name() const override { return "dpi"; }
+};
+
+class HhProgram final : public nicsim::NicProgram {
+ public:
+  explicit HhProgram(nicsim::ExactTable& counters) : counters_(&counters) {}
+  void handle(nicsim::NicApi& api) override;
+  [[nodiscard]] std::string name() const override { return "heavy_hitter"; }
+
+ private:
+  nicsim::ExactTable* counters_;
+};
+
+class MeterProgram final : public nicsim::NicProgram {
+ public:
+  explicit MeterProgram(nicsim::ExactTable& buckets) : buckets_(&buckets) {}
+  void handle(nicsim::NicApi& api) override;
+  [[nodiscard]] std::string name() const override { return "meter"; }
+
+ private:
+  nicsim::ExactTable* buckets_;
+};
+
+class FlowStatsProgram final : public nicsim::NicProgram {
+ public:
+  explicit FlowStatsProgram(nicsim::ExactTable& stats) : stats_(&stats) {}
+  void handle(nicsim::NicApi& api) override;
+  [[nodiscard]] std::string name() const override { return "flow_stats"; }
+
+ private:
+  nicsim::ExactTable* stats_;
+};
+
+class RewriteProgram final : public nicsim::NicProgram {
+ public:
+  void handle(nicsim::NicApi& api) override;
+  [[nodiscard]] std::string name() const override { return "rewrite"; }
+};
+
+class CryptoGwProgram final : public nicsim::NicProgram {
+ public:
+  CryptoGwProgram(nicsim::ExactTable& sa_table, bool use_crypto_accel)
+      : sa_table_(&sa_table), use_crypto_accel_(use_crypto_accel) {}
+  void handle(nicsim::NicApi& api) override;
+  [[nodiscard]] std::string name() const override { return "crypto_gw"; }
+
+ private:
+  nicsim::ExactTable* sa_table_;
+  bool use_crypto_accel_;
+};
+
+class VnfProgram final : public nicsim::NicProgram {
+ public:
+  VnfProgram(nicsim::ExactTable& meters, nicsim::ExactTable& stats) : meters_(&meters), stats_(&stats) {}
+  void handle(nicsim::NicApi& api) override;
+  [[nodiscard]] std::string name() const override { return "vnf_chain"; }
+
+ private:
+  nicsim::ExactTable* meters_;
+  nicsim::ExactTable* stats_;
+};
+
+}  // namespace clara::nf

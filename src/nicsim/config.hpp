@@ -1,0 +1,113 @@
+// Simulator configuration.
+//
+// nicsim is this repository's stand-in for physical SmartNIC hardware
+// (DESIGN.md §6): a cycle-accounting model of a Netronome-like device.
+// The default configuration mirrors the numbers the paper reports for
+// the Agilio CX in §3.2, and deliberately matches the databook defaults
+// in lnic::netronome_agilio_cx() — the prediction-vs-measurement gap
+// then comes from model abstraction (cache hit-rate estimates vs. exact
+// cache contents, contention, queueing), exactly as on real silicon.
+#pragma once
+
+#include <cstdint>
+
+#include "common/types.hpp"
+
+namespace clara::nicsim {
+
+struct NicConfig {
+  // Topology. (The physical Agilio CX carries dozens of microengines;
+  // 4x7 keeps simulation fast while preserving island structure and
+  // enough thread-level parallelism that offered loads up to ~100 kpps
+  // do not saturate artificially.)
+  int islands = 4;
+  int npus_per_island = 7;
+  int threads_per_npu = 8;
+
+  // Memory hierarchy (sizes and access cycles).
+  Bytes local_bytes = 4_KiB;
+  Bytes ctm_bytes = 256_KiB;
+  Bytes imem_bytes = 4_MiB;
+  Bytes emem_bytes = 8_GiB;
+  Cycles local_latency = 2;
+  Cycles ctm_latency = 50;
+  Cycles imem_latency = 250;
+  Cycles emem_latency = 500;
+  double remote_ctm_factor = 2.0;  // NUMA multiplier for cross-island CTM
+
+  // EMEM cache (3 MB on the Agilio CX).
+  Bytes emem_cache_bytes = 3_MiB;
+  std::uint32_t emem_cache_line = 64;
+  std::uint32_t emem_cache_ways = 8;
+  Cycles emem_cache_hit_latency = 150;
+
+  // NPU instruction classes.
+  Cycles alu_cycles = 1;
+  Cycles mul_cycles = 5;
+  Cycles div_cycles = 20;
+  Cycles branch_cycles = 2;
+  Cycles move_cycles = 3;  // metadata modification
+
+  // Header parsing (CTM -> local copy dominates; ~150 cycles total for a
+  // 40-byte header).
+  Cycles parse_base = 110;
+  double parse_per_byte = 1.0;
+
+  // Checksum: accelerator curve base + slope; NPU software pays extra.
+  double csum_accel_base = 60.0;
+  double csum_accel_per_byte = 0.24;
+  Cycles csum_sw_extra = 1700;
+
+  // Crypto engine.
+  double crypto_base = 200.0;
+  double crypto_per_byte = 1.0;
+  double crypto_sw_factor = 25.0;
+
+  // Match-action LPM engine: DRAM table walk grows with entries; the
+  // flow cache is an SRAM exact-match front-end.
+  double lpm_dram_base = 5000.0;
+  double lpm_dram_per_entry = 40.0;
+  Cycles flow_cache_hit = 200;
+  std::uint32_t flow_cache_entries = 4096;
+
+  // Packet datapath.
+  Cycles ingress_base = 500;
+  double ingress_per_byte = 3.5;
+  Cycles egress_base = 400;
+  Bytes ctm_pkt_residency = 1024;  // larger packets spill their tail to EMEM
+  double spill_per_byte = 2.0;
+
+  // Switch hub service per packet and queue capacity.
+  Cycles hub_service = 40;
+  std::uint32_t ingress_queue_capacity = 512;
+
+  double clock_hz = 800e6;
+
+  // Energy model (paper §6 extension): active nJ per busy cycle on
+  // cores/accelerators, per memory access by level, per DMA'd byte, and
+  // the device's static idle power. Defaults put the device at ~15 W
+  // idle / ~25 W busy (Agilio CX class).
+  double energy_npu_nj_per_cycle = 0.15;
+  double energy_accel_nj_per_cycle = 0.30;
+  double energy_ctm_nj = 0.8;
+  double energy_imem_nj = 2.0;
+  double energy_emem_nj = 12.0;
+  double energy_dma_nj_per_byte = 0.05;
+  double energy_idle_watts = 15.0;
+
+  /// EMEM controller occupancy per access (bandwidth contention):
+  /// concurrent DRAM accesses serialize at this granularity even though
+  /// each requester experiences the full latency.
+  Cycles emem_occupancy = 8;
+
+  [[nodiscard]] int total_threads() const { return islands * npus_per_island * threads_per_npu; }
+  [[nodiscard]] int total_npus() const { return islands * npus_per_island; }
+
+  /// Cycles per second -> cycles per packet at a given rate.
+  [[nodiscard]] double cycles_per_packet(double pps) const { return clock_hz / pps; }
+};
+
+/// The reference configuration (paper §3.2 numbers).
+NicConfig netronome_config();
+
+}  // namespace clara::nicsim

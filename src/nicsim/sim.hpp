@@ -1,0 +1,204 @@
+// The SmartNIC simulator ("hardware" stand-in — DESIGN.md §6).
+//
+// Execution model: each packet is DMA'd in at its arrival time, queued
+// at the ingress hub, bound to one NPU hardware thread for its whole
+// lifetime (Netronome behaviour), processed by a ported NicProgram that
+// charges cycles through NicApi, and emitted. Cycle accounting uses
+// timeline reservation:
+//
+//   * compute advances the packet's own thread timeline — the cores are
+//     barrel processors that interleave their threads at instruction
+//     granularity, so per-packet compute does not block siblings (a
+//     single next-free reservation would falsely serialize a packet's
+//     trailing compute against the next packet's leading compute across
+//     a long memory wait); aggregate per-core utilization is tracked for
+//     reporting;
+//   * shared accelerators (checksum, crypto, LPM engine) and the EMEM
+//     controller are serially-reusable resources with next-free
+//     timestamps, so contention and head-of-line blocking emerge
+//     naturally;
+//   * the EMEM cache and the LPM flow cache are simulated exactly
+//     (set-associative LRU / LRU table), so working-set effects are
+//     real, not estimated.
+//
+// Approximation note: shared resources are reserved in packet arrival
+// order rather than true event order; at the simulated load levels the
+// reordering window is a few packets and the error is far below the
+// predictor-vs-hardware gap being studied.
+#pragma once
+
+#include <algorithm>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "cir/vcalls.hpp"
+#include "common/stats.hpp"
+#include "common/types.hpp"
+#include "nicsim/cache.hpp"
+#include "nicsim/config.hpp"
+#include "nicsim/tables.hpp"
+#include "workload/tracegen.hpp"
+
+namespace clara::nicsim {
+
+/// Serially-reusable resource with a next-free timestamp.
+class ServiceUnit {
+ public:
+  /// Reserves `service` cycles starting no earlier than `now`; returns
+  /// the completion time.
+  Cycles request(Cycles now, Cycles service) {
+    const Cycles start = std::max(now, next_free_);
+    next_free_ = start + service;
+    busy_ += service;
+    return next_free_;
+  }
+  [[nodiscard]] Cycles busy_cycles() const { return busy_; }
+  void reset() { next_free_ = busy_ = 0; }
+
+ private:
+  Cycles next_free_ = 0;
+  Cycles busy_ = 0;
+};
+
+struct RunStats {
+  Series latency;  // cycles, per delivered packet
+  Accumulator tcp_latency;
+  Accumulator udp_latency;
+  Accumulator syn_latency;
+  Accumulator queue_wait;
+  std::uint64_t packets = 0;
+  std::uint64_t drops = 0;
+  double emem_cache_hit_rate = 0.0;
+  double flow_cache_hit_rate = 0.0;
+  double offered_pps = 0.0;
+  double achieved_pps = 0.0;
+  double clock_hz = 0.0;
+  /// Measured dynamic energy per delivered packet (nJ) and device power
+  /// at the offered rate (idle + dynamic), from exact busy counters.
+  double energy_nj_per_packet = 0.0;
+  double energy_watts = 0.0;
+
+  [[nodiscard]] double mean_latency() const { return latency.mean(); }
+  [[nodiscard]] double p99_latency() const { return latency.percentile(0.99); }
+};
+
+class NicSim;
+
+/// The programming surface for "manually ported" NFs. Every method both
+/// models the semantics (table contents, cache state) and charges cycles
+/// to the calling packet's timeline.
+class NicApi {
+ public:
+  [[nodiscard]] const workload::PacketMeta& pkt() const { return *pkt_; }
+  [[nodiscard]] Cycles now() const { return now_; }
+
+  /// Parse L2-L4 headers (CTM -> local copy on the NPU).
+  void parse();
+  /// Read/modify header metadata (a few cycles each).
+  std::uint64_t get_hdr(cir::HdrField f);
+  void set_hdr(cir::HdrField f, std::uint64_t v);
+  /// Raw compute on the owning NPU core.
+  void compute(Cycles cycles);
+  /// L4 checksum over `len` payload bytes; `use_accel` selects the
+  /// ingress checksum unit vs. NPU software.
+  std::uint64_t csum(std::uint32_t len, bool use_accel);
+  /// AES over `len` bytes on the crypto engine (or software).
+  void crypto(std::uint32_t len, bool use_accel = true);
+  /// Exact-match table ops: hash compute + placement-level accesses.
+  bool table_lookup(ExactTable& table, std::uint64_t key);
+  void table_update(ExactTable& table, std::uint64_t key);
+  /// LPM via the match-action engine; returns true on flow-cache hit.
+  bool lpm_lookup(LpmTable& table, std::uint64_t key, bool use_flow_cache);
+  /// Software LPM on the NPU: trie walk over a table placed in memory.
+  void lpm_lookup_sw(ExactTable& trie, std::uint64_t key);
+  /// DPI byte scan over the packet payload.
+  void payload_scan();
+  /// Token-bucket metering / statistics counters on placed state.
+  void meter(ExactTable& table, std::uint64_t key);
+  void stats_update(ExactTable& table, std::uint64_t key);
+  /// Raw memory access at a level (microbenchmark surface).
+  void mem_read(MemLevel level, std::uint64_t addr);
+  void mem_write(MemLevel level, std::uint64_t addr);
+  /// Terminal actions.
+  void emit();
+  void drop();
+
+ private:
+  friend class NicSim;
+  NicApi(NicSim& sim, const workload::PacketMeta& pkt, Cycles start, int thread_id, std::uint64_t pkt_seq);
+
+  /// One access to `level`; EMEM consults the cache and the controller.
+  void mem_access(MemLevel level, std::uint64_t addr, bool write);
+  /// Access to packet byte at `offset` (CTM head or spilled EMEM tail).
+  void packet_access(std::uint32_t offset);
+
+  NicSim& sim_;
+  const workload::PacketMeta* pkt_;
+  Cycles now_;
+  int npu_;
+  std::uint64_t pkt_seq_;
+  bool done_ = false;
+};
+
+class NicProgram {
+ public:
+  virtual ~NicProgram() = default;
+  virtual void handle(NicApi& api) = 0;
+  [[nodiscard]] virtual std::string name() const = 0;
+};
+
+class NicSim {
+ public:
+  explicit NicSim(NicConfig config = netronome_config());
+
+  /// Declares a state table placed at a memory level. The simulator
+  /// assigns disjoint address ranges per level so EMEM-placed tables
+  /// contend in the cache realistically. Returned references stay valid
+  /// for the simulator's lifetime.
+  ExactTable& create_table(std::string name, std::uint64_t entries, Bytes entry_bytes, MemLevel placement);
+  LpmTable& create_lpm(std::string name, std::uint64_t rule_entries, std::uint32_t flow_cache_capacity);
+
+  /// Runs a trace through the program; packets arrive at their trace
+  /// timestamps (converted to cycles at the device clock).
+  RunStats run(NicProgram& program, const workload::Trace& trace);
+
+  /// Latency of a single packet on an otherwise idle NIC (microbenchmark
+  /// path; does not disturb steady-state statistics).
+  Cycles measure_one(NicProgram& program, const workload::PacketMeta& pkt);
+
+  /// Clears caches, accelerator timelines and thread availability (table
+  /// *contents* persist — call create_table again for a cold table).
+  void reset_timeline();
+
+  [[nodiscard]] const NicConfig& config() const { return config_; }
+  [[nodiscard]] const SetAssocCache& emem_cache() const { return emem_cache_; }
+
+ private:
+  friend class NicApi;
+
+  NicConfig config_;
+  SetAssocCache emem_cache_;
+  ServiceUnit csum_unit_;
+  ServiceUnit crypto_unit_;
+  ServiceUnit lpm_unit_;
+  ServiceUnit emem_controller_;
+  ServiceUnit ingress_hub_;
+  ServiceUnit egress_hub_;
+  std::vector<Cycles> core_busy_;
+  std::vector<Cycles> thread_free_;
+  std::vector<std::unique_ptr<ExactTable>> tables_;
+  std::vector<std::unique_ptr<LpmTable>> lpm_tables_;
+  std::uint64_t next_base_per_level_[4] = {0, 0, 0, 0};
+  std::uint64_t pkt_counter_ = 0;
+  std::uint64_t flow_cache_lookups_ = 0;
+  std::uint64_t flow_cache_hits_ = 0;
+  // Energy accounting.
+  std::uint64_t ctm_accesses_ = 0;
+  std::uint64_t imem_accesses_ = 0;
+  std::uint64_t local_accesses_ = 0;
+  std::uint64_t emem_accesses_ = 0;
+  std::uint64_t dma_bytes_ = 0;
+};
+
+}  // namespace clara::nicsim

@@ -1,0 +1,75 @@
+#include "passes/api_subst.hpp"
+
+#include <algorithm>
+
+#include "cir/builder.hpp"
+#include "cir/vcalls.hpp"
+
+namespace clara::passes {
+
+using cir::Instr;
+using cir::Opcode;
+using cir::VCall;
+using cir::Value;
+
+namespace {
+
+/// Adapts the argument list of a recognized framework call to the
+/// canonical vcall arity. Framework surfaces in this repo pass arguments
+/// in canonical order already; this trims extras (e.g. flags operands)
+/// and pads defaults where the framework call omits a vcall argument
+/// (e.g. rte_lpm_lookup has no flow-cache flag — default 1, matching the
+/// hand-tuned implementations the paper benchmarks).
+void adapt_args(VCall v, Instr& instr) {
+  const unsigned want = cir::vcall_arg_count(v);
+  if (instr.args.size() > want) {
+    instr.args.resize(want);
+  }
+  while (instr.args.size() < want) {
+    // Missing trailing arguments default to 1 for kLpmLookup's
+    // use_flow_cache flag and 0 otherwise.
+    const bool is_fc_flag = v == VCall::kLpmLookup && instr.args.size() == 2;
+    instr.args.push_back(Value::of_imm(is_fc_flag ? 1 : 0));
+  }
+}
+
+}  // namespace
+
+SubstitutionReport substitute_framework_apis(cir::Function& fn) {
+  SubstitutionReport report;
+  for (auto& block : fn.blocks) {
+    for (auto& instr : block.instrs) {
+      if (instr.op != Opcode::kCall) continue;
+      if (cir::is_vcall(instr.callee)) continue;  // already canonical
+      const auto v = cir::framework_api_to_vcall(instr.callee);
+      if (!v) {
+        if (std::find(report.unknown_calls.begin(), report.unknown_calls.end(), instr.callee) ==
+            report.unknown_calls.end()) {
+          report.unknown_calls.push_back(instr.callee);
+        }
+        continue;
+      }
+      instr.callee = cir::vcall_name(*v);
+      adapt_args(*v, instr);
+      if (!cir::vcall_produces_value(*v)) instr.dst = cir::kNoReg;
+      ++report.substituted;
+    }
+  }
+  return report;
+}
+
+SubstitutionReport substitute_framework_apis(cir::Module& mod) {
+  SubstitutionReport total;
+  for (auto& fn : mod.functions) {
+    auto r = substitute_framework_apis(fn);
+    total.substituted += r.substituted;
+    for (auto& name : r.unknown_calls) {
+      if (std::find(total.unknown_calls.begin(), total.unknown_calls.end(), name) == total.unknown_calls.end()) {
+        total.unknown_calls.push_back(std::move(name));
+      }
+    }
+  }
+  return total;
+}
+
+}  // namespace clara::passes

@@ -1,0 +1,30 @@
+// Framework-API substitution — paper §3.3.
+//
+// NFs arrive written against framework libraries (Click elements, eBPF
+// helpers, DPDK). The CIR keeps those as ordinary calls; this pass
+// recognizes them from the callee name and rewrites each into the
+// canonical virtual call it stands for ("Clara substitutes these calls
+// with a set of 'virtual' calls, and binds them to the SmartNIC backend
+// later in the analysis"). Unknown callees are left untouched and
+// reported, so the caller can decide whether unanalyzable calls are
+// fatal for its use case.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "cir/function.hpp"
+
+namespace clara::passes {
+
+struct SubstitutionReport {
+  /// Number of calls rewritten to vcalls.
+  std::size_t substituted = 0;
+  /// Callee names that were neither vcalls nor known framework APIs.
+  std::vector<std::string> unknown_calls;
+};
+
+SubstitutionReport substitute_framework_apis(cir::Function& fn);
+SubstitutionReport substitute_framework_apis(cir::Module& mod);
+
+}  // namespace clara::passes

@@ -1,0 +1,175 @@
+#include "passes/cfg.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <map>
+
+namespace clara::passes {
+
+using cir::Instr;
+using cir::Opcode;
+
+Cfg::Cfg(const cir::Function& fn) {
+  const std::size_t n = fn.blocks.size();
+  preds_.resize(n);
+  succs_.resize(n);
+  for (std::uint32_t b = 0; b < n; ++b) {
+    if (fn.blocks[b].instrs.empty()) continue;
+    const Instr& term = fn.blocks[b].instrs.back();
+    auto link = [&](std::uint32_t to) {
+      succs_[b].push_back(to);
+      preds_[to].push_back(b);
+    };
+    if (term.op == Opcode::kBr) {
+      link(term.target0);
+    } else if (term.op == Opcode::kCondBr) {
+      link(term.target0);
+      if (term.target1 != term.target0) link(term.target1);
+    }
+  }
+
+  // Post-order DFS from entry, then reverse.
+  rpo_index_.assign(n, ~0u);
+  std::vector<std::uint8_t> state(n, 0);  // 0 unvisited, 1 on stack, 2 done
+  std::vector<std::pair<std::uint32_t, std::size_t>> stack;
+  std::vector<std::uint32_t> post;
+  if (n > 0) {
+    stack.emplace_back(0, 0);
+    state[0] = 1;
+    while (!stack.empty()) {
+      auto& [b, idx] = stack.back();
+      if (idx < succs_[b].size()) {
+        const std::uint32_t next = succs_[b][idx++];
+        if (state[next] == 0) {
+          state[next] = 1;
+          stack.emplace_back(next, 0);
+        }
+      } else {
+        post.push_back(b);
+        state[b] = 2;
+        stack.pop_back();
+      }
+    }
+  }
+  rpo_.assign(post.rbegin(), post.rend());
+  for (std::uint32_t i = 0; i < rpo_.size(); ++i) rpo_index_[rpo_[i]] = i;
+
+  // Dominators (Cooper-Harvey-Kennedy over RPO).
+  idom_.assign(n, ~0u);
+  if (!rpo_.empty()) {
+    idom_[rpo_[0]] = rpo_[0];
+    auto intersect = [&](std::uint32_t a, std::uint32_t b) {
+      while (a != b) {
+        while (rpo_index_[a] > rpo_index_[b]) a = idom_[a];
+        while (rpo_index_[b] > rpo_index_[a]) b = idom_[b];
+      }
+      return a;
+    };
+    bool changed = true;
+    while (changed) {
+      changed = false;
+      for (std::size_t i = 1; i < rpo_.size(); ++i) {
+        const std::uint32_t b = rpo_[i];
+        std::uint32_t new_idom = ~0u;
+        for (const std::uint32_t p : preds_[b]) {
+          if (idom_[p] == ~0u) continue;  // not yet processed / unreachable
+          new_idom = new_idom == ~0u ? p : intersect(new_idom, p);
+        }
+        if (new_idom != ~0u && idom_[b] != new_idom) {
+          idom_[b] = new_idom;
+          changed = true;
+        }
+      }
+    }
+  }
+}
+
+bool Cfg::dominates(std::uint32_t a, std::uint32_t b) const {
+  if (!reachable(a) || !reachable(b)) return false;
+  std::uint32_t cur = b;
+  while (true) {
+    if (cur == a) return true;
+    const std::uint32_t next = idom_[cur];
+    if (next == cur || next == ~0u) return false;
+    cur = next;
+  }
+}
+
+std::vector<Loop> find_loops(const cir::Function& fn, const Cfg& cfg) {
+  std::vector<Loop> loops;
+  for (std::uint32_t latch = 0; latch < fn.blocks.size(); ++latch) {
+    if (!cfg.reachable(latch)) continue;
+    for (const std::uint32_t header : cfg.succs(latch)) {
+      if (!cfg.dominates(header, latch)) continue;
+      Loop loop;
+      loop.header = header;
+      loop.latch = latch;
+      // Body = header + all blocks that reach the latch without passing
+      // through the header (standard natural-loop construction).
+      std::vector<bool> in_body(fn.blocks.size(), false);
+      in_body[header] = true;
+      std::vector<std::uint32_t> work;
+      if (!in_body[latch]) {
+        in_body[latch] = true;
+        work.push_back(latch);
+      }
+      while (!work.empty()) {
+        const std::uint32_t b = work.back();
+        work.pop_back();
+        for (const std::uint32_t p : cfg.preds(b)) {
+          if (!in_body[p]) {
+            in_body[p] = true;
+            work.push_back(p);
+          }
+        }
+      }
+      for (std::uint32_t b = 0; b < fn.blocks.size(); ++b) {
+        if (in_body[b]) loop.body.push_back(b);
+      }
+      loops.push_back(std::move(loop));
+    }
+  }
+  return loops;
+}
+
+std::vector<double> estimate_block_frequencies(const cir::Function& fn, const Cfg& cfg, double branch_prob,
+                                               const std::map<std::string, double>& params) {
+  std::vector<double> freq(fn.blocks.size(), 0.0);
+  if (fn.blocks.empty()) return freq;
+
+  auto eval_trip = [&](const cir::BasicBlock& block) -> double {
+    if (!block.has_trip) return 1.0;
+    if (block.trip.is_constant()) return std::max(1.0, block.trip.eval(0.0));
+    const auto it = params.find(block.trip.param);
+    const double pv = it != params.end() ? it->second : 0.0;
+    return std::max(1.0, block.trip.eval(pv));
+  };
+
+  freq[0] = 1.0;
+  for (const std::uint32_t b : cfg.rpo()) {
+    // Incoming flow was accumulated by predecessors; apply the trip
+    // multiplier for loop bodies, then distribute onward ignoring back
+    // edges (succ earlier in RPO than this block).
+    const double flow = freq[b] * eval_trip(fn.blocks[b]);
+    freq[b] = flow;
+    const auto& succs = cfg.succs(b);
+    std::vector<std::uint32_t> forward;
+    for (const std::uint32_t s : succs) {
+      if (cfg.rpo_index(s) > cfg.rpo_index(b)) forward.push_back(s);
+    }
+    if (forward.empty()) continue;
+    if (forward.size() == 1) {
+      freq[forward[0]] += flow;
+    } else {
+      // condbr: target0 gets branch_prob, target1 the remainder.
+      const cir::Instr& term = fn.blocks[b].instrs.back();
+      for (const std::uint32_t s : forward) {
+        const double p = (s == term.target0) ? branch_prob : (1.0 - branch_prob);
+        freq[s] += flow * p;
+      }
+    }
+  }
+  return freq;
+}
+
+}  // namespace clara::passes

@@ -1,0 +1,63 @@
+// Control-flow analysis over CIR functions: predecessor/successor maps,
+// reverse post-order, dominators, and natural-loop detection. These feed
+// the pattern matcher (loop idioms) and the dataflow-graph builder
+// (region formation, frequency estimation).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "cir/function.hpp"
+
+namespace clara::passes {
+
+class Cfg {
+ public:
+  explicit Cfg(const cir::Function& fn);
+
+  [[nodiscard]] const std::vector<std::uint32_t>& preds(std::uint32_t block) const { return preds_[block]; }
+  [[nodiscard]] const std::vector<std::uint32_t>& succs(std::uint32_t block) const { return succs_[block]; }
+  [[nodiscard]] std::size_t size() const { return succs_.size(); }
+
+  /// Blocks in reverse post-order of a DFS from the entry. Unreachable
+  /// blocks are excluded.
+  [[nodiscard]] const std::vector<std::uint32_t>& rpo() const { return rpo_; }
+  [[nodiscard]] bool reachable(std::uint32_t block) const { return rpo_index_[block] != ~0u; }
+  [[nodiscard]] std::uint32_t rpo_index(std::uint32_t block) const { return rpo_index_[block]; }
+
+  /// Immediate dominator of each block (entry's idom is itself);
+  /// ~0u for unreachable blocks. Cooper-Harvey-Kennedy algorithm.
+  [[nodiscard]] std::uint32_t idom(std::uint32_t block) const { return idom_[block]; }
+  [[nodiscard]] bool dominates(std::uint32_t a, std::uint32_t b) const;
+
+ private:
+  std::vector<std::vector<std::uint32_t>> preds_;
+  std::vector<std::vector<std::uint32_t>> succs_;
+  std::vector<std::uint32_t> rpo_;
+  std::vector<std::uint32_t> rpo_index_;
+  std::vector<std::uint32_t> idom_;
+};
+
+/// A natural loop: back edge latch->header where header dominates latch.
+struct Loop {
+  std::uint32_t header = 0;
+  std::uint32_t latch = 0;
+  std::vector<std::uint32_t> body;  // includes header and latch
+};
+
+/// All natural loops of the function (one per back edge; loops sharing a
+/// header are reported separately).
+std::vector<Loop> find_loops(const cir::Function& fn, const Cfg& cfg);
+
+/// Expected executions of each block per invocation, for the static cost
+/// model: entry runs once; conditional branches split flow by
+/// `branch_prob` / (1 - branch_prob); a block with a trip annotation
+/// multiplies its flow by the evaluated trip count. Back edges are
+/// ignored (trip annotations carry the loop weight instead).
+std::vector<double> estimate_block_frequencies(const cir::Function& fn, const Cfg& cfg,
+                                               double branch_prob,
+                                               const std::map<std::string, double>& params);
+
+}  // namespace clara::passes

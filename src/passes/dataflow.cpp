@@ -1,0 +1,129 @@
+#include "passes/dataflow.hpp"
+
+#include <cassert>
+
+#include "common/strings.hpp"
+
+namespace clara::passes {
+
+using cir::Instr;
+using cir::Opcode;
+using cir::VCall;
+
+bool is_accel_vcall(VCall v) {
+  switch (v) {
+    case VCall::kParse:
+    case VCall::kCsum:
+    case VCall::kCrypto:
+    case VCall::kLpmLookup:
+      return true;
+    default:
+      return false;
+  }
+}
+
+namespace {
+
+/// Extracts a vcall site from a call instruction, or returns false.
+bool site_of(const cir::Function& fn, std::uint32_t block, std::uint32_t instr_idx, VcallSite* site) {
+  const Instr& instr = fn.blocks[block].instrs[instr_idx];
+  if (instr.op != Opcode::kCall) return false;
+  const auto v = cir::parse_vcall(instr.callee);
+  if (!v) return false;
+  site->block = block;
+  site->instr = instr_idx;
+  site->v = *v;
+  site->state = ~0u;
+  site->arg_hint = 0.0;
+  if (!instr.args.empty() && instr.args[0].is_imm()) {
+    if (*v == VCall::kLpmLookup || *v == VCall::kTableLookup || *v == VCall::kTableUpdate ||
+        *v == VCall::kMeter || *v == VCall::kStatsUpdate) {
+      site->state = static_cast<std::uint32_t>(instr.args[0].imm);
+    }
+  }
+  if (*v == VCall::kLpmLookup && instr.args.size() >= 3 && instr.args[2].is_imm()) {
+    site->use_flow_cache = instr.args[2].imm != 0;
+  }
+  // Length arguments: csum/crypto/scan take the size as args[0]; when it
+  // is an immediate we record it, otherwise the hint stays 0 and the
+  // caller substitutes the workload average.
+  if ((*v == VCall::kCsum || *v == VCall::kCrypto || *v == VCall::kPayloadScan) && !instr.args.empty() &&
+      instr.args[0].is_imm()) {
+    site->arg_hint = static_cast<double>(instr.args[0].imm);
+  }
+  return true;
+}
+
+}  // namespace
+
+DataflowGraph DataflowGraph::build(const cir::Function& fn, const CostHints& hints) {
+  DataflowGraph g;
+  g.fn_ = &fn;
+  const Cfg cfg(fn);
+  const auto freq = estimate_block_frequencies(fn, cfg, hints.branch_prob, hints.params);
+
+  g.instr_node_.resize(fn.blocks.size());
+  std::vector<std::uint32_t> block_first_node(fn.blocks.size(), ~0u);
+  std::vector<std::uint32_t> block_last_node(fn.blocks.size(), ~0u);
+
+  for (const std::uint32_t b : cfg.rpo()) {
+    const auto& instrs = fn.blocks[b].instrs;
+    g.instr_node_[b].assign(instrs.size(), ~0u);
+
+    // Partition [0, n) into segments, splitting out accel vcalls.
+    std::uint32_t seg_begin = 0;
+    std::uint32_t prev_node = ~0u;
+    auto close_segment = [&](std::uint32_t seg_end, bool accel) {
+      if (seg_end <= seg_begin) return;
+      DfNode node;
+      node.id = static_cast<std::uint32_t>(g.nodes_.size());
+      node.block = b;
+      node.begin = seg_begin;
+      node.end = seg_end;
+      node.weight = freq[b];
+      node.mix = instr_mix(fn.blocks[b], seg_begin, seg_end);
+      node.accel_candidate = accel;
+      for (std::uint32_t i = seg_begin; i < seg_end; ++i) {
+        VcallSite site;
+        if (site_of(fn, b, i, &site)) node.vcalls.push_back(site);
+        g.instr_node_[b][i] = node.id;
+      }
+      node.label = accel ? strf("%s.%s", fn.blocks[b].label.c_str(),
+                                cir::vcall_name(node.vcalls.front().v))
+                         : strf("%s[%u:%u]", fn.blocks[b].label.c_str(), seg_begin, seg_end);
+      if (prev_node != ~0u) g.edges_.push_back({prev_node, node.id, freq[b]});
+      prev_node = node.id;
+      if (block_first_node[b] == ~0u) block_first_node[b] = node.id;
+      block_last_node[b] = node.id;
+      g.nodes_.push_back(std::move(node));
+      seg_begin = seg_end;
+    };
+
+    for (std::uint32_t i = 0; i < instrs.size(); ++i) {
+      VcallSite site;
+      if (site_of(fn, b, i, &site) && is_accel_vcall(site.v)) {
+        close_segment(i, /*accel=*/false);
+        seg_begin = i;
+        close_segment(i + 1, /*accel=*/true);
+      }
+    }
+    close_segment(static_cast<std::uint32_t>(instrs.size()), /*accel=*/false);
+  }
+
+  // Cross-block edges following the CFG.
+  for (const std::uint32_t b : cfg.rpo()) {
+    if (block_last_node[b] == ~0u) continue;
+    for (const std::uint32_t s : cfg.succs(b)) {
+      if (block_first_node[s] == ~0u) continue;
+      g.edges_.push_back({block_last_node[b], block_first_node[s], std::min(freq[b], freq[s])});
+    }
+  }
+  return g;
+}
+
+std::uint32_t DataflowGraph::node_of(std::uint32_t block, std::uint32_t instr) const {
+  if (block >= instr_node_.size() || instr >= instr_node_[block].size()) return ~0u;
+  return instr_node_[block][instr];
+}
+
+}  // namespace clara::passes

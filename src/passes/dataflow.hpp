@@ -1,0 +1,86 @@
+// Dataflow-graph construction — paper §3.3/Fig. 2(c).
+//
+// The mapper works on a coarser granularity than basic blocks: nodes are
+// code segments ("code blocks" in the paper), edges follow traffic
+// direction. Accelerator-eligible virtual calls (parse, checksum, crypto,
+// LPM) are isolated into their own single-instruction nodes so the ILP
+// can bind each of them to an accelerator independently of the
+// surrounding general-purpose code; everything between them stays
+// together as a general-compute segment.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "cir/function.hpp"
+#include "cir/vcalls.hpp"
+#include "passes/cfg.hpp"
+#include "passes/costmodel.hpp"
+
+namespace clara::passes {
+
+struct VcallSite {
+  std::uint32_t block = 0;
+  std::uint32_t instr = 0;
+  cir::VCall v = cir::VCall::kDrop;
+  /// State-object index for state-taking vcalls; ~0u otherwise.
+  std::uint32_t state = ~0u;
+  /// Static size argument hint (bytes / entries) for curve-priced vcalls.
+  double arg_hint = 0.0;
+  /// kLpmLookup's flow-cache flag (third argument; true by default).
+  bool use_flow_cache = true;
+};
+
+struct DfNode {
+  std::uint32_t id = 0;
+  std::string label;
+  std::uint32_t block = 0;
+  std::uint32_t begin = 0;  // instruction range [begin, end) within block
+  std::uint32_t end = 0;
+  /// Expected executions per packet (includes loop trips / branch probs).
+  double weight = 0.0;
+  InstrMix mix;
+  std::vector<VcallSite> vcalls;
+  /// True when this node is a lone accelerator-eligible vcall.
+  bool accel_candidate = false;
+};
+
+struct DfEdge {
+  std::uint32_t from = 0;
+  std::uint32_t to = 0;
+  double weight = 0.0;
+};
+
+class DataflowGraph {
+ public:
+  /// Builds the graph for a (substituted, verified) function. Branch
+  /// probabilities and loop-trip parameters come from `hints`.
+  static DataflowGraph build(const cir::Function& fn, const CostHints& hints);
+
+  [[nodiscard]] const std::vector<DfNode>& nodes() const { return nodes_; }
+  [[nodiscard]] const std::vector<DfEdge>& edges() const { return edges_; }
+  [[nodiscard]] std::size_t size() const { return nodes_.size(); }
+
+  /// Node covering instruction `instr` of block `block`; ~0u when the
+  /// block is unreachable.
+  [[nodiscard]] std::uint32_t node_of(std::uint32_t block, std::uint32_t instr) const;
+
+  /// Per-packet executions of every state access, aggregated over nodes:
+  /// explicit loads/stores plus vcall-implied accesses are *not* included
+  /// here — the mapper combines node weights with mixes itself.
+  [[nodiscard]] const cir::Function* function() const { return fn_; }
+
+ private:
+  const cir::Function* fn_ = nullptr;
+  std::vector<DfNode> nodes_;
+  std::vector<DfEdge> edges_;
+  /// node id per (block, instr): indexed by block, then instr.
+  std::vector<std::vector<std::uint32_t>> instr_node_;
+};
+
+/// True for vcalls that get their own dataflow node (accelerator
+/// candidates).
+bool is_accel_vcall(cir::VCall v);
+
+}  // namespace clara::passes

@@ -1,0 +1,241 @@
+#include "passes/optimize.hpp"
+
+#include <algorithm>
+#include <map>
+#include <optional>
+#include <vector>
+
+#include "cir/builder.hpp"
+
+namespace clara::passes {
+
+using cir::Instr;
+using cir::kNoReg;
+using cir::Opcode;
+using cir::Type;
+using cir::Value;
+
+namespace {
+
+std::uint64_t type_mask(Type t) {
+  switch (t) {
+    case Type::kI8: return 0xffULL;
+    case Type::kI16: return 0xffffULL;
+    case Type::kI32: return 0xffffffffULL;
+    default: return ~0ULL;
+  }
+}
+
+/// Folds an instruction whose operands are all immediates. nullopt when
+/// the op is not foldable (or would trap).
+std::optional<std::uint64_t> fold(const Instr& instr) {
+  auto imm = [&](std::size_t i) { return static_cast<std::uint64_t>(instr.args[i].imm); };
+  for (const auto& a : instr.args) {
+    if (!a.is_imm()) return std::nullopt;
+  }
+  const std::uint64_t mask = type_mask(instr.type);
+  switch (instr.op) {
+    case Opcode::kAdd: return (imm(0) + imm(1)) & mask;
+    case Opcode::kSub: return (imm(0) - imm(1)) & mask;
+    case Opcode::kMul: return (imm(0) * imm(1)) & mask;
+    case Opcode::kDiv: return imm(1) == 0 ? std::nullopt : std::optional((imm(0) / imm(1)) & mask);
+    case Opcode::kRem: return imm(1) == 0 ? std::nullopt : std::optional((imm(0) % imm(1)) & mask);
+    case Opcode::kAnd: return (imm(0) & imm(1)) & mask;
+    case Opcode::kOr: return (imm(0) | imm(1)) & mask;
+    case Opcode::kXor: return (imm(0) ^ imm(1)) & mask;
+    case Opcode::kShl: return (imm(0) << (imm(1) & 63)) & mask;
+    case Opcode::kShr: return (imm(0) >> (imm(1) & 63)) & mask;
+    case Opcode::kEq: return imm(0) == imm(1) ? 1 : 0;
+    case Opcode::kNe: return imm(0) != imm(1) ? 1 : 0;
+    case Opcode::kLt: return imm(0) < imm(1) ? 1 : 0;
+    case Opcode::kLe: return imm(0) <= imm(1) ? 1 : 0;
+    case Opcode::kGt: return imm(0) > imm(1) ? 1 : 0;
+    case Opcode::kGe: return imm(0) >= imm(1) ? 1 : 0;
+    case Opcode::kSelect: return (imm(0) != 0 ? imm(1) : imm(2)) & mask;
+    // FP markers are not folded: their runtime semantics on the target
+    // (emulation) is what we are costing.
+    default: return std::nullopt;
+  }
+}
+
+/// Replaces every use of `reg` with the immediate `value`.
+std::size_t substitute(cir::Function& fn, std::uint32_t reg, std::uint64_t value) {
+  std::size_t replaced = 0;
+  for (auto& block : fn.blocks) {
+    for (auto& instr : block.instrs) {
+      for (auto& arg : instr.args) {
+        if (arg.is_reg() && arg.reg == reg) {
+          arg = Value::of_imm(static_cast<std::int64_t>(value));
+          ++replaced;
+        }
+      }
+    }
+  }
+  return replaced;
+}
+
+/// Removes the phi entries in `block` coming from predecessor `pred`.
+void prune_phi_edges(cir::BasicBlock& block, std::uint32_t pred) {
+  for (auto& instr : block.instrs) {
+    if (instr.op != Opcode::kPhi) continue;
+    for (std::size_t i = 0; i < instr.phi_preds.size();) {
+      if (instr.phi_preds[i] == pred) {
+        instr.phi_preds.erase(instr.phi_preds.begin() + static_cast<std::ptrdiff_t>(i));
+        instr.args.erase(instr.args.begin() + static_cast<std::ptrdiff_t>(i));
+      } else {
+        ++i;
+      }
+    }
+  }
+}
+
+bool fold_pass(cir::Function& fn, OptimizeReport& report) {
+  bool changed = false;
+  for (auto& block : fn.blocks) {
+    for (auto& instr : block.instrs) {
+      if (instr.dst == kNoReg) continue;
+      // Single-entry phis fold to their sole incoming value.
+      if (instr.op == Opcode::kPhi && instr.args.size() == 1 && instr.args[0].is_imm()) {
+        if (substitute(fn, instr.dst, static_cast<std::uint64_t>(instr.args[0].imm)) > 0) {
+          ++report.folded;
+          changed = true;
+        }
+        continue;
+      }
+      const auto value = fold(instr);
+      if (!value) continue;
+      if (substitute(fn, instr.dst, *value) > 0) {
+        ++report.folded;
+        changed = true;
+      }
+    }
+  }
+  return changed;
+}
+
+bool simplify_branches(cir::Function& fn, OptimizeReport& report) {
+  bool changed = false;
+  for (std::uint32_t b = 0; b < fn.blocks.size(); ++b) {
+    auto& block = fn.blocks[b];
+    if (block.instrs.empty()) continue;
+    Instr& term = block.instrs.back();
+    if (term.op != Opcode::kCondBr || !term.args[0].is_imm()) continue;
+    const std::uint32_t taken = term.args[0].imm != 0 ? term.target0 : term.target1;
+    const std::uint32_t dead = term.args[0].imm != 0 ? term.target1 : term.target0;
+    term.op = Opcode::kBr;
+    term.args.clear();
+    term.target0 = taken;
+    term.target1 = ~0u;
+    if (dead != taken) prune_phi_edges(fn.blocks[dead], b);
+    ++report.branches_simplified;
+    changed = true;
+  }
+  return changed;
+}
+
+bool dce_pass(cir::Function& fn, OptimizeReport& report) {
+  std::vector<std::size_t> uses(fn.num_regs, 0);
+  for (const auto& block : fn.blocks) {
+    for (const auto& instr : block.instrs) {
+      for (const auto& arg : instr.args) {
+        if (arg.is_reg()) ++uses[arg.reg];
+      }
+    }
+  }
+  bool changed = false;
+  for (auto& block : fn.blocks) {
+    for (std::size_t i = 0; i < block.instrs.size();) {
+      const Instr& instr = block.instrs[i];
+      const bool removable = instr.dst != kNoReg && uses[instr.dst] == 0 &&
+                             instr.op != Opcode::kCall && instr.op != Opcode::kStore &&
+                             !cir::is_terminator(instr.op);
+      if (removable) {
+        block.instrs.erase(block.instrs.begin() + static_cast<std::ptrdiff_t>(i));
+        ++report.dead_removed;
+        changed = true;
+      } else {
+        ++i;
+      }
+    }
+  }
+  return changed;
+}
+
+bool remove_unreachable(cir::Function& fn, OptimizeReport& report) {
+  const std::size_t n = fn.blocks.size();
+  std::vector<bool> reachable(n, false);
+  std::vector<std::uint32_t> work{0};
+  reachable[0] = true;
+  while (!work.empty()) {
+    const std::uint32_t b = work.back();
+    work.pop_back();
+    const auto& instrs = fn.blocks[b].instrs;
+    if (instrs.empty()) continue;
+    const Instr& term = instrs.back();
+    auto visit = [&](std::uint32_t t) {
+      if (t < n && !reachable[t]) {
+        reachable[t] = true;
+        work.push_back(t);
+      }
+    };
+    if (term.op == Opcode::kBr) visit(term.target0);
+    if (term.op == Opcode::kCondBr) {
+      visit(term.target0);
+      visit(term.target1);
+    }
+  }
+  if (std::all_of(reachable.begin(), reachable.end(), [](bool r) { return r; })) return false;
+
+  // Remap block indices.
+  std::vector<std::uint32_t> remap(n, ~0u);
+  std::vector<cir::BasicBlock> kept;
+  for (std::uint32_t b = 0; b < n; ++b) {
+    if (!reachable[b]) {
+      ++report.blocks_removed;
+      continue;
+    }
+    remap[b] = static_cast<std::uint32_t>(kept.size());
+    kept.push_back(std::move(fn.blocks[b]));
+  }
+  for (auto& block : kept) {
+    // Drop phi entries from removed predecessors, then remap the rest.
+    for (auto& instr : block.instrs) {
+      if (instr.op == Opcode::kPhi) {
+        for (std::size_t i = 0; i < instr.phi_preds.size();) {
+          if (remap[instr.phi_preds[i]] == ~0u) {
+            instr.phi_preds.erase(instr.phi_preds.begin() + static_cast<std::ptrdiff_t>(i));
+            instr.args.erase(instr.args.begin() + static_cast<std::ptrdiff_t>(i));
+          } else {
+            instr.phi_preds[i] = remap[instr.phi_preds[i]];
+            ++i;
+          }
+        }
+      }
+      if (instr.op == Opcode::kBr) instr.target0 = remap[instr.target0];
+      if (instr.op == Opcode::kCondBr) {
+        instr.target0 = remap[instr.target0];
+        instr.target1 = remap[instr.target1];
+      }
+    }
+  }
+  fn.blocks = std::move(kept);
+  return true;
+}
+
+}  // namespace
+
+OptimizeReport optimize(cir::Function& fn) {
+  OptimizeReport report;
+  bool changed = true;
+  int rounds = 0;
+  while (changed && rounds++ < 32) {
+    changed = false;
+    changed |= fold_pass(fn, report);
+    changed |= simplify_branches(fn, report);
+    changed |= remove_unreachable(fn, report);
+    changed |= dce_pass(fn, report);
+  }
+  return report;
+}
+
+}  // namespace clara::passes

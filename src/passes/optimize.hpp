@@ -1,0 +1,39 @@
+// Classic cleanup passes over CIR: constant folding, branch
+// simplification, dead-code elimination and unreachable-block removal.
+//
+// Clara's cost analysis prices every instruction it sees, so IR produced
+// by a mechanical front-end (or by hand) with foldable arithmetic or
+// dead values would be over-charged. Running these passes first makes
+// the analyzed IR match what any real compiler would have fed the
+// backend — the paper's "mimic a compiler" roadmap includes the parts of
+// compilation that happen before lowering.
+//
+// All passes preserve verification: for any verified function, the
+// result verifies and is observationally equivalent under the
+// interpreter (same vcall sequence, same exit).
+#pragma once
+
+#include <cstddef>
+
+#include "cir/function.hpp"
+
+namespace clara::passes {
+
+struct OptimizeReport {
+  std::size_t folded = 0;             // instructions replaced by constants
+  std::size_t dead_removed = 0;       // value-producing instrs with no uses
+  std::size_t branches_simplified = 0;// condbr with constant condition -> br
+  std::size_t blocks_removed = 0;     // unreachable blocks dropped
+
+  [[nodiscard]] std::size_t total() const {
+    return folded + dead_removed + branches_simplified + blocks_removed;
+  }
+};
+
+/// Folds constant arithmetic/comparisons/selects, rewrites
+/// constant-condition condbr to br, removes instructions whose results
+/// are never used (calls are never removed — they may have effects), and
+/// drops unreachable blocks. Runs to a fixed point.
+OptimizeReport optimize(cir::Function& fn);
+
+}  // namespace clara::passes

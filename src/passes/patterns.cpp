@@ -1,0 +1,203 @@
+#include "passes/patterns.hpp"
+
+#include <optional>
+#include <set>
+#include <vector>
+
+#include "cir/builder.hpp"
+#include "cir/vcalls.hpp"
+#include "passes/cfg.hpp"
+
+namespace clara::passes {
+
+using cir::BasicBlock;
+using cir::Instr;
+using cir::kNoReg;
+using cir::MemSpace;
+using cir::Opcode;
+using cir::Type;
+using cir::Value;
+using cir::VCall;
+
+namespace {
+
+bool is_arith_or_cmp(Opcode op) {
+  switch (op) {
+    case Opcode::kAdd: case Opcode::kSub: case Opcode::kMul: case Opcode::kDiv: case Opcode::kRem:
+    case Opcode::kAnd: case Opcode::kOr: case Opcode::kXor: case Opcode::kShl: case Opcode::kShr:
+    case Opcode::kEq: case Opcode::kNe: case Opcode::kLt: case Opcode::kLe: case Opcode::kGt:
+    case Opcode::kGe: case Opcode::kSelect:
+      return true;
+    default:
+      return false;
+  }
+}
+
+struct LoopShape {
+  std::uint32_t block = 0;
+  std::uint32_t exit = 0;
+  Value bound = Value::none();
+  bool accumulates = false;  // csum idiom vs scan idiom
+};
+
+/// Matches a self-loop block against the packet-byte-loop shape.
+std::optional<LoopShape> match_block(const cir::Function& fn, std::uint32_t b) {
+  const BasicBlock& block = fn.blocks[b];
+  if (block.instrs.empty()) return std::nullopt;
+  const Instr& term = block.instrs.back();
+  if (term.op != Opcode::kCondBr) return std::nullopt;
+  std::uint32_t exit;
+  if (term.target0 == b && term.target1 != b) {
+    exit = term.target1;
+  } else if (term.target1 == b && term.target0 != b) {
+    exit = term.target0;
+  } else {
+    return std::nullopt;
+  }
+
+  std::set<std::uint32_t> defined_in_block;
+  bool has_packet_load = false;
+  bool accumulates = false;
+  std::set<std::uint32_t> phi_regs;
+  std::set<std::uint32_t> packet_load_regs;
+
+  for (std::size_t i = 0; i + 1 < block.instrs.size(); ++i) {
+    const Instr& instr = block.instrs[i];
+    if (instr.dst != kNoReg) defined_in_block.insert(instr.dst);
+    switch (instr.op) {
+      case Opcode::kPhi:
+        phi_regs.insert(instr.dst);
+        break;
+      case Opcode::kLoad:
+        if (instr.space != MemSpace::kPacket) return std::nullopt;
+        has_packet_load = true;
+        packet_load_regs.insert(instr.dst);
+        break;
+      default:
+        if (!is_arith_or_cmp(instr.op)) return std::nullopt;  // calls/stores/etc. break the idiom
+        break;
+    }
+  }
+  if (!has_packet_load) return std::nullopt;
+
+  // Accumulation: an add whose operands touch both a packet load and a
+  // phi (directly) marks the checksum idiom.
+  for (std::size_t i = 0; i + 1 < block.instrs.size(); ++i) {
+    const Instr& instr = block.instrs[i];
+    if (instr.op != Opcode::kAdd) continue;
+    bool touches_load = false;
+    bool touches_phi = false;
+    for (const Value& a : instr.args) {
+      if (!a.is_reg()) continue;
+      if (packet_load_regs.count(a.reg)) touches_load = true;
+      if (phi_regs.count(a.reg)) touches_phi = true;
+    }
+    if (touches_load && touches_phi) {
+      accumulates = true;
+      break;
+    }
+  }
+
+  // Loop bound: the condbr condition must come from a comparison in this
+  // block between a loop-varying value (the induction variable or its
+  // increment) and a loop-invariant bound (an immediate or a register
+  // defined outside the block). Exactly one side must be invariant.
+  if (!term.args[0].is_reg()) return std::nullopt;
+  const std::uint32_t cond_reg = term.args[0].reg;
+  Value bound = Value::none();
+  for (std::size_t i = 0; i + 1 < block.instrs.size(); ++i) {
+    const Instr& instr = block.instrs[i];
+    if (instr.dst != cond_reg) continue;
+    switch (instr.op) {
+      case Opcode::kEq: case Opcode::kNe: case Opcode::kLt:
+      case Opcode::kLe: case Opcode::kGt: case Opcode::kGe:
+        break;
+      default:
+        return std::nullopt;
+    }
+    const auto invariant = [&](const Value& v) {
+      return v.is_imm() || (v.is_reg() && defined_in_block.count(v.reg) == 0);
+    };
+    const bool inv0 = invariant(instr.args[0]);
+    const bool inv1 = invariant(instr.args[1]);
+    if (inv0 == inv1) return std::nullopt;
+    bound = inv0 ? instr.args[0] : instr.args[1];
+    break;
+  }
+  if (bound.is_none()) return std::nullopt;
+
+  LoopShape shape;
+  shape.block = b;
+  shape.exit = exit;
+  shape.bound = bound;
+  shape.accumulates = accumulates;
+  return shape;
+}
+
+/// Registers defined in `block` that are used anywhere else in the
+/// function (including as phi inputs in other blocks).
+std::set<std::uint32_t> escaping_defs(const cir::Function& fn, std::uint32_t block) {
+  std::set<std::uint32_t> defs;
+  for (const Instr& instr : fn.blocks[block].instrs) {
+    if (instr.dst != kNoReg) defs.insert(instr.dst);
+  }
+  std::set<std::uint32_t> escaping;
+  for (std::uint32_t b = 0; b < fn.blocks.size(); ++b) {
+    if (b == block) continue;
+    for (const Instr& instr : fn.blocks[b].instrs) {
+      for (const Value& a : instr.args) {
+        if (a.is_reg() && defs.count(a.reg)) escaping.insert(a.reg);
+      }
+    }
+  }
+  return escaping;
+}
+
+}  // namespace
+
+PatternReport collapse_packet_loops(cir::Function& fn) {
+  PatternReport report;
+  const Cfg cfg(fn);
+  const auto loops = find_loops(fn, cfg);
+
+  for (const Loop& loop : loops) {
+    if (loop.body.size() != 1 || loop.header != loop.latch) continue;
+    const auto shape = match_block(fn, loop.header);
+    if (!shape) continue;
+
+    const auto escaping = escaping_defs(fn, shape->block);
+    if (escaping.size() > 1) continue;  // cannot represent multiple live-outs with one vcall result
+
+    BasicBlock& block = fn.blocks[shape->block];
+
+    Instr call;
+    call.op = Opcode::kCall;
+    call.type = Type::kI64;
+    call.callee = cir::vcall_name(shape->accumulates ? VCall::kCsum : VCall::kPayloadScan);
+    call.args = {shape->bound};
+    call.dst = escaping.empty() ? fn.num_regs++ : *escaping.begin();
+
+    Instr br;
+    br.op = Opcode::kBr;
+    br.type = Type::kVoid;
+    br.target0 = shape->exit;
+
+    block.instrs.clear();
+    block.instrs.push_back(std::move(call));
+    block.instrs.push_back(std::move(br));
+    block.has_trip = false;
+    block.trip = cir::SymExpr::constant(1.0);
+
+    // The block no longer loops; phis in the exit block that named this
+    // block as predecessor remain valid (the edge still exists). Phis in
+    // this block are gone along with the back edge.
+    if (shape->accumulates) {
+      ++report.csum_loops;
+    } else {
+      ++report.scan_loops;
+    }
+  }
+  return report;
+}
+
+}  // namespace clara::passes

@@ -1,0 +1,35 @@
+// Idiom pattern matching — paper §3.3.
+//
+// "Sometimes semantic information may be better captured at a coarser
+// granularity": a checksum computed as a byte loop, or a DPI scan loop,
+// should be seen by the mapper as one SmartNIC-mappable operation, not a
+// pile of ALU instructions. This pass recognizes single-block loops over
+// packet bytes and collapses each into the corresponding virtual call:
+//
+//   * accumulation loops (a phi accumulates adds of packet loads)
+//     become vcall_csum(len);
+//   * comparison loops (packet loads feed comparisons) become
+//     vcall_payload_scan(len).
+//
+// The loop bound becomes the vcall length argument; if exactly one value
+// defined inside the loop is used outside it, the vcall result takes its
+// register, preserving SSA without rewriting downstream code. Loops that
+// do not fit the shape are left alone (they still map to NPU software).
+#pragma once
+
+#include <cstddef>
+
+#include "cir/function.hpp"
+
+namespace clara::passes {
+
+struct PatternReport {
+  std::size_t csum_loops = 0;
+  std::size_t scan_loops = 0;
+
+  [[nodiscard]] std::size_t total() const { return csum_loops + scan_loops; }
+};
+
+PatternReport collapse_packet_loops(cir::Function& fn);
+
+}  // namespace clara::passes

@@ -1,0 +1,299 @@
+#include "passes/symexec.hpp"
+
+#include <map>
+#include <optional>
+
+#include "cir/builder.hpp"
+#include "cir/vcalls.hpp"
+#include "common/strings.hpp"
+
+namespace clara::passes {
+
+using cir::HdrField;
+using cir::Instr;
+using cir::Opcode;
+using cir::Value;
+using cir::VCall;
+
+namespace {
+
+/// Symbolic value lattice: a constant, a header field (possibly masked),
+/// a boolean condition over one, an opaque vcall result, or unknown.
+struct SymVal {
+  enum class Kind { kUnknown, kConst, kField, kCond, kOpaque } kind = Kind::kUnknown;
+  std::uint64_t constant = 0;
+  HdrField field = HdrField::kProto;
+  std::uint64_t mask = ~0ULL;   // for kField
+  std::string cond_text;        // for kCond / kOpaque (the "true" reading)
+
+  static SymVal unknown() { return {}; }
+  static SymVal of_const(std::uint64_t c) {
+    SymVal v;
+    v.kind = Kind::kConst;
+    v.constant = c;
+    return v;
+  }
+  static SymVal of_field(HdrField f, std::uint64_t mask = ~0ULL) {
+    SymVal v;
+    v.kind = Kind::kField;
+    v.field = f;
+    v.mask = mask;
+    return v;
+  }
+  static SymVal of_cond(std::string text) {
+    SymVal v;
+    v.kind = Kind::kCond;
+    v.cond_text = std::move(text);
+    return v;
+  }
+  static SymVal of_opaque(std::string text) {
+    SymVal v;
+    v.kind = Kind::kOpaque;
+    v.cond_text = std::move(text);
+    return v;
+  }
+};
+
+std::string field_expr(const SymVal& v) {
+  if (v.mask == ~0ULL) return cir::hdr_field_name(v.field);
+  return strf("(%s & 0x%llx)", cir::hdr_field_name(v.field), (unsigned long long)v.mask);
+}
+
+const char* cmp_name(Opcode op) {
+  switch (op) {
+    case Opcode::kEq: return "==";
+    case Opcode::kNe: return "!=";
+    case Opcode::kLt: return "<";
+    case Opcode::kLe: return "<=";
+    case Opcode::kGt: return ">";
+    case Opcode::kGe: return ">=";
+    default: return "?";
+  }
+}
+
+struct PathState {
+  std::uint32_t block = 0;
+  std::uint32_t prev_block = ~0u;
+  std::map<std::uint32_t, SymVal> regs;
+  /// Scratch memory at constant addresses — front ends that lower
+  /// variables to scratch slots (P4-lite) keep their provenance.
+  std::map<std::uint64_t, SymVal> scratch;
+  std::map<std::uint32_t, int> visits;  // per-block, for loop bounding
+  NfPath path;
+};
+
+class Enumerator {
+ public:
+  Enumerator(const cir::Function& fn, std::size_t max_paths) : fn_(fn), max_paths_(max_paths) {}
+
+  PathSet run() {
+    PathSet out;
+    std::vector<PathState> stack;
+    stack.push_back(PathState{});
+    while (!stack.empty()) {
+      if (out.paths.size() >= max_paths_) {
+        out.complete = false;
+        break;
+      }
+      PathState state = std::move(stack.back());
+      stack.pop_back();
+      step(std::move(state), out, stack);
+    }
+    return out;
+  }
+
+ private:
+  SymVal eval(const PathState& state, const Value& v) const {
+    if (v.is_imm()) return SymVal::of_const(static_cast<std::uint64_t>(v.imm));
+    if (v.is_reg()) {
+      const auto it = state.regs.find(v.reg);
+      if (it != state.regs.end()) return it->second;
+    }
+    return SymVal::unknown();
+  }
+
+  /// Executes one block; pushes successor states, or finishes the path.
+  void step(PathState state, PathSet& out, std::vector<PathState>& stack) {
+    const std::uint32_t b = state.block;
+    state.path.blocks.push_back(b);
+    if (++state.visits[b] > 2) {
+      // Loop bound exceeded without finding the exit — abandon (the
+      // collapsed/annotated form is the supported shape; this guards
+      // against pathological CFGs).
+      return;
+    }
+
+    const auto& instrs = fn_.blocks[b].instrs;
+    for (std::size_t i = 0; i < instrs.size(); ++i) {
+      const Instr& instr = instrs[i];
+      switch (instr.op) {
+        case Opcode::kPhi: {
+          // Take the value flowing along the traversed edge.
+          SymVal v = SymVal::unknown();
+          for (std::size_t a = 0; a < instr.phi_preds.size(); ++a) {
+            if (instr.phi_preds[a] == state.prev_block) v = eval(state, instr.args[a]);
+          }
+          state.regs[instr.dst] = v;
+          break;
+        }
+        case Opcode::kAnd: {
+          const SymVal lhs = eval(state, instr.args[0]);
+          const SymVal rhs = eval(state, instr.args[1]);
+          if (lhs.kind == SymVal::Kind::kField && rhs.kind == SymVal::Kind::kConst) {
+            state.regs[instr.dst] = SymVal::of_field(lhs.field, lhs.mask & rhs.constant);
+          } else if (rhs.kind == SymVal::Kind::kField && lhs.kind == SymVal::Kind::kConst) {
+            state.regs[instr.dst] = SymVal::of_field(rhs.field, rhs.mask & lhs.constant);
+          } else if (instr.dst != cir::kNoReg) {
+            state.regs[instr.dst] = SymVal::unknown();
+          }
+          break;
+        }
+        case Opcode::kEq: case Opcode::kNe: case Opcode::kLt:
+        case Opcode::kLe: case Opcode::kGt: case Opcode::kGe: {
+          const SymVal lhs = eval(state, instr.args[0]);
+          const SymVal rhs = eval(state, instr.args[1]);
+          if (lhs.kind == SymVal::Kind::kField && rhs.kind == SymVal::Kind::kConst) {
+            state.regs[instr.dst] = SymVal::of_cond(
+                strf("%s %s %llu", field_expr(lhs).c_str(), cmp_name(instr.op), (unsigned long long)rhs.constant));
+          } else if (rhs.kind == SymVal::Kind::kField && lhs.kind == SymVal::Kind::kConst) {
+            state.regs[instr.dst] = SymVal::of_cond(
+                strf("%llu %s %s", (unsigned long long)lhs.constant, cmp_name(instr.op), field_expr(rhs).c_str()));
+          } else if (lhs.kind == SymVal::Kind::kOpaque || rhs.kind == SymVal::Kind::kOpaque) {
+            const auto& opaque = lhs.kind == SymVal::Kind::kOpaque ? lhs : rhs;
+            state.regs[instr.dst] = SymVal::of_opaque(opaque.cond_text);
+          } else if (instr.dst != cir::kNoReg) {
+            state.regs[instr.dst] = SymVal::unknown();
+          }
+          break;
+        }
+        case Opcode::kCall: {
+          const auto v = cir::parse_vcall(instr.callee);
+          if (!v) {
+            if (instr.dst != cir::kNoReg) state.regs[instr.dst] = SymVal::unknown();
+            break;
+          }
+          switch (*v) {
+            case VCall::kGetHdr:
+              if (instr.args[0].is_imm()) {
+                state.regs[instr.dst] = SymVal::of_field(static_cast<HdrField>(instr.args[0].imm));
+              }
+              break;
+            case VCall::kTableLookup: {
+              const auto& name = fn_.state_objects[instr.args[0].imm].name;
+              state.regs[instr.dst] = SymVal::of_opaque(strf("lookup(%s) hit", name.c_str()));
+              break;
+            }
+            case VCall::kMeter: {
+              const auto& name = fn_.state_objects[instr.args[0].imm].name;
+              state.regs[instr.dst] = SymVal::of_opaque(strf("meter(%s) conforming", name.c_str()));
+              break;
+            }
+            case VCall::kLpmLookup:
+              if (instr.dst != cir::kNoReg) state.regs[instr.dst] = SymVal::unknown();
+              break;
+            case VCall::kEmit:
+              state.path.exit = NfPath::Exit::kEmit;
+              break;
+            case VCall::kDrop:
+              state.path.exit = NfPath::Exit::kDrop;
+              break;
+            default:
+              if (instr.dst != cir::kNoReg) state.regs[instr.dst] = SymVal::unknown();
+              break;
+          }
+          break;
+        }
+        case Opcode::kBr: {
+          state.prev_block = b;
+          state.block = instr.target0;
+          stack.push_back(std::move(state));
+          return;
+        }
+        case Opcode::kCondBr: {
+          const SymVal cond = eval(state, instr.args[0]);
+          auto fork = [&](std::uint32_t target, bool taken) {
+            PathState next = state;
+            next.prev_block = b;
+            next.block = target;
+            if (cond.kind == SymVal::Kind::kCond || cond.kind == SymVal::Kind::kOpaque) {
+              next.path.conditions.push_back(
+                  {taken ? cond.cond_text : "!(" + cond.cond_text + ")"});
+            } else if (cond.kind == SymVal::Kind::kField) {
+              next.path.conditions.push_back(
+                  {taken ? field_expr(cond) + " != 0" : field_expr(cond) + " == 0"});
+            } else {
+              next.path.conditions.push_back({taken ? strf("%s:%zu taken", fn_.blocks[b].label.c_str(), i)
+                                                    : strf("%s:%zu not taken", fn_.blocks[b].label.c_str(), i)});
+            }
+            stack.push_back(std::move(next));
+          };
+          if (cond.kind == SymVal::Kind::kConst) {
+            // Concrete condition: single successor, no fork.
+            PathState next = std::move(state);
+            next.prev_block = b;
+            next.block = cond.constant != 0 ? instr.target0 : instr.target1;
+            stack.push_back(std::move(next));
+            return;
+          }
+          fork(instr.target1, false);
+          fork(instr.target0, true);
+          return;
+        }
+        case Opcode::kRet:
+          out.paths.push_back(std::move(state.path));
+          return;
+        case Opcode::kStore:
+          if (instr.space == cir::MemSpace::kScratch && instr.args[0].is_imm()) {
+            state.scratch[static_cast<std::uint64_t>(instr.args[0].imm)] = eval(state, instr.args[1]);
+          }
+          break;
+        case Opcode::kLoad:
+          if (instr.space == cir::MemSpace::kScratch && instr.args[0].is_imm()) {
+            const auto it = state.scratch.find(static_cast<std::uint64_t>(instr.args[0].imm));
+            state.regs[instr.dst] = it != state.scratch.end() ? it->second : SymVal::unknown();
+          } else if (instr.dst != cir::kNoReg) {
+            state.regs[instr.dst] = SymVal::unknown();
+          }
+          break;
+        default:
+          // Arithmetic and memory ops we do not track symbolically.
+          if (instr.dst != cir::kNoReg && instr.op != Opcode::kStore) {
+            state.regs[instr.dst] = SymVal::unknown();
+          }
+          break;
+      }
+    }
+  }
+
+  const cir::Function& fn_;
+  std::size_t max_paths_;
+};
+
+}  // namespace
+
+std::string NfPath::describe(const cir::Function& fn) const {
+  std::string out;
+  for (std::size_t i = 0; i < conditions.size(); ++i) {
+    if (i) out += " && ";
+    out += conditions[i].text;
+  }
+  if (conditions.empty()) out = "(always)";
+  out += " -> ";
+  for (std::size_t i = 0; i < blocks.size(); ++i) {
+    if (i) out += ".";
+    out += fn.blocks[blocks[i]].label;
+  }
+  switch (exit) {
+    case Exit::kEmit: out += " [emit]"; break;
+    case Exit::kDrop: out += " [drop]"; break;
+    case Exit::kReturn: out += " [return]"; break;
+  }
+  return out;
+}
+
+PathSet enumerate_paths(const cir::Function& fn, std::size_t max_paths) {
+  Enumerator enumerator(fn, max_paths);
+  return enumerator.run();
+}
+
+}  // namespace clara::passes

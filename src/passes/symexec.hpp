@@ -1,0 +1,53 @@
+// Symbolic path enumeration — paper §3.5: "Alternatively, Clara could
+// leverage symbolic execution to comprehensively enumerate all NF
+// behaviors, and identify the packet types that would exercise each
+// behavior. This would enable Clara to generate a set of performance
+// predictions per packet type."
+//
+// This is a lightweight symbolic executor specialized for NF shapes:
+// header fields read via vcall_get_hdr become symbolic values; masks and
+// comparisons over them become path conditions ("proto == 6",
+// "tcp_flags & 0x1 != 0"); stateful vcall results (table lookups, meter
+// verdicts) are opaque booleans that fork the path with a descriptive
+// condition ("vcall_table_lookup(conn_table) hit"). Loops are bounded:
+// a back edge is followed at most once per path, after which only exit
+// edges are taken (the block's trip annotation carries the repetition
+// cost — path enumeration is about control-flow shape, not iteration
+// counts).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "cir/function.hpp"
+
+namespace clara::passes {
+
+/// One conjunct of a path condition, printable for reports.
+struct PathCondition {
+  std::string text;
+
+  friend bool operator==(const PathCondition&, const PathCondition&) = default;
+};
+
+struct NfPath {
+  /// Blocks traversed, in order (loop bodies appear at most twice).
+  std::vector<std::uint32_t> blocks;
+  std::vector<PathCondition> conditions;
+  /// Terminal action on this path (emit, drop, or plain return).
+  enum class Exit { kEmit, kDrop, kReturn } exit = Exit::kReturn;
+
+  [[nodiscard]] std::string describe(const cir::Function& fn) const;
+};
+
+struct PathSet {
+  std::vector<NfPath> paths;
+  /// False when enumeration stopped at the path budget (paths is then a
+  /// prefix of the full behaviour set).
+  bool complete = true;
+};
+
+/// Enumerates control-flow paths of a (substituted) function.
+PathSet enumerate_paths(const cir::Function& fn, std::size_t max_paths = 64);
+
+}  // namespace clara::passes

@@ -1,0 +1,430 @@
+// clara — command-line front end.
+//
+//   clara list-nfs                      list the built-in NF corpus
+//   clara list-nics                     list LNIC profiles
+//   clara print --nf <name> [--lowered] print an NF's CIR (optionally
+//                                       after substitution + patterns)
+//   clara analyze --nf <name>|--nf-file <f.cir> [--nic <profile>]
+//                 [--workload "<spec>"] [--greedy] [--no-patterns]
+//                 [--paths] [--energy] [--partial]
+//   clara simulate --nf <name> [--workload "<spec>"]
+//                                       run the hand-ported NF on the
+//                                       simulated device
+//   clara microbench                    extract device parameters
+//   clara trace-gen --workload "<spec>" --out <file.cltr>
+//   clara trace-info <file.cltr>
+//
+// Workload spec syntax: "tcp=0.8 flows=10000 payload=300 pps=60000
+// packets=50000 zipf=1.0 arrivals=deterministic seed=42".
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <functional>
+#include <map>
+#include <optional>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "cir/printer.hpp"
+#include "cir/verify.hpp"
+#include "common/strings.hpp"
+#include "common/table.hpp"
+#include "core/clara.hpp"
+#include "core/adversarial.hpp"
+#include "core/energy.hpp"
+#include "core/partial.hpp"
+#include "frontend/p4lite.hpp"
+#include "microbench/microbench.hpp"
+#include "nf/nf_cir.hpp"
+#include "nf/nf_ported.hpp"
+#include "nicsim/sim.hpp"
+#include "passes/api_subst.hpp"
+#include "passes/dataflow.hpp"
+#include "passes/patterns.hpp"
+#include "passes/symexec.hpp"
+#include "workload/analysis.hpp"
+#include "workload/trace_io.hpp"
+
+namespace {
+
+using namespace clara;
+
+struct Args {
+  std::string command;
+  std::map<std::string, std::string> options;
+  std::vector<std::string> positional;
+
+  [[nodiscard]] bool has(const std::string& key) const { return options.count(key) > 0; }
+  [[nodiscard]] std::string get(const std::string& key, const std::string& fallback = {}) const {
+    const auto it = options.find(key);
+    return it == options.end() ? fallback : it->second;
+  }
+};
+
+Args parse_args(int argc, char** argv) {
+  Args args;
+  if (argc > 1) args.command = argv[1];
+  for (int i = 2; i < argc; ++i) {
+    std::string token = argv[i];
+    if (starts_with(token, "--")) {
+      const std::string key = token.substr(2);
+      // Flags without values.
+      if (key == "lowered" || key == "greedy" || key == "no-patterns" || key == "paths" ||
+          key == "energy" || key == "partial" || key == "csum-sw" || key == "no-flow-cache") {
+        args.options[key] = "1";
+      } else if (i + 1 < argc) {
+        args.options[key] = argv[++i];
+      } else {
+        args.options[key] = "";
+      }
+    } else {
+      args.positional.push_back(std::move(token));
+    }
+  }
+  return args;
+}
+
+// --- NF registry -------------------------------------------------------------
+
+struct NfEntry {
+  const char* name;
+  const char* description;
+  std::function<cir::Function()> build;
+};
+
+const std::vector<NfEntry>& nf_registry() {
+  static const std::vector<NfEntry> kRegistry = {
+      {"lpm", "longest-prefix match, 10k rules, flow cache on", [] { return nf::build_lpm_nf(); }},
+      {"lpm-nocache", "LPM without the flow cache",
+       [] { return nf::build_lpm_nf({.rules = 10000, .use_flow_cache = false}); }},
+      {"nat", "network address translation with per-flow table", [] { return nf::build_nat_nf(); }},
+      {"firewall", "stateful firewall with rule table", [] { return nf::build_fw_nf(); }},
+      {"dpi", "deep packet inspection (explicit byte-scan loop)", [] { return nf::build_dpi_nf(); }},
+      {"heavy-hitter", "per-flow counters with threshold", [] { return nf::build_hh_nf(); }},
+      {"meter", "token-bucket metering", [] { return nf::build_meter_nf(); }},
+      {"flow-stats", "per-flow packet/byte statistics", [] { return nf::build_flowstats_nf(); }},
+      {"rewrite", "header rewrite (minimal NF)", [] { return nf::build_rewrite_nf(); }},
+      {"vnf-chain", "DPI -> meter -> header mods -> flow stats", [] { return nf::build_vnf_chain(); }},
+      {"crypto-gw", "IPsec-style gateway (crypto engine)", [] { return nf::build_crypto_gw_nf(); }},
+      {"csum-loop", "checksum as an accumulation loop (idiom demo)", [] { return nf::build_csum_loop_nf(); }},
+      {"rate-estimator", "EWMA rate estimation (floating point)", [] { return nf::build_rate_estimator_nf(); }},
+  };
+  return kRegistry;
+}
+
+std::optional<cir::Function> load_nf(const Args& args) {
+  if (args.has("nf-p4")) {
+    std::ifstream in(args.get("nf-p4"));
+    if (!in) {
+      std::fprintf(stderr, "cannot open %s\n", args.get("nf-p4").c_str());
+      return std::nullopt;
+    }
+    std::ostringstream buffer;
+    buffer << in.rdbuf();
+    auto fn = frontend::compile_p4lite(buffer.str());
+    if (!fn) {
+      std::fprintf(stderr, "p4lite error: %s\n", fn.error().message.c_str());
+      return std::nullopt;
+    }
+    return std::move(fn).value();
+  }
+  if (args.has("nf-file")) {
+    std::ifstream in(args.get("nf-file"));
+    if (!in) {
+      std::fprintf(stderr, "cannot open %s\n", args.get("nf-file").c_str());
+      return std::nullopt;
+    }
+    std::ostringstream buffer;
+    buffer << in.rdbuf();
+    auto mod = cir::parse_module(buffer.str());
+    if (!mod) {
+      std::fprintf(stderr, "parse error: %s\n", mod.error().message.c_str());
+      return std::nullopt;
+    }
+    if (auto status = cir::verify(mod.value()); !status) {
+      std::fprintf(stderr, "verification error: %s\n", status.error().message.c_str());
+      return std::nullopt;
+    }
+    if (mod.value().functions.empty()) {
+      std::fprintf(stderr, "module has no functions\n");
+      return std::nullopt;
+    }
+    return mod.value().functions.front();
+  }
+  const std::string name = args.get("nf");
+  for (const auto& entry : nf_registry()) {
+    if (name == entry.name) return entry.build();
+  }
+  std::fprintf(stderr, "unknown NF '%s' (try: clara list-nfs)\n", name.c_str());
+  return std::nullopt;
+}
+
+std::optional<lnic::NicProfile> load_nic(const Args& args) {
+  const std::string name = args.get("nic", "netronome-agilio-cx");
+  for (auto& profile : lnic::all_profiles()) {
+    if (profile.name == name) return std::move(profile);
+  }
+  std::fprintf(stderr, "unknown NIC '%s' (try: clara list-nics)\n", name.c_str());
+  return std::nullopt;
+}
+
+std::optional<workload::Trace> load_trace(const Args& args) {
+  if (args.has("trace")) {
+    auto trace = workload::read_trace(args.get("trace"));
+    if (!trace) {
+      std::fprintf(stderr, "trace error: %s\n", trace.error().message.c_str());
+      return std::nullopt;
+    }
+    return std::move(trace).value();
+  }
+  const std::string spec = args.get("workload", "tcp=0.8 flows=10000 payload=300 pps=60000 packets=20000");
+  auto profile = workload::parse_profile(spec);
+  if (!profile) {
+    std::fprintf(stderr, "workload error: %s\n", profile.error().message.c_str());
+    return std::nullopt;
+  }
+  return workload::generate_trace(profile.value());
+}
+
+// --- Commands -----------------------------------------------------------------
+
+int cmd_list_nfs() {
+  TextTable table({"name", "description"});
+  for (const auto& entry : nf_registry()) table.add_row({entry.name, entry.description});
+  std::printf("%s", table.render().c_str());
+  return 0;
+}
+
+int cmd_list_nics() {
+  TextTable table({"name", "compute units", "memory regions", "clock"});
+  for (const auto& profile : lnic::all_profiles()) {
+    table.add_row({profile.name, strf("%zu", profile.graph.compute_units().size()),
+                   strf("%zu", profile.graph.memory_regions().size()),
+                   strf("%.1f MHz", profile.params.scalar(lnic::keys::kClockHz) / 1e6)});
+  }
+  std::printf("%s", table.render().c_str());
+  return 0;
+}
+
+int cmd_print(const Args& args) {
+  auto fn = load_nf(args);
+  if (!fn) return 1;
+  if (args.has("lowered")) {
+    passes::substitute_framework_apis(*fn);
+    passes::collapse_packet_loops(*fn);
+  }
+  cir::Module mod;
+  mod.name = fn->name;
+  mod.functions.push_back(std::move(*fn));
+  std::printf("%s", cir::print_module(mod).c_str());
+  return 0;
+}
+
+int cmd_analyze(const Args& args) {
+  auto fn = load_nf(args);
+  auto nic = load_nic(args);
+  auto trace = load_trace(args);
+  if (!fn || !nic || !trace) return 1;
+
+  core::AnalyzeOptions options;
+  options.use_ilp = !args.has("greedy");
+  options.pattern_matching = !args.has("no-patterns");
+
+  core::Analyzer analyzer(std::move(*nic));
+  auto analysis = analyzer.analyze(*fn, *trace, options);
+  if (!analysis) {
+    std::fprintf(stderr, "analysis failed: %s\n", analysis.error().message.c_str());
+    return 1;
+  }
+  const auto& a = analysis.value();
+
+  std::printf("NF '%s' on %s  (%zu calls substituted, %zu loops collapsed, %s mapper)\n",
+              fn->name.c_str(), analyzer.profile().name.c_str(), a.substitution.substituted,
+              a.patterns.total(), a.mapping.greedy ? "greedy" : "ILP");
+  std::printf("predicted mean latency : %.0f cycles (%.2f us)\n", a.prediction.mean_latency_cycles,
+              a.prediction.mean_latency_us);
+  std::printf("idealized throughput   : %.0f pps (bottleneck: %s)\n", a.prediction.throughput_pps,
+              a.prediction.bottleneck.c_str());
+  std::printf("model hit rates        : EMEM cache %.2f, flow cache %.2f\n",
+              a.prediction.emem_cache_hit_rate, a.prediction.flow_cache_hit_rate);
+  std::printf("\nper-packet-type profile:\n");
+  TextTable classes({"class", "share", "latency (cyc)"});
+  for (const auto& cls : a.prediction.classes) {
+    classes.add_row({cls.name, strf("%.1f%%", cls.fraction * 100), strf("%.0f", cls.latency_cycles)});
+  }
+  std::printf("%s\n%s", classes.render().c_str(), a.report.c_str());
+
+  // Re-derive the graph/mapping context for the optional extras.
+  const auto hints = core::hints_from_trace(*trace, analyzer.profile());
+  const auto graph = passes::DataflowGraph::build(a.lowered, hints);
+  const mapping::Mapper mapper(analyzer.profile());
+
+  if (args.has("energy")) {
+    const auto energy = core::predict_energy(a.lowered, graph, a.mapping, mapper, *trace);
+    std::printf("\nenergy: %.0f nJ/packet dynamic, %.1f W at %.0f pps (%.0f nJ/packet incl. idle)\n",
+                energy.nj_per_packet, energy.watts_at_rate, trace->profile.pps,
+                energy.nj_per_packet_total);
+  }
+  if (args.has("partial")) {
+    const auto partial = core::plan_partial_offload(a.lowered, graph, a.mapping, mapper, *trace);
+    if (partial) {
+      std::printf("\npartial-offload plans:\n%s", core::describe_partial(partial.value(), graph).c_str());
+    }
+  }
+  if (args.has("paths")) {
+    const auto paths = passes::enumerate_paths(a.lowered);
+    std::printf("\nNF behaviours (%zu paths%s):\n", paths.paths.size(),
+                paths.complete ? "" : ", truncated");
+    for (const auto& path : paths.paths) std::printf("  %s\n", path.describe(a.lowered).c_str());
+  }
+  return 0;
+}
+
+int cmd_simulate(const Args& args) {
+  auto trace = load_trace(args);
+  if (!trace) return 1;
+  const std::string name = args.get("nf");
+
+  nicsim::NicSim sim;
+  std::unique_ptr<nicsim::NicProgram> program;
+  if (name == "nat") {
+    auto& table = sim.create_table("flow_table", 131072, 64, nicsim::MemLevel::kEmem);
+    program = std::make_unique<nf::NatProgram>(table, !args.has("csum-sw"));
+  } else if (name == "lpm") {
+    auto& lpm = sim.create_lpm("routes", 10000, 4096);
+    program = std::make_unique<nf::LpmProgram>(lpm, !args.has("no-flow-cache"));
+  } else if (name == "firewall") {
+    auto& conn = sim.create_table("conn_table", 16384, 64, nicsim::MemLevel::kImem);
+    auto& rules = sim.create_table("rules", 1024, 32, nicsim::MemLevel::kCtm);
+    program = std::make_unique<nf::FwProgram>(conn, rules);
+  } else if (name == "dpi") {
+    program = std::make_unique<nf::DpiProgram>();
+  } else if (name == "heavy-hitter") {
+    auto& counters = sim.create_table("counters", 16384, 32, nicsim::MemLevel::kImem);
+    program = std::make_unique<nf::HhProgram>(counters);
+  } else if (name == "vnf-chain") {
+    auto& meters = sim.create_table("meters", 4096, 32, nicsim::MemLevel::kCtm);
+    auto& stats = sim.create_table("flow_stats", 16384, 32, nicsim::MemLevel::kImem);
+    program = std::make_unique<nf::VnfProgram>(meters, stats);
+  } else if (name == "crypto-gw") {
+    auto& sa = sim.create_table("sa_table", 4096, 64, nicsim::MemLevel::kCtm);
+    program = std::make_unique<nf::CryptoGwProgram>(sa, true);
+  } else if (name == "rewrite") {
+    program = std::make_unique<nf::RewriteProgram>();
+  } else {
+    std::fprintf(stderr, "no ported implementation for '%s'\n", name.c_str());
+    return 1;
+  }
+
+  const auto stats = sim.run(*program, *trace);
+  std::printf("simulated '%s': %llu packets, %llu drops\n", name.c_str(),
+              (unsigned long long)stats.packets, (unsigned long long)stats.drops);
+  std::printf("latency  : mean %.0f  p50 %.0f  p99 %.0f cycles\n", stats.mean_latency(),
+              stats.latency.percentile(0.5), stats.p99_latency());
+  std::printf("queueing : mean wait %.0f cycles; achieved %.0f pps\n", stats.queue_wait.mean(),
+              stats.achieved_pps);
+  std::printf("caches   : EMEM hit %.2f, flow cache hit %.2f\n", stats.emem_cache_hit_rate,
+              stats.flow_cache_hit_rate);
+  std::printf("energy   : %.0f nJ/packet, %.1f W\n", stats.energy_nj_per_packet, stats.energy_watts);
+  return 0;
+}
+
+int cmd_adversarial(const Args& args) {
+  auto fn = load_nf(args);
+  auto nic = load_nic(args);
+  if (!fn || !nic) return 1;
+  auto seed = workload::parse_profile(
+      args.get("workload", "tcp=0.8 flows=1000 payload=300 pps=60000 packets=5000"));
+  if (!seed) {
+    std::fprintf(stderr, "workload error: %s\n", seed.error().message.c_str());
+    return 1;
+  }
+  core::Analyzer analyzer(std::move(*nic));
+  const auto result = core::find_adversarial_workload(analyzer, *fn, seed.value());
+  if (!result) {
+    std::fprintf(stderr, "%s\n", result.error().message.c_str());
+    return 1;
+  }
+  const auto& r = result.value();
+  std::printf("seed latency  : %.0f cycles\n", r.seed_latency_cycles);
+  std::printf("worst latency : %.0f cycles (%.1fx) after %zu evaluations\n", r.worst_latency_cycles,
+              r.worst_latency_cycles / r.seed_latency_cycles, r.evaluations);
+  std::printf("worst workload: %s\n", r.worst.serialize().c_str());
+  if (!r.trajectory.empty()) {
+    std::printf("ascent:\n");
+    for (const auto& step : r.trajectory) {
+      std::printf("  %8.0f cyc  %s\n", step.latency_cycles, step.profile.c_str());
+    }
+  }
+  return 0;
+}
+
+int cmd_microbench() {
+  const auto databook = lnic::netronome_agilio_cx().params;
+  const auto extraction = microbench::extract_parameters(nicsim::netronome_config(), databook);
+  std::printf("measurement log:\n%s\nextracted parameters:\n%s", extraction.report.c_str(),
+              extraction.params.serialize().c_str());
+  return 0;
+}
+
+int cmd_trace_gen(const Args& args) {
+  auto trace = load_trace(args);
+  if (!trace) return 1;
+  const std::string out = args.get("out", "trace.cltr");
+  if (auto status = workload::write_trace(*trace, out); !status) {
+    std::fprintf(stderr, "%s\n", status.error().message.c_str());
+    return 1;
+  }
+  std::printf("wrote %zu packets to %s\n", trace->size(), out.c_str());
+  return 0;
+}
+
+int cmd_trace_info(const Args& args) {
+  if (args.positional.empty()) {
+    std::fprintf(stderr, "usage: clara trace-info <file.cltr>\n");
+    return 1;
+  }
+  auto trace = workload::read_trace(args.positional[0]);
+  if (!trace) {
+    std::fprintf(stderr, "%s\n", trace.error().message.c_str());
+    return 1;
+  }
+  const auto analysis = workload::analyze_trace(trace.value());
+  std::printf("%s", analysis.render().c_str());
+  std::printf("profile        : %s\n", workload::profile_from_trace(trace.value()).serialize().c_str());
+  return 0;
+}
+
+void usage() {
+  std::printf(
+      "clara — performance clarity for SmartNIC offloading\n\n"
+      "commands:\n"
+      "  list-nfs | list-nics\n"
+      "  print    --nf <name> [--lowered]\n"
+      "  analyze  --nf <name>|--nf-file <f.cir>|--nf-p4 <f.p4nf> [--nic <profile>]\n"
+      "           [--workload \"<spec>\"]\n"
+      "           [--trace <f.cltr>] [--greedy] [--no-patterns] [--paths] [--energy] [--partial]\n"
+      "  simulate --nf <name> [--workload \"<spec>\"] [--csum-sw] [--no-flow-cache]\n"
+      "  adversarial --nf <name> [--nic <profile>] [--workload \"<spec>\"]\n"
+      "  microbench\n"
+      "  trace-gen  --workload \"<spec>\" --out <f.cltr>\n"
+      "  trace-info <f.cltr>\n");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const Args args = parse_args(argc, argv);
+  if (args.command == "list-nfs") return cmd_list_nfs();
+  if (args.command == "list-nics") return cmd_list_nics();
+  if (args.command == "print") return cmd_print(args);
+  if (args.command == "analyze") return cmd_analyze(args);
+  if (args.command == "simulate") return cmd_simulate(args);
+  if (args.command == "adversarial") return cmd_adversarial(args);
+  if (args.command == "microbench") return cmd_microbench();
+  if (args.command == "trace-gen") return cmd_trace_gen(args);
+  if (args.command == "trace-info") return cmd_trace_info(args);
+  usage();
+  return args.command.empty() || args.command == "help" || args.command == "--help" ? 0 : 1;
+}

@@ -1,0 +1,54 @@
+// Trace analysis: the statistics Clara's workload model feeds on, plus
+// operator-facing summaries for `clara trace-info`. Given a trace (ours
+// or converted from a capture), it recovers the abstract-profile axes:
+// flow count, popularity skew (a Zipf-alpha estimate), top-talker
+// concentration, size distribution, and observed rate.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "workload/tracegen.hpp"
+
+namespace clara::workload {
+
+struct FlowSummary {
+  std::uint32_t flow_id = 0;
+  std::uint64_t packets = 0;
+  std::uint64_t bytes = 0;
+  double share = 0.0;  // of trace packets
+};
+
+struct TraceAnalysis {
+  std::uint64_t packets = 0;
+  std::uint32_t distinct_flows = 0;
+  double tcp_fraction = 0.0;
+  double syn_fraction = 0.0;        // of TCP packets
+  double mean_payload = 0.0;
+  std::uint16_t min_payload = 0;
+  std::uint16_t max_payload = 0;
+  double observed_pps = 0.0;
+  /// Arrival burstiness: coefficient of variation of inter-arrival
+  /// times (0 = perfectly paced, ~1 = Poisson).
+  double arrival_cv = 0.0;
+  /// Estimated Zipf exponent of the flow-popularity distribution
+  /// (least-squares fit of log rank vs log frequency; 0 ≈ uniform).
+  double zipf_alpha = 0.0;
+  /// Share of packets carried by the top 1% / 10% of flows.
+  double top1pct_share = 0.0;
+  double top10pct_share = 0.0;
+  std::vector<FlowSummary> top_flows;  // descending, up to `top_k`
+
+  [[nodiscard]] std::string render() const;
+};
+
+/// Analyzes a trace; `top_k` bounds the heavy-hitter list.
+TraceAnalysis analyze_trace(const Trace& trace, std::size_t top_k = 10);
+
+/// Reconstructs an abstract workload profile approximating the trace —
+/// the inverse of generate_trace, useful for summarizing captures into
+/// the profile syntax Clara's docs use.
+WorkloadProfile profile_from_trace(const Trace& trace);
+
+}  // namespace clara::workload

@@ -1,0 +1,15 @@
+#include "workload/packet.hpp"
+
+namespace clara::workload {
+
+std::uint64_t PacketMeta::flow_hash() const {
+  // splitmix64-style mixing over the 5-tuple.
+  std::uint64_t x = (static_cast<std::uint64_t>(src_ip) << 32) | dst_ip;
+  x ^= (static_cast<std::uint64_t>(src_port) << 24) ^ (static_cast<std::uint64_t>(dst_port) << 8) ^ proto;
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+}  // namespace clara::workload

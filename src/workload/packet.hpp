@@ -1,0 +1,42 @@
+// Packet and flow model for workload descriptions.
+//
+// Clara never touches real packet bytes: prediction and simulation both
+// run on metadata (the fields NFs branch on) plus sizes. This matches
+// the paper's workload abstraction ("80% TCP vs. 20% UDP", "10k
+// concurrent TCP flows with 300-byte average packet size") while still
+// supporting trace files.
+#pragma once
+
+#include <cstdint>
+
+namespace clara::workload {
+
+struct PacketMeta {
+  std::uint32_t flow_id = 0;  // dense flow index within the trace
+  std::uint32_t src_ip = 0;
+  std::uint32_t dst_ip = 0;
+  std::uint16_t src_port = 0;
+  std::uint16_t dst_port = 0;
+  std::uint8_t proto = 6;     // 6 = TCP, 17 = UDP
+  std::uint8_t tcp_flags = 0; // bit 0 = SYN, bit 1 = FIN
+  std::uint16_t payload_len = 0;
+  std::uint64_t arrival_ns = 0;
+
+  /// 5-tuple hash; stable across runs (used for flow tables and the
+  /// flow cache on both the predictor and simulator sides).
+  [[nodiscard]] std::uint64_t flow_hash() const;
+
+  /// Total frame length: L2+L3+L4 headers (~54 B for TCP, ~42 for UDP)
+  /// plus payload.
+  [[nodiscard]] std::uint32_t frame_len() const {
+    return payload_len + (proto == 6 ? 54u : 42u);
+  }
+
+  [[nodiscard]] bool is_tcp() const { return proto == 6; }
+  [[nodiscard]] bool is_syn() const { return (tcp_flags & 0x1) != 0; }
+};
+
+inline constexpr std::uint8_t kFlagSyn = 0x1;
+inline constexpr std::uint8_t kFlagFin = 0x2;
+
+}  // namespace clara::workload

@@ -1,0 +1,28 @@
+// Binary trace persistence ("pcap-lite").
+//
+// A compact fixed-record format standing in for pcap in this repository
+// (DESIGN.md §6): Clara only consumes packet metadata, so records carry
+// the 5-tuple, flags, sizes and arrival timestamps. Layout (little
+// endian):
+//
+//   header:  magic "CLTR" | u32 version | u64 packet count
+//   record:  u32 flow_id | u32 src_ip | u32 dst_ip | u16 src_port |
+//            u16 dst_port | u8 proto | u8 tcp_flags | u16 payload_len |
+//            u64 arrival_ns                                   (28 bytes)
+#pragma once
+
+#include <string>
+
+#include "common/result.hpp"
+#include "workload/tracegen.hpp"
+
+namespace clara::workload {
+
+/// Serializes packets only (the generating profile is not persisted;
+/// a loaded trace reports a default-constructed profile with the packet
+/// count filled in).
+Status write_trace(const Trace& trace, const std::string& path);
+
+Result<Trace> read_trace(const std::string& path);
+
+}  // namespace clara::workload

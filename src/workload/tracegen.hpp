@@ -1,0 +1,35 @@
+// Synthetic trace generation from an abstract workload profile.
+//
+// Substitutes for the datacenter pcap traces the paper's evaluation
+// used (DESIGN.md §6): flow popularity is Zipf-distributed, the first
+// packet of each TCP flow carries SYN, payload sizes draw uniformly from
+// the profile's range, and arrivals follow the configured process.
+// Generation is fully deterministic given the profile (including seed).
+#pragma once
+
+#include <vector>
+
+#include "workload/packet.hpp"
+#include "workload/profile.hpp"
+
+namespace clara::workload {
+
+struct Trace {
+  std::vector<PacketMeta> packets;
+  WorkloadProfile profile;
+
+  [[nodiscard]] std::size_t size() const { return packets.size(); }
+
+  /// Number of distinct flows actually present.
+  [[nodiscard]] std::uint32_t distinct_flows() const;
+
+  /// Mean payload length over the trace.
+  [[nodiscard]] double mean_payload() const;
+
+  /// Fraction of TCP packets.
+  [[nodiscard]] double tcp_fraction() const;
+};
+
+Trace generate_trace(const WorkloadProfile& profile);
+
+}  // namespace clara::workload

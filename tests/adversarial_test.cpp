@@ -1,0 +1,70 @@
+// Tests for adversarial workload synthesis.
+#include <gtest/gtest.h>
+
+#include "core/adversarial.hpp"
+#include "nf/nf_cir.hpp"
+
+namespace clara::core {
+namespace {
+
+workload::WorkloadProfile seed_profile() {
+  return workload::parse_profile("tcp=0.8 flows=1000 payload=300 pps=60000 packets=5000").value();
+}
+
+TEST(Adversarial, NeverWorseThanSeed) {
+  Analyzer analyzer(lnic::netronome_agilio_cx());
+  AdversarialOptions options;
+  options.max_evaluations = 60;
+  for (auto builder : {+[] { return nf::build_nat_nf(); }, +[] { return nf::build_hh_nf(); }}) {
+    const auto nf_fn = builder();
+    const auto result = find_adversarial_workload(analyzer, nf_fn, seed_profile(), options);
+    ASSERT_TRUE(result.ok()) << result.error().message;
+    EXPECT_GE(result.value().worst_latency_cycles, result.value().seed_latency_cycles) << nf_fn.name;
+    EXPECT_GT(result.value().evaluations, 1u);
+  }
+}
+
+TEST(Adversarial, DpiWorstCaseIsBigPackets) {
+  Analyzer analyzer(lnic::netronome_agilio_cx());
+  const auto result = find_adversarial_workload(analyzer, nf::build_dpi_nf(), seed_profile());
+  ASSERT_TRUE(result.ok());
+  // DPI cost is payload-dominated: the ascent must find the largest size.
+  EXPECT_EQ(result.value().worst.payload_min, 1500);
+  EXPECT_GT(result.value().worst_latency_cycles, 2.0 * result.value().seed_latency_cycles);
+}
+
+TEST(Adversarial, LpmWorstCaseDefeatsFlowCache) {
+  Analyzer analyzer(lnic::netronome_agilio_cx());
+  const auto result = find_adversarial_workload(
+      analyzer, nf::build_lpm_nf({.rules = 10000, .use_flow_cache = true}), seed_profile());
+  ASSERT_TRUE(result.ok());
+  const auto& worst = result.value().worst;
+  // Cache-hostile traffic: many flows (beyond the 4096-entry flow cache)
+  // with little skew.
+  EXPECT_GT(worst.flows, 4096u);
+  EXPECT_LT(worst.zipf_alpha, 1.0);
+  EXPECT_GT(result.value().worst_latency_cycles, 5.0 * result.value().seed_latency_cycles);
+}
+
+TEST(Adversarial, TrajectoryIsMonotone) {
+  Analyzer analyzer(lnic::netronome_agilio_cx());
+  const auto result = find_adversarial_workload(analyzer, nf::build_vnf_chain(), seed_profile());
+  ASSERT_TRUE(result.ok());
+  double prev = result.value().seed_latency_cycles;
+  for (const auto& step : result.value().trajectory) {
+    EXPECT_GT(step.latency_cycles, prev);
+    prev = step.latency_cycles;
+  }
+}
+
+TEST(Adversarial, RespectsEvaluationBudget) {
+  Analyzer analyzer(lnic::netronome_agilio_cx());
+  AdversarialOptions options;
+  options.max_evaluations = 5;
+  const auto result = find_adversarial_workload(analyzer, nf::build_rewrite_nf(), seed_profile(), options);
+  ASSERT_TRUE(result.ok());
+  EXPECT_LE(result.value().evaluations, 5u);
+}
+
+}  // namespace
+}  // namespace clara::core

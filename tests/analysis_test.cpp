@@ -1,0 +1,86 @@
+// Tests for trace analysis: the statistics must recover the generating
+// profile's parameters (the inverse-problem property).
+#include <gtest/gtest.h>
+
+#include "common/strings.hpp"
+#include "workload/analysis.hpp"
+
+namespace clara::workload {
+namespace {
+
+Trace make(const std::string& spec) { return generate_trace(parse_profile(spec).value()); }
+
+TEST(TraceAnalysis, RecoversZipfAlpha) {
+  for (const double alpha : {0.0, 0.8, 1.2}) {
+    const auto trace = make(strf("flows=5000 zipf=%.1f packets=60000", alpha));
+    const auto analysis = analyze_trace(trace);
+    EXPECT_NEAR(analysis.zipf_alpha, alpha, 0.15) << "alpha " << alpha;
+  }
+}
+
+TEST(TraceAnalysis, RecoversTcpFraction) {
+  const auto analysis = analyze_trace(make("tcp=0.65 packets=30000 flows=3000"));
+  EXPECT_NEAR(analysis.tcp_fraction, 0.65, 0.03);
+}
+
+TEST(TraceAnalysis, DetectsArrivalProcess) {
+  const auto paced = analyze_trace(make("packets=20000 arrivals=deterministic"));
+  const auto bursty = analyze_trace(make("packets=20000 arrivals=poisson"));
+  EXPECT_LT(paced.arrival_cv, 0.1);
+  EXPECT_NEAR(bursty.arrival_cv, 1.0, 0.15);
+  EXPECT_NEAR(paced.observed_pps, 60000.0, 2000.0);
+}
+
+TEST(TraceAnalysis, TopFlowsOrderedAndConsistent) {
+  const auto trace = make("flows=1000 zipf=1.2 packets=30000");
+  const auto analysis = analyze_trace(trace, 5);
+  ASSERT_EQ(analysis.top_flows.size(), 5u);
+  for (std::size_t i = 1; i < analysis.top_flows.size(); ++i) {
+    EXPECT_GE(analysis.top_flows[i - 1].packets, analysis.top_flows[i].packets);
+  }
+  // Rank 0 of a zipf-1.2 distribution carries a visible share.
+  EXPECT_GT(analysis.top_flows[0].share, 0.05);
+  EXPECT_GT(analysis.top1pct_share, analysis.top_flows[0].share - 1e-9);
+  EXPECT_GE(analysis.top10pct_share, analysis.top1pct_share);
+}
+
+TEST(TraceAnalysis, SynShareMatchesFlowArrivals) {
+  // Every flow SYNs exactly once: SYN share of TCP ~ distinct/total.
+  const auto trace = make("tcp=1.0 flows=2000 packets=20000 zipf=0.5");
+  const auto analysis = analyze_trace(trace);
+  const double expected = static_cast<double>(analysis.distinct_flows) / 20000.0;
+  EXPECT_NEAR(analysis.syn_fraction, expected, 0.01);
+}
+
+TEST(TraceAnalysis, EmptyTraceSafe) {
+  Trace empty;
+  const auto analysis = analyze_trace(empty);
+  EXPECT_EQ(analysis.packets, 0u);
+  EXPECT_FALSE(analysis.render().empty());
+}
+
+TEST(ProfileFromTrace, RoundTripsGeneratorParameters) {
+  const auto original = parse_profile("tcp=0.7 flows=4000 zipf=1.0 payload=300:900 pps=80000 packets=40000 arrivals=poisson").value();
+  const auto trace = generate_trace(original);
+  const auto recovered = profile_from_trace(trace);
+  EXPECT_NEAR(recovered.tcp_fraction, 0.7, 0.03);
+  EXPECT_NEAR(static_cast<double>(recovered.flows), 4000.0, 600.0);  // rare flows may not appear
+  EXPECT_NEAR(recovered.zipf_alpha, 1.0, 0.15);
+  EXPECT_EQ(recovered.payload_min, 300);
+  EXPECT_EQ(recovered.payload_max, 900);
+  EXPECT_NEAR(recovered.pps, 80000.0, 4000.0);
+  EXPECT_EQ(recovered.arrivals, ArrivalProcess::kPoisson);
+}
+
+TEST(ProfileFromTrace, RegeneratedTraceIsStatisticallySimilar) {
+  const auto original = make("flows=3000 zipf=1.1 payload=400 pps=60000 packets=30000");
+  const auto regenerated = generate_trace(profile_from_trace(original));
+  const auto a = analyze_trace(original);
+  const auto b = analyze_trace(regenerated);
+  EXPECT_NEAR(a.zipf_alpha, b.zipf_alpha, 0.2);
+  EXPECT_NEAR(a.mean_payload, b.mean_payload, 20.0);
+  EXPECT_NEAR(a.top10pct_share, b.top10pct_share, 0.1);
+}
+
+}  // namespace
+}  // namespace clara::workload

@@ -1,0 +1,324 @@
+// Tests for the common substrate: RNG, Zipf sampling, statistics,
+// strings, tables, Result.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+
+#include "common/result.hpp"
+#include "common/rng.hpp"
+#include "common/stats.hpp"
+#include "common/strings.hpp"
+#include "common/table.hpp"
+#include "common/types.hpp"
+
+namespace clara {
+namespace {
+
+TEST(Rng, DeterministicForSeed) {
+  Rng a(123), b(123);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next_u64(), b.next_u64());
+}
+
+TEST(Rng, DifferentSeedsDiffer) {
+  Rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) same += a.next_u64() == b.next_u64() ? 1 : 0;
+  EXPECT_LT(same, 3);
+}
+
+TEST(Rng, NextBelowRespectsBound) {
+  Rng rng(7);
+  for (std::uint64_t bound : {1ULL, 2ULL, 3ULL, 17ULL, 1000ULL}) {
+    for (int i = 0; i < 200; ++i) EXPECT_LT(rng.next_below(bound), bound);
+  }
+}
+
+TEST(Rng, UniformInclusiveRange) {
+  Rng rng(9);
+  std::set<std::uint64_t> seen;
+  for (int i = 0; i < 1000; ++i) {
+    const auto v = rng.uniform(5, 8);
+    EXPECT_GE(v, 5u);
+    EXPECT_LE(v, 8u);
+    seen.insert(v);
+  }
+  EXPECT_EQ(seen.size(), 4u);  // all four values appear
+}
+
+TEST(Rng, DoubleInUnitInterval) {
+  Rng rng(11);
+  for (int i = 0; i < 1000; ++i) {
+    const double d = rng.next_double();
+    EXPECT_GE(d, 0.0);
+    EXPECT_LT(d, 1.0);
+  }
+}
+
+TEST(Rng, ChanceExtremes) {
+  Rng rng(1);
+  EXPECT_FALSE(rng.chance(0.0));
+  EXPECT_TRUE(rng.chance(1.0));
+}
+
+TEST(Rng, ChanceApproximatesProbability) {
+  Rng rng(5);
+  int hits = 0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) hits += rng.chance(0.3) ? 1 : 0;
+  EXPECT_NEAR(static_cast<double>(hits) / n, 0.3, 0.02);
+}
+
+TEST(Rng, ExponentialMean) {
+  Rng rng(13);
+  double sum = 0;
+  const int n = 50000;
+  for (int i = 0; i < n; ++i) sum += rng.exponential(10.0);
+  EXPECT_NEAR(sum / n, 10.0, 0.3);
+}
+
+TEST(Zipf, PmfSumsToOne) {
+  ZipfSampler z(100, 1.1);
+  double total = 0;
+  for (std::size_t i = 0; i < z.size(); ++i) total += z.pmf(i);
+  EXPECT_NEAR(total, 1.0, 1e-9);
+}
+
+TEST(Zipf, RankZeroMostPopular) {
+  ZipfSampler z(1000, 1.0);
+  for (std::size_t i = 1; i < 10; ++i) EXPECT_GT(z.pmf(0), z.pmf(i));
+}
+
+TEST(Zipf, AlphaZeroIsUniform) {
+  ZipfSampler z(50, 0.0);
+  for (std::size_t i = 0; i < z.size(); ++i) EXPECT_NEAR(z.pmf(i), 1.0 / 50.0, 1e-9);
+}
+
+TEST(Zipf, SampleMatchesPmf) {
+  Rng rng(3);
+  ZipfSampler z(10, 1.0);
+  std::vector<int> counts(10, 0);
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) ++counts[z.sample(rng)];
+  for (std::size_t i = 0; i < 10; ++i) {
+    EXPECT_NEAR(static_cast<double>(counts[i]) / n, z.pmf(i), 0.01) << "rank " << i;
+  }
+}
+
+TEST(Zipf, SingleElement) {
+  Rng rng(1);
+  ZipfSampler z(1, 1.5);
+  EXPECT_EQ(z.sample(rng), 0u);
+  EXPECT_NEAR(z.pmf(0), 1.0, 1e-12);
+}
+
+TEST(Accumulator, BasicMoments) {
+  Accumulator acc;
+  for (double v : {1.0, 2.0, 3.0, 4.0}) acc.add(v);
+  EXPECT_EQ(acc.count(), 4u);
+  EXPECT_DOUBLE_EQ(acc.mean(), 2.5);
+  EXPECT_DOUBLE_EQ(acc.min(), 1.0);
+  EXPECT_DOUBLE_EQ(acc.max(), 4.0);
+  EXPECT_NEAR(acc.variance(), 5.0 / 3.0, 1e-12);
+}
+
+TEST(Accumulator, EmptyIsZero) {
+  Accumulator acc;
+  EXPECT_EQ(acc.count(), 0u);
+  EXPECT_EQ(acc.mean(), 0.0);
+  EXPECT_EQ(acc.stddev(), 0.0);
+}
+
+TEST(Accumulator, MergeEqualsCombined) {
+  Accumulator a, b, all;
+  Rng rng(17);
+  for (int i = 0; i < 500; ++i) {
+    const double v = rng.next_double() * 100.0;
+    (i % 2 == 0 ? a : b).add(v);
+    all.add(v);
+  }
+  a.merge(b);
+  EXPECT_EQ(a.count(), all.count());
+  EXPECT_NEAR(a.mean(), all.mean(), 1e-9);
+  EXPECT_NEAR(a.variance(), all.variance(), 1e-6);
+  EXPECT_DOUBLE_EQ(a.min(), all.min());
+  EXPECT_DOUBLE_EQ(a.max(), all.max());
+}
+
+TEST(Accumulator, MergeWithEmpty) {
+  Accumulator a, empty;
+  a.add(5.0);
+  a.merge(empty);
+  EXPECT_EQ(a.count(), 1u);
+  empty.merge(a);
+  EXPECT_EQ(empty.count(), 1u);
+  EXPECT_DOUBLE_EQ(empty.mean(), 5.0);
+}
+
+TEST(Series, Percentiles) {
+  Series s;
+  for (int i = 1; i <= 100; ++i) s.add(i);
+  EXPECT_DOUBLE_EQ(s.min(), 1.0);
+  EXPECT_DOUBLE_EQ(s.max(), 100.0);
+  EXPECT_NEAR(s.percentile(0.5), 50.5, 1e-9);
+  EXPECT_NEAR(s.percentile(0.99), 99.01, 0.2);
+  EXPECT_DOUBLE_EQ(s.percentile(0.0), 1.0);
+  EXPECT_DOUBLE_EQ(s.percentile(1.0), 100.0);
+}
+
+TEST(Series, MeanAndEmpty) {
+  Series s;
+  EXPECT_EQ(s.mean(), 0.0);
+  EXPECT_EQ(s.percentile(0.5), 0.0);
+  s.add(2.0);
+  s.add(4.0);
+  EXPECT_DOUBLE_EQ(s.mean(), 3.0);
+}
+
+TEST(Histogram, BucketsAndOverflow) {
+  Histogram h(0.0, 10.0, 10);
+  h.add(-1.0);
+  h.add(0.0);
+  h.add(5.5);
+  h.add(9.999);
+  h.add(10.0);
+  h.add(42.0);
+  EXPECT_EQ(h.underflow(), 1u);
+  EXPECT_EQ(h.overflow(), 2u);
+  EXPECT_EQ(h.total(), 6u);
+  EXPECT_EQ(h.bucket(0), 1u);
+  EXPECT_EQ(h.bucket(5), 1u);
+  EXPECT_EQ(h.bucket(9), 1u);
+}
+
+TEST(Histogram, RenderNonEmpty) {
+  Histogram h(0.0, 4.0, 4);
+  h.add(1.0);
+  h.add(1.5);
+  const auto text = h.render(20);
+  EXPECT_NE(text.find('#'), std::string::npos);
+}
+
+TEST(LinearFitTest, ExactLine) {
+  std::vector<double> xs{1, 2, 3, 4}, ys{3, 5, 7, 9};  // y = 1 + 2x
+  const auto fit = linear_fit(xs, ys);
+  EXPECT_NEAR(fit.intercept, 1.0, 1e-9);
+  EXPECT_NEAR(fit.slope, 2.0, 1e-9);
+  EXPECT_NEAR(fit.r2, 1.0, 1e-9);
+}
+
+TEST(LinearFitTest, ConstantData) {
+  std::vector<double> xs{1, 2, 3}, ys{4, 4, 4};
+  const auto fit = linear_fit(xs, ys);
+  EXPECT_NEAR(fit.slope, 0.0, 1e-12);
+  EXPECT_NEAR(fit.intercept, 4.0, 1e-12);
+}
+
+TEST(LinearFitTest, DegenerateInputs) {
+  EXPECT_EQ(linear_fit({}, {}).slope, 0.0);
+  const auto fit = linear_fit({5.0}, {7.0});
+  EXPECT_DOUBLE_EQ(fit.intercept, 7.0);
+}
+
+TEST(KneeTest, FindsKnee) {
+  // Flat at 100, then doubles past index 4.
+  std::vector<double> lat{100, 105, 110, 108, 150, 240, 500};
+  EXPECT_EQ(find_knee(lat), 5u);
+}
+
+TEST(KneeTest, NoKnee) {
+  std::vector<double> lat{100, 110, 120, 130};
+  EXPECT_EQ(find_knee(lat), lat.size());
+}
+
+TEST(KneeTest, Empty) { EXPECT_EQ(find_knee({}), 0u); }
+
+TEST(Strings, Split) {
+  const auto parts = split("a,b,,c", ',');
+  ASSERT_EQ(parts.size(), 4u);
+  EXPECT_EQ(parts[0], "a");
+  EXPECT_EQ(parts[2], "");
+  EXPECT_EQ(parts[3], "c");
+}
+
+TEST(Strings, Trim) {
+  EXPECT_EQ(trim("  hi \t\n"), "hi");
+  EXPECT_EQ(trim(""), "");
+  EXPECT_EQ(trim("   "), "");
+  EXPECT_EQ(trim("x"), "x");
+}
+
+TEST(Strings, ParseInt) {
+  EXPECT_EQ(parse_int("42").value(), 42);
+  EXPECT_EQ(parse_int("-7").value(), -7);
+  EXPECT_FALSE(parse_int("4x").has_value());
+  EXPECT_FALSE(parse_int("").has_value());
+  EXPECT_FALSE(parse_int("3.5").has_value());
+}
+
+TEST(Strings, ParseDouble) {
+  EXPECT_DOUBLE_EQ(parse_double("2.5").value(), 2.5);
+  EXPECT_DOUBLE_EQ(parse_double("-1e3").value(), -1000.0);
+  EXPECT_FALSE(parse_double("abc").has_value());
+  EXPECT_FALSE(parse_double("1.2.3").has_value());
+}
+
+TEST(Strings, Strf) { EXPECT_EQ(strf("%d-%s", 3, "x"), "3-x"); }
+
+TEST(Strings, FormatBytes) {
+  EXPECT_EQ(format_bytes(512), "512 B");
+  EXPECT_EQ(format_bytes(4096), "4 KiB");
+  EXPECT_EQ(format_bytes(3ULL << 20), "3 MiB");
+  EXPECT_EQ(format_bytes(8ULL << 30), "8 GiB");
+}
+
+TEST(Strings, FormatCount) {
+  EXPECT_EQ(format_count(7), "7");
+  EXPECT_EQ(format_count(1234), "1,234");
+  EXPECT_EQ(format_count(1234567), "1,234,567");
+}
+
+TEST(Table, RendersAligned) {
+  TextTable t({"name", "value"});
+  t.add_row({"alpha", "1"});
+  t.add_row({"b", "10000"});
+  const auto text = t.render();
+  EXPECT_NE(text.find("| alpha | 1     |"), std::string::npos);
+  EXPECT_NE(text.find("| b     | 10000 |"), std::string::npos);
+}
+
+TEST(Table, ShortRowsPadded) {
+  TextTable t({"a", "b", "c"});
+  t.add_row({"x"});
+  EXPECT_EQ(t.rows(), 1u);
+  EXPECT_NE(t.render().find("| x |"), std::string::npos);
+}
+
+TEST(ResultType, ValueAndError) {
+  Result<int> ok(5);
+  EXPECT_TRUE(ok.ok());
+  EXPECT_EQ(ok.value(), 5);
+  EXPECT_EQ(ok.value_or(9), 5);
+
+  Result<int> bad = make_error("nope");
+  EXPECT_FALSE(bad.ok());
+  EXPECT_EQ(bad.error().message, "nope");
+  EXPECT_EQ(bad.value_or(9), 9);
+}
+
+TEST(ResultType, VoidStatus) {
+  Status ok;
+  EXPECT_TRUE(ok.ok());
+  Status bad = make_error("x");
+  EXPECT_FALSE(bad.ok());
+  EXPECT_EQ(bad.error().message, "x");
+}
+
+TEST(TypesTest, ByteLiterals) {
+  EXPECT_EQ(4_KiB, 4096u);
+  EXPECT_EQ(3_MiB, 3u * 1024 * 1024);
+  EXPECT_EQ(1_GiB, 1024ull * 1024 * 1024);
+}
+
+}  // namespace
+}  // namespace clara

@@ -1,0 +1,142 @@
+// Tests for NF chain composition.
+#include <gtest/gtest.h>
+
+#include "cir/builder.hpp"
+#include "cir/interp.hpp"
+#include "cir/verify.hpp"
+#include "core/clara.hpp"
+#include "nf/compose.hpp"
+#include "nf/nf_cir.hpp"
+#include "passes/api_subst.hpp"
+#include "workload/tracegen.hpp"
+
+namespace clara::nf {
+namespace {
+
+cir::Function lowered(cir::Function fn) {
+  passes::substitute_framework_apis(fn);
+  return fn;
+}
+
+class ChainHandler final : public cir::VCallHandler {
+ public:
+  std::uint64_t handle(cir::VCall v, std::span<const std::uint64_t> args) override {
+    order.push_back(v);
+    switch (v) {
+      case cir::VCall::kGetHdr:
+        return static_cast<cir::HdrField>(args[0]) == cir::HdrField::kPayloadLen ? 200 : 0x42;
+      case cir::VCall::kTableLookup: return 1;
+      case cir::VCall::kMeter: return meter_ok ? 1 : 0;
+      case cir::VCall::kEmit: ++emits; return 0;
+      case cir::VCall::kDrop: ++drops; return 0;
+      default: return 0;
+    }
+  }
+  std::vector<cir::VCall> order;
+  int emits = 0;
+  int drops = 0;
+  bool meter_ok = true;
+};
+
+TEST(Compose, TwoStageChainVerifiesAndFlows) {
+  const auto chain = compose_chain("meter_then_stats", {lowered(build_meter_nf()), lowered(build_flowstats_nf())});
+  ASSERT_TRUE(chain.ok()) << chain.error().message;
+  const auto& fn = chain.value();
+  EXPECT_EQ(fn.state_objects.size(), 2u);
+  EXPECT_EQ(fn.state_objects[0].name, "meter.buckets");
+  EXPECT_EQ(fn.state_objects[1].name, "flow_stats.stats");
+
+  ChainHandler handler;
+  cir::Interpreter interp(fn, handler);
+  ASSERT_TRUE(interp.run().ok());
+  // Conforming packet: exactly one emit, at the end of stage 2; both
+  // stages' vcalls observed in order.
+  EXPECT_EQ(handler.emits, 1);
+  EXPECT_EQ(handler.drops, 0);
+  bool saw_meter_before_stats = false;
+  std::size_t meter_at = 0, stats_at = 0;
+  for (std::size_t i = 0; i < handler.order.size(); ++i) {
+    if (handler.order[i] == cir::VCall::kMeter) meter_at = i;
+    if (handler.order[i] == cir::VCall::kStatsUpdate && stats_at == 0) stats_at = i;
+  }
+  saw_meter_before_stats = meter_at < stats_at && stats_at > 0;
+  EXPECT_TRUE(saw_meter_before_stats);
+}
+
+TEST(Compose, DropTerminatesChain) {
+  const auto chain = compose_chain("meter_then_stats", {lowered(build_meter_nf()), lowered(build_flowstats_nf())});
+  ASSERT_TRUE(chain.ok());
+  ChainHandler handler;
+  handler.meter_ok = false;  // stage 1 drops
+  cir::Interpreter interp(chain.value(), handler);
+  ASSERT_TRUE(interp.run().ok());
+  EXPECT_EQ(handler.drops, 1);
+  EXPECT_EQ(handler.emits, 0);
+  // Stage 2 never ran.
+  for (const auto v : handler.order) EXPECT_NE(v, cir::VCall::kStatsUpdate);
+}
+
+TEST(Compose, ThreeStageChainAnalyzes) {
+  const auto chain = compose_chain(
+      "fw_meter_stats",
+      {lowered(build_fw_nf({.conn_entries = 4096, .conn_entry_bytes = 32, .rules = 256})),
+       lowered(build_meter_nf()), lowered(build_flowstats_nf())});
+  ASSERT_TRUE(chain.ok()) << chain.error().message;
+
+  core::Analyzer analyzer(lnic::netronome_agilio_cx());
+  const auto trace = workload::generate_trace(
+      workload::parse_profile("tcp=1.0 flows=2000 payload=300 pps=60000 packets=10000").value());
+  const auto analysis = analyzer.analyze(chain.value(), trace);
+  ASSERT_TRUE(analysis.ok()) << analysis.error().message;
+  EXPECT_GT(analysis.value().prediction.mean_latency_cycles, 0.0);
+
+  // The chain costs more than any single stage and less than the sum of
+  // all stages' full datapath costs (shared ingress/egress).
+  const auto solo = analyzer.analyze(lowered(build_meter_nf()), trace);
+  ASSERT_TRUE(solo.ok());
+  EXPECT_GT(analysis.value().prediction.mean_latency_cycles, solo.value().prediction.mean_latency_cycles);
+}
+
+TEST(Compose, ChainMatchesHandBuiltVnfShape) {
+  // dpi -> meter -> flow_stats composed should predict in the same
+  // ballpark as the hand-built VNF chain (which fuses the same stages,
+  // minus the composed chain's extra parses).
+  core::Analyzer analyzer(lnic::netronome_agilio_cx());
+  const auto trace = workload::generate_trace(
+      workload::parse_profile("tcp=0.8 flows=4000 payload=700 pps=60000 packets=10000").value());
+  const auto chain =
+      compose_chain("composed_vnf", {lowered(build_dpi_nf()), lowered(build_meter_nf()),
+                                     lowered(build_flowstats_nf())});
+  ASSERT_TRUE(chain.ok()) << chain.error().message;
+  const auto composed = analyzer.analyze(chain.value(), trace);
+  ASSERT_TRUE(composed.ok()) << composed.error().message;
+  const auto handbuilt = analyzer.analyze(build_vnf_chain(), trace);
+  ASSERT_TRUE(handbuilt.ok());
+  const double ratio = composed.value().prediction.mean_latency_cycles /
+                       handbuilt.value().prediction.mean_latency_cycles;
+  EXPECT_GT(ratio, 0.8);
+  EXPECT_LT(ratio, 1.6);
+}
+
+TEST(Compose, RejectsEmptyAndNonEmittingStages) {
+  EXPECT_FALSE(compose_chain("empty", {}).ok());
+  // A stage that always drops feeds nothing onward.
+  cir::FunctionBuilder b("blackhole");
+  b.set_insert_point(b.create_block("entry"));
+  b.vcall(cir::VCall::kDrop, {}, false);
+  b.ret();
+  const auto result = compose_chain("dead", {b.take(), lowered(build_meter_nf())});
+  EXPECT_FALSE(result.ok());
+}
+
+TEST(Compose, SingleStageIsIdentityModuloNames) {
+  const auto chain = compose_chain("solo", {lowered(build_rewrite_nf())});
+  ASSERT_TRUE(chain.ok());
+  ChainHandler handler;
+  cir::Interpreter interp(chain.value(), handler);
+  ASSERT_TRUE(interp.run().ok());
+  EXPECT_EQ(handler.emits, 1);
+}
+
+}  // namespace
+}  // namespace clara::nf

@@ -1,0 +1,210 @@
+// Tests for the P4-lite front end: compilation, verification, semantics
+// (via the interpreter), end-to-end analysis, and error reporting.
+#include <gtest/gtest.h>
+
+#include "cir/interp.hpp"
+#include "cir/printer.hpp"
+#include "core/clara.hpp"
+#include "frontend/p4lite.hpp"
+#include "nf/nf_cir.hpp"
+#include "passes/symexec.hpp"
+#include "workload/tracegen.hpp"
+
+namespace clara::frontend {
+namespace {
+
+constexpr const char* kFirewall = R"(
+# stateful firewall in P4-lite
+p4nf p4_firewall
+state conn entries=16384 entry_bytes=64 pattern=hash
+
+control {
+  parse
+  set seen = lookup conn hdr.flow_hash
+  if seen {
+    emit
+  } else {
+    if hdr.tcp_flags & 1 {
+      update conn hdr.flow_hash
+      emit
+    } else {
+      drop
+    }
+  }
+}
+)";
+
+constexpr const char* kRouter = R"(
+p4nf p4_router
+state routes entries=20000 entry_bytes=16 pattern=array
+
+control {
+  parse
+  lpm routes hdr.dst_ip
+  sethdr src_port 4242
+}
+)";
+
+class FixedHandler final : public cir::VCallHandler {
+ public:
+  std::uint64_t handle(cir::VCall v, std::span<const std::uint64_t> args) override {
+    switch (v) {
+      case cir::VCall::kGetHdr:
+        switch (static_cast<cir::HdrField>(args[0])) {
+          case cir::HdrField::kTcpFlags: return flags;
+          case cir::HdrField::kFlowHash: return 0x1234;
+          case cir::HdrField::kDstIp: return 0x0a000001;
+          default: return 0;
+        }
+      case cir::VCall::kTableLookup: return hit ? 1 : 0;
+      case cir::VCall::kEmit: emitted = true; return 0;
+      case cir::VCall::kDrop: dropped = true; return 0;
+      default: return 0;
+    }
+  }
+  bool hit = false;
+  std::uint64_t flags = 0;
+  bool emitted = false;
+  bool dropped = false;
+};
+
+TEST(P4Lite, CompilesAndVerifies) {
+  const auto fn = compile_p4lite(kFirewall);
+  ASSERT_TRUE(fn.ok()) << fn.error().message;
+  EXPECT_EQ(fn.value().name, "p4_firewall");
+  EXPECT_EQ(fn.value().state_objects.size(), 1u);
+  EXPECT_EQ(fn.value().state_objects[0].entries, 16384u);
+}
+
+TEST(P4Lite, FirewallSemantics) {
+  const auto fn = compile_p4lite(kFirewall).value();
+  {
+    FixedHandler h;
+    h.hit = true;
+    cir::Interpreter interp(fn, h);
+    ASSERT_TRUE(interp.run().ok());
+    EXPECT_TRUE(h.emitted);
+    EXPECT_FALSE(h.dropped);
+  }
+  {
+    FixedHandler h;
+    h.hit = false;
+    h.flags = 1;  // SYN: install + emit
+    cir::Interpreter interp(fn, h);
+    ASSERT_TRUE(interp.run().ok());
+    EXPECT_TRUE(h.emitted);
+  }
+  {
+    FixedHandler h;
+    h.hit = false;
+    h.flags = 0;  // no state, not SYN: drop
+    cir::Interpreter interp(fn, h);
+    ASSERT_TRUE(interp.run().ok());
+    EXPECT_TRUE(h.dropped);
+    EXPECT_FALSE(h.emitted);
+  }
+}
+
+TEST(P4Lite, ImplicitEmitOnFallThrough) {
+  const auto fn = compile_p4lite(kRouter).value();
+  FixedHandler h;
+  cir::Interpreter interp(fn, h);
+  ASSERT_TRUE(interp.run().ok());
+  EXPECT_TRUE(h.emitted);
+}
+
+TEST(P4Lite, ExpressionsAndVariables) {
+  const auto fn = compile_p4lite(R"(
+p4nf exprs
+control {
+  set a = 2 + 3 * 4
+  set b = (a + 1) & 0xff
+  set c = b == 15
+  if c {
+    drop
+  }
+  sethdr dst_port a - b
+}
+)");
+  ASSERT_TRUE(fn.ok()) << fn.error().message;
+  // a = 14, b = 15, c = 1 -> drop.
+  FixedHandler h;
+  cir::Interpreter interp(fn.value(), h);
+  ASSERT_TRUE(interp.run().ok());
+  EXPECT_TRUE(h.dropped);
+}
+
+TEST(P4Lite, BothArmsTerminating) {
+  const auto fn = compile_p4lite(R"(
+p4nf both
+control {
+  if hdr.proto == 6 {
+    emit
+  } else {
+    drop
+  }
+}
+)");
+  ASSERT_TRUE(fn.ok()) << fn.error().message;
+  const auto paths = passes::enumerate_paths(fn.value());
+  EXPECT_EQ(paths.paths.size(), 2u);
+}
+
+TEST(P4Lite, RejectsBadPrograms) {
+  EXPECT_FALSE(compile_p4lite("").ok());
+  EXPECT_FALSE(compile_p4lite("p4nf x\ncontrol {").ok());                      // unterminated
+  EXPECT_FALSE(compile_p4lite("p4nf x\ncontrol { frobnicate }").ok());          // unknown stmt
+  EXPECT_FALSE(compile_p4lite("p4nf x\ncontrol { set a = b }").ok());           // unset var
+  EXPECT_FALSE(compile_p4lite("p4nf x\ncontrol { lpm nosuch hdr.dst_ip }").ok());
+  EXPECT_FALSE(compile_p4lite("p4nf x\ncontrol { sethdr nosuchfield 1 }").ok());
+  EXPECT_FALSE(compile_p4lite("p4nf x\ncontrol { emit drop }").ok());           // unreachable
+  EXPECT_FALSE(compile_p4lite("p4nf x\nstate s entries=4\ncontrol { }").ok());  // missing entry_bytes
+  EXPECT_FALSE(compile_p4lite("p4nf x\ncontrol { set a = hdr.bogus }").ok());
+}
+
+TEST(P4Lite, ErrorsCarryLineNumbers) {
+  const auto result = compile_p4lite("p4nf x\ncontrol {\n  parse\n  frobnicate\n}\n");
+  ASSERT_FALSE(result.ok());
+  EXPECT_NE(result.error().message.find("line 4"), std::string::npos) << result.error().message;
+}
+
+TEST(P4Lite, AnalyzesEndToEnd) {
+  const auto fn = compile_p4lite(kFirewall).value();
+  core::Analyzer analyzer(lnic::netronome_agilio_cx());
+  const auto trace = workload::generate_trace(
+      workload::parse_profile("tcp=1.0 flows=2000 payload=300 pps=60000 packets=10000").value());
+  const auto analysis = analyzer.analyze(fn, trace);
+  ASSERT_TRUE(analysis.ok()) << analysis.error().message;
+  EXPECT_GT(analysis.value().prediction.mean_latency_cycles, 0.0);
+  EXPECT_NE(analysis.value().report.find("conn"), std::string::npos);
+}
+
+TEST(P4Lite, RouterMapsLpmToEngine) {
+  const auto fn = compile_p4lite(kRouter).value();
+  core::Analyzer analyzer(lnic::netronome_agilio_cx());
+  const auto trace = workload::generate_trace(
+      workload::parse_profile("flows=2000 zipf=1.2 payload=300 pps=60000 packets=10000").value());
+  const auto analysis = analyzer.analyze(fn, trace);
+  ASSERT_TRUE(analysis.ok()) << analysis.error().message;
+  EXPECT_NE(analysis.value().report.find("match-action engine"), std::string::npos);
+}
+
+TEST(P4Lite, EquivalentToBuilderFirewallPrediction) {
+  // The same firewall authored through the two front ends should predict
+  // within a few percent of each other (different var-lowering overhead
+  // is real but small).
+  core::Analyzer analyzer(lnic::netronome_agilio_cx());
+  const auto trace = workload::generate_trace(
+      workload::parse_profile("tcp=1.0 flows=2000 payload=300 pps=60000 packets=10000").value());
+  const auto p4 = analyzer.analyze(compile_p4lite(kFirewall).value(), trace);
+  ASSERT_TRUE(p4.ok());
+  auto builder_fw = nf::build_fw_nf({.conn_entries = 16384, .conn_entry_bytes = 64, .rules = 1024});
+  const auto built = analyzer.analyze(builder_fw, trace);
+  ASSERT_TRUE(built.ok());
+  const double a = p4.value().prediction.mean_latency_cycles;
+  const double b = built.value().prediction.mean_latency_cycles;
+  EXPECT_NEAR(a / b, 1.0, 0.25) << "p4 " << a << " builder " << b;
+}
+
+}  // namespace
+}  // namespace clara::frontend

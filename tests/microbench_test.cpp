@@ -1,0 +1,124 @@
+// Tests for microbenchmark-based parameter extraction: the fitted
+// parameters must recover the simulator's ground-truth configuration.
+#include <gtest/gtest.h>
+
+#include "lnic/profiles.hpp"
+#include "microbench/microbench.hpp"
+
+namespace clara::microbench {
+namespace {
+
+namespace keys = lnic::keys;
+
+class ExtractionTest : public ::testing::Test {
+ protected:
+  static const ExtractionResult& result() {
+    static const ExtractionResult r =
+        extract_parameters(nicsim::netronome_config(), lnic::netronome_agilio_cx().params);
+    return r;
+  }
+};
+
+TEST_F(ExtractionTest, AllRequiredKeysPresent) {
+  const auto status = lnic::validate_params(result().params);
+  EXPECT_TRUE(status.ok()) << (status.ok() ? "" : status.error().message);
+}
+
+TEST_F(ExtractionTest, MemoryLatenciesRecovered) {
+  const auto& p = result().params;
+  const nicsim::NicConfig truth;
+  EXPECT_NEAR(p.scalar(keys::kMemReadLocal), static_cast<double>(truth.local_latency), 1.0);
+  EXPECT_NEAR(p.scalar(keys::kMemReadCtm), static_cast<double>(truth.ctm_latency), 2.0);
+  EXPECT_NEAR(p.scalar(keys::kMemReadImem), static_cast<double>(truth.imem_latency), 5.0);
+  EXPECT_NEAR(p.scalar(keys::kMemReadEmem), static_cast<double>(truth.emem_latency), 25.0);
+  EXPECT_NEAR(p.scalar(keys::kEmemCacheHit), static_cast<double>(truth.emem_cache_hit_latency), 10.0);
+}
+
+TEST_F(ExtractionTest, DatapathSlopesRecovered) {
+  const auto& p = result().params;
+  const nicsim::NicConfig truth;
+  EXPECT_NEAR(p.scalar(keys::kIngressDmaPerByte), truth.ingress_per_byte, 0.1);
+  EXPECT_NEAR(p.scalar(keys::kSpillPerByte), truth.spill_per_byte, 0.3);
+  EXPECT_NEAR(p.scalar(keys::kEgressBase), static_cast<double>(truth.egress_base), 20.0);
+}
+
+TEST_F(ExtractionTest, ChecksumCurveRecovered) {
+  const auto& p = result().params;
+  const nicsim::NicConfig truth;
+  // The paper's headline numbers: ~300 cycles at 1000 B on the
+  // accelerator, ~1700 extra in software.
+  const double at_1000 = truth.csum_accel_base + truth.csum_accel_per_byte * 1000.0;
+  EXPECT_NEAR(p.eval(keys::kCsumAccel, 1000.0), at_1000, 10.0);
+  EXPECT_NEAR(p.scalar(keys::kCsumSwExtra), static_cast<double>(truth.csum_sw_extra), 30.0);
+}
+
+TEST_F(ExtractionTest, CryptoRecovered) {
+  const auto& p = result().params;
+  const nicsim::NicConfig truth;
+  const double at_1024 = truth.crypto_base + truth.crypto_per_byte * 1024.0;
+  EXPECT_NEAR(p.eval(keys::kCryptoAccel, 1024.0), at_1024, at_1024 * 0.1);
+  EXPECT_NEAR(p.scalar(keys::kCryptoSwFactor), truth.crypto_sw_factor, 3.0);
+}
+
+TEST_F(ExtractionTest, LpmCurveRecovered) {
+  const auto& p = result().params;
+  const nicsim::NicConfig truth;
+  for (double entries : {5000.0, 20000.0, 30000.0}) {
+    const double truth_cost = truth.lpm_dram_base + truth.lpm_dram_per_entry * entries;
+    // The key-dependent walk factor leaves sampling noise in the fit.
+    EXPECT_NEAR(p.eval(keys::kLpmDram, entries), truth_cost, truth_cost * 0.08) << entries;
+  }
+  EXPECT_NEAR(p.scalar(keys::kFlowCacheHit), static_cast<double>(truth.flow_cache_hit), 20.0);
+}
+
+TEST_F(ExtractionTest, ParseAndMoveRecovered) {
+  const auto& p = result().params;
+  const nicsim::NicConfig truth;
+  const double parse_truth = static_cast<double>(truth.parse_base) + truth.parse_per_byte * 40.0;
+  EXPECT_NEAR(p.scalar(keys::kParseBase) + 40.0 * p.scalar(keys::kParsePerByte), parse_truth, 10.0);
+  EXPECT_NEAR(p.scalar(keys::kInstrMove), static_cast<double>(truth.move_cycles), 0.5);
+}
+
+TEST_F(ExtractionTest, KneeFindsEmemCacheCapacity) {
+  // The working-set sweep should put the knee at ~3 MiB (the cache size).
+  const auto discovered = result().discovered_emem_cache;
+  EXPECT_GE(discovered, 2_MiB);
+  EXPECT_LE(discovered, 6_MiB);
+}
+
+TEST_F(ExtractionTest, ReportIsHumanReadable) {
+  EXPECT_NE(result().report.find("mem:"), std::string::npos);
+  EXPECT_NE(result().report.find("csum:"), std::string::npos);
+  EXPECT_NE(result().report.find("lpm:"), std::string::npos);
+}
+
+TEST(WorkingSetCurve, MonotoneAfterCache) {
+  const auto curve = emem_workingset_curve(nicsim::netronome_config());
+  ASSERT_GE(curve.size(), 4u);
+  // Latency below capacity is flat and low; above it, much higher.
+  const double below = curve.front().second;
+  const double above = curve.back().second;
+  EXPECT_GT(above, 2.0 * below);
+}
+
+TEST(ExtractedVsDatabook, CloseEnoughToSwap) {
+  // The extracted store should be usable in place of the databook for
+  // every scalar key (within 25%), demonstrating the "shielded from
+  // users, reusable across NFs" property of §3.2.
+  const auto databook = lnic::netronome_agilio_cx().params;
+  const auto extracted =
+      extract_parameters(nicsim::netronome_config(), databook).params;
+  for (const auto& key : lnic::required_keys()) {
+    const auto a = databook.try_scalar(key);
+    const auto b = extracted.try_scalar(key);
+    if (!a || !b) continue;  // curves handled separately
+    if (*a == 0.0) {
+      EXPECT_NEAR(*b, 0.0, 30.0) << key;
+    } else {
+      EXPECT_NEAR(*b / *a, 1.0, 0.25) << key << " databook=" << *a << " extracted=" << *b;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace clara::microbench

@@ -1,0 +1,197 @@
+// Property tests over randomly generated CIR functions:
+//  * printer/parser round trip is the identity on canonical text;
+//  * the optimizer preserves verification and observable behaviour;
+//  * symbolic path enumeration covers every concrete execution.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "cir/builder.hpp"
+#include "cir/interp.hpp"
+#include "cir/printer.hpp"
+#include "cir/verify.hpp"
+#include "common/rng.hpp"
+#include "common/strings.hpp"
+#include "nf/nf_cir.hpp"
+#include "passes/api_subst.hpp"
+#include "passes/optimize.hpp"
+#include "passes/patterns.hpp"
+#include "passes/symexec.hpp"
+
+namespace clara {
+namespace {
+
+using cir::FunctionBuilder;
+using cir::Value;
+
+/// Generates a random, verifiable, loop-free function: a chain of blocks
+/// with forward branches, arithmetic over previously defined registers,
+/// occasional header reads, state accesses and an emit/drop exit.
+cir::Function random_function(Rng& rng) {
+  FunctionBuilder b("fuzz");
+  const auto state = b.add_state(cir::StateObject{"tbl", 16, 64, cir::StatePattern::kArray});
+  const int n_blocks = static_cast<int>(rng.uniform(2, 6));
+  std::vector<std::uint32_t> blocks;
+  for (int i = 0; i < n_blocks; ++i) blocks.push_back(b.create_block(strf("b%d", i)));
+
+  // Registers usable from any block: defined in the entry (dominates all).
+  std::vector<Value> entry_values;
+  b.set_insert_point(blocks[0]);
+  entry_values.push_back(b.get_hdr(cir::HdrField::kPayloadLen));
+  entry_values.push_back(b.get_hdr(cir::HdrField::kFlowHash));
+  entry_values.push_back(b.add(Value::of_imm(static_cast<std::int64_t>(rng.uniform(0, 100))),
+                               Value::of_imm(7)));
+
+  for (int i = 0; i < n_blocks; ++i) {
+    b.set_insert_point(blocks[i]);
+    std::vector<Value> local = entry_values;
+    const int n_instrs = static_cast<int>(rng.uniform(0, 6));
+    for (int k = 0; k < n_instrs; ++k) {
+      const Value a = local[rng.uniform(0, local.size() - 1)];
+      const Value c = rng.chance(0.5) ? local[rng.uniform(0, local.size() - 1)]
+                                      : Value::of_imm(static_cast<std::int64_t>(rng.uniform(1, 50)));
+      switch (rng.uniform(0, 5)) {
+        case 0: local.push_back(b.add(a, c)); break;
+        case 1: local.push_back(b.bxor(a, c)); break;
+        case 2: local.push_back(b.mul(a, c)); break;
+        case 3: local.push_back(b.cmp_lt(a, c)); break;
+        case 4: local.push_back(b.shr(a, Value::of_imm(static_cast<std::int64_t>(rng.uniform(0, 7))))); break;
+        default: local.push_back(b.load_state(state, Value::of_imm(static_cast<std::int64_t>(rng.uniform(0, 63))))); break;
+      }
+    }
+    if (i + 1 < n_blocks) {
+      if (rng.chance(0.5) && i + 2 < n_blocks) {
+        const auto target = blocks[rng.uniform(static_cast<std::uint64_t>(i) + 2, n_blocks - 1)];
+        b.cond_br(local[rng.uniform(0, local.size() - 1)], blocks[i + 1], target);
+      } else {
+        b.br(blocks[i + 1]);
+      }
+    } else {
+      if (rng.chance(0.5)) {
+        b.vcall(cir::VCall::kEmit, {Value::of_imm(1)}, false);
+      } else {
+        b.vcall(cir::VCall::kDrop, {}, false);
+      }
+      b.ret();
+    }
+  }
+  return b.take();
+}
+
+class RecordingHandler final : public cir::VCallHandler {
+ public:
+  std::uint64_t handle(cir::VCall v, std::span<const std::uint64_t> args) override {
+    calls.emplace_back(v, std::vector<std::uint64_t>(args.begin(), args.end()));
+    switch (v) {
+      case cir::VCall::kGetHdr: return 40 + args[0] * 13;  // deterministic per field
+      case cir::VCall::kTableLookup: return lookup_result;
+      case cir::VCall::kMeter: return 1;
+      default: return 0;
+    }
+  }
+  std::vector<std::pair<cir::VCall, std::vector<std::uint64_t>>> calls;
+  std::uint64_t lookup_result = 1;
+};
+
+class FuzzTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(FuzzTest, RandomFunctionVerifies) {
+  Rng rng(static_cast<std::uint64_t>(GetParam()) * 2654435761u + 1);
+  const auto fn = random_function(rng);
+  const auto status = cir::verify(fn);
+  ASSERT_TRUE(status.ok()) << status.error().message << "\n" << cir::print_function(fn);
+}
+
+TEST_P(FuzzTest, PrintParseRoundTrip) {
+  Rng rng(static_cast<std::uint64_t>(GetParam()) * 2654435761u + 1);
+  cir::Module mod;
+  mod.name = "fuzz";
+  mod.functions.push_back(random_function(rng));
+  const auto text1 = cir::print_module(mod);
+  const auto parsed = cir::parse_module(text1);
+  ASSERT_TRUE(parsed.ok()) << parsed.error().message << "\n" << text1;
+  EXPECT_TRUE(cir::verify(parsed.value()).ok());
+  EXPECT_EQ(cir::print_module(parsed.value()), text1);
+}
+
+TEST_P(FuzzTest, OptimizerPreservesBehaviour) {
+  Rng rng(static_cast<std::uint64_t>(GetParam()) * 2654435761u + 1);
+  const auto original = random_function(rng);
+  auto optimized = original;
+  passes::optimize(optimized);
+  const auto status = cir::verify(optimized);
+  ASSERT_TRUE(status.ok()) << status.error().message << "\n" << cir::print_function(optimized);
+
+  RecordingHandler h1, h2;
+  cir::Interpreter i1(original, h1);
+  cir::Interpreter i2(optimized, h2);
+  const auto r1 = i1.run();
+  const auto r2 = i2.run();
+  ASSERT_TRUE(r1.ok());
+  ASSERT_TRUE(r2.ok());
+  ASSERT_EQ(h1.calls.size(), h2.calls.size()) << cir::print_function(original);
+  for (std::size_t i = 0; i < h1.calls.size(); ++i) {
+    EXPECT_EQ(h1.calls[i].first, h2.calls[i].first);
+    EXPECT_EQ(h1.calls[i].second, h2.calls[i].second);
+  }
+  // The optimizer never makes the function longer.
+  std::size_t before = 0, after = 0;
+  for (const auto& block : original.blocks) before += block.instrs.size();
+  for (const auto& block : optimized.blocks) after += block.instrs.size();
+  EXPECT_LE(after, before);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, FuzzTest, ::testing::Range(0, 30));
+
+// --- Symbolic paths cover concrete executions ------------------------------
+
+class PathCoverageTest : public ::testing::TestWithParam<int> {
+ protected:
+  static cir::Function nf_by_index(int i) {
+    switch (i) {
+      case 0: return nf::build_nat_nf();
+      case 1: return nf::build_fw_nf();
+      case 2: return nf::build_meter_nf();
+      case 3: return nf::build_hh_nf();
+      case 4: return nf::build_crypto_gw_nf();
+      default: return nf::build_rewrite_nf();
+    }
+  }
+};
+
+TEST_P(PathCoverageTest, EveryConcreteRunMatchesAnEnumeratedPath) {
+  auto fn = nf_by_index(GetParam());
+  passes::substitute_framework_apis(fn);
+  passes::collapse_packet_loops(fn);
+  const auto paths = passes::enumerate_paths(fn);
+  ASSERT_TRUE(paths.complete);
+
+  // Concrete executions under every combination of stateful outcomes.
+  for (const bool hit : {true, false}) {
+    RecordingHandler handler;
+    handler.lookup_result = hit ? 1 : 0;
+    cir::Interpreter interp(fn, handler);
+    const auto result = interp.run();
+    ASSERT_TRUE(result.ok()) << fn.name;
+
+    std::set<std::uint32_t> executed;
+    for (std::uint32_t b = 0; b < result.value().block_counts.size(); ++b) {
+      if (result.value().block_counts[b] > 0) executed.insert(b);
+    }
+    bool covered = false;
+    for (const auto& path : paths.paths) {
+      const std::set<std::uint32_t> path_blocks(path.blocks.begin(), path.blocks.end());
+      if (path_blocks == executed) {
+        covered = true;
+        break;
+      }
+    }
+    EXPECT_TRUE(covered) << fn.name << " (lookup " << (hit ? "hit" : "miss")
+                         << "): concrete execution not among " << paths.paths.size() << " paths";
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Corpus, PathCoverageTest, ::testing::Range(0, 6));
+
+}  // namespace
+}  // namespace clara

@@ -1,0 +1,226 @@
+// Tests for workload profiles, trace generation, and trace I/O.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <unordered_map>
+
+#include "workload/profile.hpp"
+#include "workload/trace_io.hpp"
+#include "workload/tracegen.hpp"
+
+namespace clara::workload {
+namespace {
+
+TEST(Profile, ParseDefaults) {
+  const auto p = parse_profile("");
+  ASSERT_TRUE(p.ok());
+  EXPECT_DOUBLE_EQ(p.value().tcp_fraction, 0.8);
+  EXPECT_EQ(p.value().flows, 10000u);
+}
+
+TEST(Profile, ParseFullSpec) {
+  const auto p = parse_profile("tcp=0.6 flows=500 zipf=1.2 payload=200:1400 pps=30000 packets=5000 arrivals=poisson seed=7");
+  ASSERT_TRUE(p.ok()) << p.error().message;
+  const auto& v = p.value();
+  EXPECT_DOUBLE_EQ(v.tcp_fraction, 0.6);
+  EXPECT_EQ(v.flows, 500u);
+  EXPECT_DOUBLE_EQ(v.zipf_alpha, 1.2);
+  EXPECT_EQ(v.payload_min, 200);
+  EXPECT_EQ(v.payload_max, 1400);
+  EXPECT_DOUBLE_EQ(v.pps, 30000.0);
+  EXPECT_EQ(v.packets, 5000u);
+  EXPECT_EQ(v.arrivals, ArrivalProcess::kPoisson);
+  EXPECT_EQ(v.seed, 7u);
+}
+
+TEST(Profile, SerializeRoundTrip) {
+  auto p = parse_profile("tcp=0.5 flows=100 payload=64:1500 pps=1000 packets=42").value();
+  const auto p2 = parse_profile(p.serialize());
+  ASSERT_TRUE(p2.ok()) << p2.error().message;
+  EXPECT_DOUBLE_EQ(p2.value().tcp_fraction, p.tcp_fraction);
+  EXPECT_EQ(p2.value().payload_max, p.payload_max);
+  EXPECT_EQ(p2.value().packets, p.packets);
+}
+
+TEST(Profile, RejectsBadInput) {
+  EXPECT_FALSE(parse_profile("tcp=1.5").ok());
+  EXPECT_FALSE(parse_profile("flows=0").ok());
+  EXPECT_FALSE(parse_profile("flows=-3").ok());
+  EXPECT_FALSE(parse_profile("payload=1400:200").ok());
+  EXPECT_FALSE(parse_profile("pps=0").ok());
+  EXPECT_FALSE(parse_profile("arrivals=sometimes").ok());
+  EXPECT_FALSE(parse_profile("unknown_key=1").ok());
+  EXPECT_FALSE(parse_profile("garbage").ok());
+}
+
+TEST(TraceGen, Deterministic) {
+  const auto profile = parse_profile("packets=1000 seed=9").value();
+  const auto a = generate_trace(profile);
+  const auto b = generate_trace(profile);
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a.packets[i].flow_id, b.packets[i].flow_id);
+    EXPECT_EQ(a.packets[i].arrival_ns, b.packets[i].arrival_ns);
+  }
+}
+
+TEST(TraceGen, TcpFractionApproximatelyRespected) {
+  const auto profile = parse_profile("tcp=0.7 packets=20000 flows=2000").value();
+  const auto trace = generate_trace(profile);
+  EXPECT_NEAR(trace.tcp_fraction(), 0.7, 0.05);
+}
+
+TEST(TraceGen, PayloadRangeRespected) {
+  const auto profile = parse_profile("payload=100:200 packets=5000").value();
+  const auto trace = generate_trace(profile);
+  for (const auto& p : trace.packets) {
+    EXPECT_GE(p.payload_len, 100);
+    EXPECT_LE(p.payload_len, 200);
+  }
+  EXPECT_NEAR(trace.mean_payload(), 150.0, 5.0);
+}
+
+TEST(TraceGen, FixedPayload) {
+  const auto profile = parse_profile("payload=300 packets=100").value();
+  const auto trace = generate_trace(profile);
+  for (const auto& p : trace.packets) EXPECT_EQ(p.payload_len, 300);
+}
+
+TEST(TraceGen, DeterministicArrivalSpacing) {
+  const auto profile = parse_profile("pps=1000000 packets=100").value();  // 1000 ns apart
+  const auto trace = generate_trace(profile);
+  for (std::size_t i = 1; i < trace.size(); ++i) {
+    EXPECT_EQ(trace.packets[i].arrival_ns - trace.packets[i - 1].arrival_ns, 1000u);
+  }
+}
+
+TEST(TraceGen, PoissonArrivalsMeanRate) {
+  auto profile = parse_profile("pps=1000000 packets=50000 arrivals=poisson").value();
+  const auto trace = generate_trace(profile);
+  const double span_ns = static_cast<double>(trace.packets.back().arrival_ns);
+  const double observed_pps = static_cast<double>(trace.size()) / (span_ns / 1e9);
+  EXPECT_NEAR(observed_pps / 1e6, 1.0, 0.05);
+}
+
+TEST(TraceGen, FirstTcpPacketOfFlowIsSyn) {
+  const auto profile = parse_profile("packets=5000 flows=500 tcp=1.0").value();
+  const auto trace = generate_trace(profile);
+  std::unordered_map<std::uint32_t, bool> seen;
+  for (const auto& p : trace.packets) {
+    if (!seen[p.flow_id]) {
+      EXPECT_TRUE(p.is_syn()) << "first packet of flow " << p.flow_id;
+      seen[p.flow_id] = true;
+    } else {
+      EXPECT_FALSE(p.is_syn());
+    }
+  }
+}
+
+TEST(TraceGen, ZipfSkewsFlowPopularity) {
+  const auto skewed = generate_trace(parse_profile("packets=20000 flows=1000 zipf=1.3").value());
+  std::unordered_map<std::uint32_t, std::uint64_t> counts;
+  for (const auto& p : skewed.packets) ++counts[p.flow_id];
+  // The most popular flow should hold far more than 1/1000 of traffic.
+  std::uint64_t top = 0;
+  for (const auto& [f, c] : counts) top = std::max(top, c);
+  EXPECT_GT(static_cast<double>(top) / 20000.0, 0.05);
+}
+
+TEST(TraceGen, FlowInvariantsStable) {
+  // All packets of a flow share the 5-tuple and protocol.
+  const auto trace = generate_trace(parse_profile("packets=5000 flows=100").value());
+  std::unordered_map<std::uint32_t, PacketMeta> first;
+  for (const auto& p : trace.packets) {
+    const auto it = first.find(p.flow_id);
+    if (it == first.end()) {
+      first[p.flow_id] = p;
+    } else {
+      EXPECT_EQ(p.src_ip, it->second.src_ip);
+      EXPECT_EQ(p.dst_port, it->second.dst_port);
+      EXPECT_EQ(p.proto, it->second.proto);
+      EXPECT_EQ(p.flow_hash(), it->second.flow_hash());
+    }
+  }
+}
+
+TEST(PacketMetaTest, FrameLenByProto) {
+  PacketMeta tcp;
+  tcp.proto = 6;
+  tcp.payload_len = 100;
+  EXPECT_EQ(tcp.frame_len(), 154u);
+  PacketMeta udp;
+  udp.proto = 17;
+  udp.payload_len = 100;
+  EXPECT_EQ(udp.frame_len(), 142u);
+}
+
+TEST(PacketMetaTest, FlowHashDependsOnTuple) {
+  PacketMeta a;
+  a.src_ip = 1;
+  PacketMeta b;
+  b.src_ip = 2;
+  EXPECT_NE(a.flow_hash(), b.flow_hash());
+  PacketMeta c = a;
+  EXPECT_EQ(a.flow_hash(), c.flow_hash());
+}
+
+TEST(TraceIo, RoundTrip) {
+  const auto trace = generate_trace(parse_profile("packets=2000 payload=64:1500").value());
+  const std::string path = "/tmp/clara_trace_test.cltr";
+  ASSERT_TRUE(write_trace(trace, path).ok());
+  const auto loaded = read_trace(path);
+  ASSERT_TRUE(loaded.ok()) << loaded.error().message;
+  ASSERT_EQ(loaded.value().size(), trace.size());
+  for (std::size_t i = 0; i < trace.size(); ++i) {
+    const auto& a = trace.packets[i];
+    const auto& b = loaded.value().packets[i];
+    EXPECT_EQ(a.flow_id, b.flow_id);
+    EXPECT_EQ(a.src_ip, b.src_ip);
+    EXPECT_EQ(a.dst_ip, b.dst_ip);
+    EXPECT_EQ(a.src_port, b.src_port);
+    EXPECT_EQ(a.dst_port, b.dst_port);
+    EXPECT_EQ(a.proto, b.proto);
+    EXPECT_EQ(a.tcp_flags, b.tcp_flags);
+    EXPECT_EQ(a.payload_len, b.payload_len);
+    EXPECT_EQ(a.arrival_ns, b.arrival_ns);
+  }
+  std::remove(path.c_str());
+}
+
+TEST(TraceIo, RejectsMissingFile) {
+  EXPECT_FALSE(read_trace("/tmp/definitely_missing_clara_trace.cltr").ok());
+}
+
+TEST(TraceIo, RejectsBadMagic) {
+  const std::string path = "/tmp/clara_bad_magic.cltr";
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  ASSERT_NE(f, nullptr);
+  std::fwrite("NOPE00000000000000", 1, 16, f);
+  std::fclose(f);
+  EXPECT_FALSE(read_trace(path).ok());
+  std::remove(path.c_str());
+}
+
+TEST(TraceIo, RejectsTruncatedRecords) {
+  const auto trace = generate_trace(parse_profile("packets=10").value());
+  const std::string path = "/tmp/clara_trunc.cltr";
+  ASSERT_TRUE(write_trace(trace, path).ok());
+  // Truncate mid-record.
+  std::FILE* f = std::fopen(path.c_str(), "rb+");
+  ASSERT_NE(f, nullptr);
+  std::fseek(f, 0, SEEK_END);
+  const long size = std::ftell(f);
+  std::fclose(f);
+  ASSERT_EQ(truncate(path.c_str(), size - 10), 0);
+  EXPECT_FALSE(read_trace(path).ok());
+  std::remove(path.c_str());
+}
+
+TEST(TraceStats, DistinctFlows) {
+  const auto trace = generate_trace(parse_profile("packets=10000 flows=300 zipf=0.5").value());
+  EXPECT_LE(trace.distinct_flows(), 300u);
+  EXPECT_GT(trace.distinct_flows(), 250u);  // most flows appear
+}
+
+}  // namespace
+}  // namespace clara::workload
