@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_cachemodel.dir/ablation_cachemodel.cpp.o"
+  "CMakeFiles/ablation_cachemodel.dir/ablation_cachemodel.cpp.o.d"
+  "ablation_cachemodel"
+  "ablation_cachemodel.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_cachemodel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/accuracy_summary.dir/accuracy_summary.cpp.o"
+  "CMakeFiles/accuracy_summary.dir/accuracy_summary.cpp.o.d"
+  "accuracy_summary"
+  "accuracy_summary.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/accuracy_summary.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig1_variability.dir/fig1_variability.cpp.o"
+  "CMakeFiles/fig1_variability.dir/fig1_variability.cpp.o.d"
+  "fig1_variability"
+  "fig1_variability.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig1_variability.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

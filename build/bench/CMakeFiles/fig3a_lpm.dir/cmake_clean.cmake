@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig3a_lpm.dir/fig3a_lpm.cpp.o"
+  "CMakeFiles/fig3a_lpm.dir/fig3a_lpm.cpp.o.d"
+  "fig3a_lpm"
+  "fig3a_lpm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig3a_lpm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

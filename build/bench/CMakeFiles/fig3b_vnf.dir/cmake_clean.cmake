@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig3b_vnf.dir/fig3b_vnf.cpp.o"
+  "CMakeFiles/fig3b_vnf.dir/fig3b_vnf.cpp.o.d"
+  "fig3b_vnf"
+  "fig3b_vnf.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig3b_vnf.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

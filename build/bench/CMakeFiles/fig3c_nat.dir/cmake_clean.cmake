@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig3c_nat.dir/fig3c_nat.cpp.o"
+  "CMakeFiles/fig3c_nat.dir/fig3c_nat.cpp.o.d"
+  "fig3c_nat"
+  "fig3c_nat.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig3c_nat.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table_params.dir/table_params.cpp.o"
+  "CMakeFiles/table_params.dir/table_params.cpp.o.d"
+  "table_params"
+  "table_params.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table_params.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

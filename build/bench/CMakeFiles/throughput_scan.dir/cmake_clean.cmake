@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/throughput_scan.dir/throughput_scan.cpp.o"
+  "CMakeFiles/throughput_scan.dir/throughput_scan.cpp.o.d"
+  "throughput_scan"
+  "throughput_scan.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/throughput_scan.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/examples/nic_selection.cpp" "examples/CMakeFiles/nic_selection.dir/nic_selection.cpp.o" "gcc" "examples/CMakeFiles/nic_selection.dir/nic_selection.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/clara_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/nf/CMakeFiles/clara_nf.dir/DependInfo.cmake"
+  "/root/repo/build/src/nicsim/CMakeFiles/clara_nicsim.dir/DependInfo.cmake"
+  "/root/repo/build/src/mapping/CMakeFiles/clara_mapping.dir/DependInfo.cmake"
+  "/root/repo/build/src/ilp/CMakeFiles/clara_ilp.dir/DependInfo.cmake"
+  "/root/repo/build/src/passes/CMakeFiles/clara_passes.dir/DependInfo.cmake"
+  "/root/repo/build/src/cir/CMakeFiles/clara_cir.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/clara_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/lnic/CMakeFiles/clara_lnic.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/clara_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nic_selection.dir/nic_selection.cpp.o"
+  "CMakeFiles/nic_selection.dir/nic_selection.cpp.o.d"
+  "nic_selection"
+  "nic_selection.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nic_selection.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/offload_planning.dir/offload_planning.cpp.o"
+  "CMakeFiles/offload_planning.dir/offload_planning.cpp.o.d"
+  "offload_planning"
+  "offload_planning.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/offload_planning.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,19 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("common")
+subdirs("lnic")
+subdirs("cir")
+subdirs("frontend")
+subdirs("passes")
+subdirs("ilp")
+subdirs("mapping")
+subdirs("nicsim")
+subdirs("workload")
+subdirs("microbench")
+subdirs("nf")
+subdirs("core")
+subdirs("tools")

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/cir/builder.cpp" "src/cir/CMakeFiles/clara_cir.dir/builder.cpp.o" "gcc" "src/cir/CMakeFiles/clara_cir.dir/builder.cpp.o.d"
+  "/root/repo/src/cir/function.cpp" "src/cir/CMakeFiles/clara_cir.dir/function.cpp.o" "gcc" "src/cir/CMakeFiles/clara_cir.dir/function.cpp.o.d"
+  "/root/repo/src/cir/instr.cpp" "src/cir/CMakeFiles/clara_cir.dir/instr.cpp.o" "gcc" "src/cir/CMakeFiles/clara_cir.dir/instr.cpp.o.d"
+  "/root/repo/src/cir/interp.cpp" "src/cir/CMakeFiles/clara_cir.dir/interp.cpp.o" "gcc" "src/cir/CMakeFiles/clara_cir.dir/interp.cpp.o.d"
+  "/root/repo/src/cir/parser.cpp" "src/cir/CMakeFiles/clara_cir.dir/parser.cpp.o" "gcc" "src/cir/CMakeFiles/clara_cir.dir/parser.cpp.o.d"
+  "/root/repo/src/cir/printer.cpp" "src/cir/CMakeFiles/clara_cir.dir/printer.cpp.o" "gcc" "src/cir/CMakeFiles/clara_cir.dir/printer.cpp.o.d"
+  "/root/repo/src/cir/vcalls.cpp" "src/cir/CMakeFiles/clara_cir.dir/vcalls.cpp.o" "gcc" "src/cir/CMakeFiles/clara_cir.dir/vcalls.cpp.o.d"
+  "/root/repo/src/cir/verify.cpp" "src/cir/CMakeFiles/clara_cir.dir/verify.cpp.o" "gcc" "src/cir/CMakeFiles/clara_cir.dir/verify.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/clara_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/clara_cir.dir/builder.cpp.o"
+  "CMakeFiles/clara_cir.dir/builder.cpp.o.d"
+  "CMakeFiles/clara_cir.dir/function.cpp.o"
+  "CMakeFiles/clara_cir.dir/function.cpp.o.d"
+  "CMakeFiles/clara_cir.dir/instr.cpp.o"
+  "CMakeFiles/clara_cir.dir/instr.cpp.o.d"
+  "CMakeFiles/clara_cir.dir/interp.cpp.o"
+  "CMakeFiles/clara_cir.dir/interp.cpp.o.d"
+  "CMakeFiles/clara_cir.dir/parser.cpp.o"
+  "CMakeFiles/clara_cir.dir/parser.cpp.o.d"
+  "CMakeFiles/clara_cir.dir/printer.cpp.o"
+  "CMakeFiles/clara_cir.dir/printer.cpp.o.d"
+  "CMakeFiles/clara_cir.dir/vcalls.cpp.o"
+  "CMakeFiles/clara_cir.dir/vcalls.cpp.o.d"
+  "CMakeFiles/clara_cir.dir/verify.cpp.o"
+  "CMakeFiles/clara_cir.dir/verify.cpp.o.d"
+  "libclara_cir.a"
+  "libclara_cir.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/clara_cir.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/clara_common.dir/log.cpp.o"
+  "CMakeFiles/clara_common.dir/log.cpp.o.d"
+  "CMakeFiles/clara_common.dir/rng.cpp.o"
+  "CMakeFiles/clara_common.dir/rng.cpp.o.d"
+  "CMakeFiles/clara_common.dir/stats.cpp.o"
+  "CMakeFiles/clara_common.dir/stats.cpp.o.d"
+  "CMakeFiles/clara_common.dir/strings.cpp.o"
+  "CMakeFiles/clara_common.dir/strings.cpp.o.d"
+  "CMakeFiles/clara_common.dir/table.cpp.o"
+  "CMakeFiles/clara_common.dir/table.cpp.o.d"
+  "libclara_common.a"
+  "libclara_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/clara_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

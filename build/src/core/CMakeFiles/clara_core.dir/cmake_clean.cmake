@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/clara_core.dir/adversarial.cpp.o"
+  "CMakeFiles/clara_core.dir/adversarial.cpp.o.d"
+  "CMakeFiles/clara_core.dir/clara.cpp.o"
+  "CMakeFiles/clara_core.dir/clara.cpp.o.d"
+  "CMakeFiles/clara_core.dir/energy.cpp.o"
+  "CMakeFiles/clara_core.dir/energy.cpp.o.d"
+  "CMakeFiles/clara_core.dir/partial.cpp.o"
+  "CMakeFiles/clara_core.dir/partial.cpp.o.d"
+  "CMakeFiles/clara_core.dir/predict.cpp.o"
+  "CMakeFiles/clara_core.dir/predict.cpp.o.d"
+  "libclara_core.a"
+  "libclara_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/clara_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

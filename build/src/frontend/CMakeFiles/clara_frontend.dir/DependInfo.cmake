@@ -1,0 +1,21 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/frontend/p4lite.cpp" "src/frontend/CMakeFiles/clara_frontend.dir/p4lite.cpp.o" "gcc" "src/frontend/CMakeFiles/clara_frontend.dir/p4lite.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/cir/CMakeFiles/clara_cir.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/clara_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

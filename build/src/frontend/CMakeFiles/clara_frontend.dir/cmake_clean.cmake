@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/clara_frontend.dir/p4lite.cpp.o"
+  "CMakeFiles/clara_frontend.dir/p4lite.cpp.o.d"
+  "libclara_frontend.a"
+  "libclara_frontend.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/clara_frontend.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libclara_frontend.a"
+)

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/clara_ilp.dir/model.cpp.o"
+  "CMakeFiles/clara_ilp.dir/model.cpp.o.d"
+  "CMakeFiles/clara_ilp.dir/simplex.cpp.o"
+  "CMakeFiles/clara_ilp.dir/simplex.cpp.o.d"
+  "CMakeFiles/clara_ilp.dir/solver.cpp.o"
+  "CMakeFiles/clara_ilp.dir/solver.cpp.o.d"
+  "libclara_ilp.a"
+  "libclara_ilp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/clara_ilp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/lnic/lnic.cpp" "src/lnic/CMakeFiles/clara_lnic.dir/lnic.cpp.o" "gcc" "src/lnic/CMakeFiles/clara_lnic.dir/lnic.cpp.o.d"
+  "/root/repo/src/lnic/params.cpp" "src/lnic/CMakeFiles/clara_lnic.dir/params.cpp.o" "gcc" "src/lnic/CMakeFiles/clara_lnic.dir/params.cpp.o.d"
+  "/root/repo/src/lnic/profiles.cpp" "src/lnic/CMakeFiles/clara_lnic.dir/profiles.cpp.o" "gcc" "src/lnic/CMakeFiles/clara_lnic.dir/profiles.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/clara_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/clara_lnic.dir/lnic.cpp.o"
+  "CMakeFiles/clara_lnic.dir/lnic.cpp.o.d"
+  "CMakeFiles/clara_lnic.dir/params.cpp.o"
+  "CMakeFiles/clara_lnic.dir/params.cpp.o.d"
+  "CMakeFiles/clara_lnic.dir/profiles.cpp.o"
+  "CMakeFiles/clara_lnic.dir/profiles.cpp.o.d"
+  "libclara_lnic.a"
+  "libclara_lnic.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/clara_lnic.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for clara_lnic.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/mapping/mapping.cpp" "src/mapping/CMakeFiles/clara_mapping.dir/mapping.cpp.o" "gcc" "src/mapping/CMakeFiles/clara_mapping.dir/mapping.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/passes/CMakeFiles/clara_passes.dir/DependInfo.cmake"
+  "/root/repo/build/src/ilp/CMakeFiles/clara_ilp.dir/DependInfo.cmake"
+  "/root/repo/build/src/lnic/CMakeFiles/clara_lnic.dir/DependInfo.cmake"
+  "/root/repo/build/src/cir/CMakeFiles/clara_cir.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/clara_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

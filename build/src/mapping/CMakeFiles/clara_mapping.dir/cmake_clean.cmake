@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/clara_mapping.dir/mapping.cpp.o"
+  "CMakeFiles/clara_mapping.dir/mapping.cpp.o.d"
+  "libclara_mapping.a"
+  "libclara_mapping.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/clara_mapping.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/microbench/microbench.cpp" "src/microbench/CMakeFiles/clara_microbench.dir/microbench.cpp.o" "gcc" "src/microbench/CMakeFiles/clara_microbench.dir/microbench.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/nicsim/CMakeFiles/clara_nicsim.dir/DependInfo.cmake"
+  "/root/repo/build/src/lnic/CMakeFiles/clara_lnic.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/clara_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/clara_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/cir/CMakeFiles/clara_cir.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

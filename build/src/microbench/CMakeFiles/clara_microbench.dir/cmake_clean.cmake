@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/clara_microbench.dir/microbench.cpp.o"
+  "CMakeFiles/clara_microbench.dir/microbench.cpp.o.d"
+  "libclara_microbench.a"
+  "libclara_microbench.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/clara_microbench.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

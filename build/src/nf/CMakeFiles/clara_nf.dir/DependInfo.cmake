@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/nf/compose.cpp" "src/nf/CMakeFiles/clara_nf.dir/compose.cpp.o" "gcc" "src/nf/CMakeFiles/clara_nf.dir/compose.cpp.o.d"
+  "/root/repo/src/nf/nf_cir.cpp" "src/nf/CMakeFiles/clara_nf.dir/nf_cir.cpp.o" "gcc" "src/nf/CMakeFiles/clara_nf.dir/nf_cir.cpp.o.d"
+  "/root/repo/src/nf/nf_ported.cpp" "src/nf/CMakeFiles/clara_nf.dir/nf_ported.cpp.o" "gcc" "src/nf/CMakeFiles/clara_nf.dir/nf_ported.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/cir/CMakeFiles/clara_cir.dir/DependInfo.cmake"
+  "/root/repo/build/src/nicsim/CMakeFiles/clara_nicsim.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/clara_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/clara_workload.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/clara_nf.dir/compose.cpp.o"
+  "CMakeFiles/clara_nf.dir/compose.cpp.o.d"
+  "CMakeFiles/clara_nf.dir/nf_cir.cpp.o"
+  "CMakeFiles/clara_nf.dir/nf_cir.cpp.o.d"
+  "CMakeFiles/clara_nf.dir/nf_ported.cpp.o"
+  "CMakeFiles/clara_nf.dir/nf_ported.cpp.o.d"
+  "libclara_nf.a"
+  "libclara_nf.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/clara_nf.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

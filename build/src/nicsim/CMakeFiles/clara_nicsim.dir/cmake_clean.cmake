@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/clara_nicsim.dir/cache.cpp.o"
+  "CMakeFiles/clara_nicsim.dir/cache.cpp.o.d"
+  "CMakeFiles/clara_nicsim.dir/sim.cpp.o"
+  "CMakeFiles/clara_nicsim.dir/sim.cpp.o.d"
+  "CMakeFiles/clara_nicsim.dir/tables.cpp.o"
+  "CMakeFiles/clara_nicsim.dir/tables.cpp.o.d"
+  "libclara_nicsim.a"
+  "libclara_nicsim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/clara_nicsim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/passes/api_subst.cpp" "src/passes/CMakeFiles/clara_passes.dir/api_subst.cpp.o" "gcc" "src/passes/CMakeFiles/clara_passes.dir/api_subst.cpp.o.d"
+  "/root/repo/src/passes/cfg.cpp" "src/passes/CMakeFiles/clara_passes.dir/cfg.cpp.o" "gcc" "src/passes/CMakeFiles/clara_passes.dir/cfg.cpp.o.d"
+  "/root/repo/src/passes/costmodel.cpp" "src/passes/CMakeFiles/clara_passes.dir/costmodel.cpp.o" "gcc" "src/passes/CMakeFiles/clara_passes.dir/costmodel.cpp.o.d"
+  "/root/repo/src/passes/dataflow.cpp" "src/passes/CMakeFiles/clara_passes.dir/dataflow.cpp.o" "gcc" "src/passes/CMakeFiles/clara_passes.dir/dataflow.cpp.o.d"
+  "/root/repo/src/passes/optimize.cpp" "src/passes/CMakeFiles/clara_passes.dir/optimize.cpp.o" "gcc" "src/passes/CMakeFiles/clara_passes.dir/optimize.cpp.o.d"
+  "/root/repo/src/passes/patterns.cpp" "src/passes/CMakeFiles/clara_passes.dir/patterns.cpp.o" "gcc" "src/passes/CMakeFiles/clara_passes.dir/patterns.cpp.o.d"
+  "/root/repo/src/passes/symexec.cpp" "src/passes/CMakeFiles/clara_passes.dir/symexec.cpp.o" "gcc" "src/passes/CMakeFiles/clara_passes.dir/symexec.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/cir/CMakeFiles/clara_cir.dir/DependInfo.cmake"
+  "/root/repo/build/src/lnic/CMakeFiles/clara_lnic.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/clara_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/clara_passes.dir/api_subst.cpp.o"
+  "CMakeFiles/clara_passes.dir/api_subst.cpp.o.d"
+  "CMakeFiles/clara_passes.dir/cfg.cpp.o"
+  "CMakeFiles/clara_passes.dir/cfg.cpp.o.d"
+  "CMakeFiles/clara_passes.dir/costmodel.cpp.o"
+  "CMakeFiles/clara_passes.dir/costmodel.cpp.o.d"
+  "CMakeFiles/clara_passes.dir/dataflow.cpp.o"
+  "CMakeFiles/clara_passes.dir/dataflow.cpp.o.d"
+  "CMakeFiles/clara_passes.dir/optimize.cpp.o"
+  "CMakeFiles/clara_passes.dir/optimize.cpp.o.d"
+  "CMakeFiles/clara_passes.dir/patterns.cpp.o"
+  "CMakeFiles/clara_passes.dir/patterns.cpp.o.d"
+  "CMakeFiles/clara_passes.dir/symexec.cpp.o"
+  "CMakeFiles/clara_passes.dir/symexec.cpp.o.d"
+  "libclara_passes.a"
+  "libclara_passes.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/clara_passes.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/clara.dir/clara_cli.cpp.o"
+  "CMakeFiles/clara.dir/clara_cli.cpp.o.d"
+  "clara"
+  "clara.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/clara.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/workload/analysis.cpp" "src/workload/CMakeFiles/clara_workload.dir/analysis.cpp.o" "gcc" "src/workload/CMakeFiles/clara_workload.dir/analysis.cpp.o.d"
+  "/root/repo/src/workload/packet.cpp" "src/workload/CMakeFiles/clara_workload.dir/packet.cpp.o" "gcc" "src/workload/CMakeFiles/clara_workload.dir/packet.cpp.o.d"
+  "/root/repo/src/workload/profile.cpp" "src/workload/CMakeFiles/clara_workload.dir/profile.cpp.o" "gcc" "src/workload/CMakeFiles/clara_workload.dir/profile.cpp.o.d"
+  "/root/repo/src/workload/trace_io.cpp" "src/workload/CMakeFiles/clara_workload.dir/trace_io.cpp.o" "gcc" "src/workload/CMakeFiles/clara_workload.dir/trace_io.cpp.o.d"
+  "/root/repo/src/workload/tracegen.cpp" "src/workload/CMakeFiles/clara_workload.dir/tracegen.cpp.o" "gcc" "src/workload/CMakeFiles/clara_workload.dir/tracegen.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/clara_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

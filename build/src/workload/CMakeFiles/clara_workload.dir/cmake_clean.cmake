@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/clara_workload.dir/analysis.cpp.o"
+  "CMakeFiles/clara_workload.dir/analysis.cpp.o.d"
+  "CMakeFiles/clara_workload.dir/packet.cpp.o"
+  "CMakeFiles/clara_workload.dir/packet.cpp.o.d"
+  "CMakeFiles/clara_workload.dir/profile.cpp.o"
+  "CMakeFiles/clara_workload.dir/profile.cpp.o.d"
+  "CMakeFiles/clara_workload.dir/trace_io.cpp.o"
+  "CMakeFiles/clara_workload.dir/trace_io.cpp.o.d"
+  "CMakeFiles/clara_workload.dir/tracegen.cpp.o"
+  "CMakeFiles/clara_workload.dir/tracegen.cpp.o.d"
+  "libclara_workload.a"
+  "libclara_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/clara_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

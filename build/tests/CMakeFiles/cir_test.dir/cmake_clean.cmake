@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cir_test.dir/cir_test.cpp.o"
+  "CMakeFiles/cir_test.dir/cir_test.cpp.o.d"
+  "cir_test"
+  "cir_test.pdb"
+  "cir_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cir_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lnic_test.dir/lnic_test.cpp.o"
+  "CMakeFiles/lnic_test.dir/lnic_test.cpp.o.d"
+  "lnic_test"
+  "lnic_test.pdb"
+  "lnic_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lnic_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nicsim_test.dir/nicsim_test.cpp.o"
+  "CMakeFiles/nicsim_test.dir/nicsim_test.cpp.o.d"
+  "nicsim_test"
+  "nicsim_test.pdb"
+  "nicsim_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nicsim_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
