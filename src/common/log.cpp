@@ -1,12 +1,18 @@
 #include "common/log.hpp"
 
+#include <atomic>
+#include <chrono>
 #include <cstdio>
+#include <ctime>
+#include <mutex>
 
 namespace clara {
 
 namespace {
 
-LogLevel g_level = LogLevel::kWarn;
+std::atomic<LogLevel> g_level{LogLevel::kWarn};
+std::atomic<bool> g_timestamps{false};
+std::atomic<bool> g_level_prefix{true};
 
 const char* level_name(LogLevel level) {
   switch (level) {
@@ -20,7 +26,31 @@ const char* level_name(LogLevel level) {
 }
 
 void default_sink(LogLevel level, const std::string& msg) {
-  std::fprintf(stderr, "[clara %s] %s\n", level_name(level), msg.c_str());
+  char stamp[32] = "";
+  if (g_timestamps.load(std::memory_order_relaxed)) {
+    const auto now = std::chrono::system_clock::now();
+    const std::time_t secs = std::chrono::system_clock::to_time_t(now);
+    const auto ms = std::chrono::duration_cast<std::chrono::milliseconds>(
+                        now.time_since_epoch())
+                        .count() %
+                    1000;
+    std::tm tm{};
+    localtime_r(&secs, &tm);
+    std::snprintf(stamp, sizeof(stamp), "%02d:%02d:%02d.%03d ", tm.tm_hour, tm.tm_min,
+                  tm.tm_sec, static_cast<int>(ms));
+  }
+  if (g_level_prefix.load(std::memory_order_relaxed)) {
+    std::fprintf(stderr, "%s[clara %s] %s\n", stamp, level_name(level), msg.c_str());
+  } else {
+    std::fprintf(stderr, "%s%s\n", stamp, msg.c_str());
+  }
+}
+
+/// Guards both the sink slot and its invocation so a sink swap cannot
+/// race an in-flight call and concurrent lines do not interleave.
+std::mutex& sink_mutex() {
+  static std::mutex mu;
+  return mu;
 }
 
 LogSink& sink_slot() {
@@ -30,12 +60,20 @@ LogSink& sink_slot() {
 
 }  // namespace
 
-void set_log_level(LogLevel level) { g_level = level; }
-LogLevel log_level() { return g_level; }
-void set_log_sink(LogSink sink) { sink_slot() = std::move(sink); }
+void set_log_level(LogLevel level) { g_level.store(level, std::memory_order_relaxed); }
+LogLevel log_level() { return g_level.load(std::memory_order_relaxed); }
+
+void set_log_timestamps(bool on) { g_timestamps.store(on, std::memory_order_relaxed); }
+void set_log_level_prefix(bool on) { g_level_prefix.store(on, std::memory_order_relaxed); }
+
+void set_log_sink(LogSink sink) {
+  std::lock_guard<std::mutex> lock(sink_mutex());
+  sink_slot() = sink ? std::move(sink) : LogSink(default_sink);
+}
 
 void log_message(LogLevel level, const std::string& msg) {
-  if (level < g_level) return;
+  if (level < g_level.load(std::memory_order_relaxed)) return;
+  std::lock_guard<std::mutex> lock(sink_mutex());
   sink_slot()(level, msg);
 }
 

@@ -1,6 +1,10 @@
 // Tiny leveled logger. Clara is a library: logging defaults to warnings
 // only and everything routes through one sink so hosting applications can
 // capture it.
+//
+// Thread-safe: the level is an atomic and sink invocation is serialized
+// behind a mutex, so concurrent threads (e.g. a parallel simulator
+// replay) may log and even swap the sink freely; lines never interleave.
 #pragma once
 
 #include <functional>
@@ -13,13 +17,20 @@ enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3, kOff = 4 };
 
 using LogSink = std::function<void(LogLevel, const std::string&)>;
 
-/// Sets the minimum level that is emitted. Thread-compatible: set once at
-/// startup before concurrent use.
+/// Sets the minimum level that is emitted. Safe to call at any time from
+/// any thread.
 void set_log_level(LogLevel level);
 LogLevel log_level();
 
 /// Replace the default stderr sink (e.g., to capture logs in tests).
+/// Passing a null sink restores the default.
 void set_log_sink(LogSink sink);
+
+/// Default stderr sink options: prepend a wall-clock timestamp
+/// ("HH:MM:SS.mmm") and/or the level name. The level prefix is on by
+/// default; timestamps are opt-in (benchmark logs stay diffable).
+void set_log_timestamps(bool on);
+void set_log_level_prefix(bool on);
 
 void log_message(LogLevel level, const std::string& msg);
 

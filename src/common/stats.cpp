@@ -56,8 +56,9 @@ double Series::mean() const {
 }
 
 double Series::percentile(double q) const {
-  assert(q >= 0.0 && q <= 1.0);
   if (samples_.empty()) return 0.0;
+  if (std::isnan(q)) q = 0.0;
+  q = std::clamp(q, 0.0, 1.0);
   ensure_sorted();
   const double pos = q * static_cast<double>(samples_.size() - 1);
   const auto lo = static_cast<std::size_t>(pos);
@@ -78,14 +79,19 @@ double Series::max() const {
   return samples_.back();
 }
 
-Histogram::Histogram(double lo, double hi, std::size_t buckets)
-    : lo_(lo), hi_(hi), bucket_width_((hi - lo) / static_cast<double>(buckets)), counts_(buckets, 0) {
-  assert(hi > lo && buckets > 0);
+Histogram::Histogram(double lo, double hi, std::size_t buckets) : lo_(lo) {
+  if (buckets == 0) buckets = 1;
+  if (!(hi > lo)) hi = lo + 1.0;  // degenerate range -> one unit bucket
+  hi_ = hi;
+  bucket_width_ = (hi - lo) / static_cast<double>(buckets);
+  counts_.assign(buckets, 0);
 }
 
 void Histogram::add(double x) {
   ++total_;
-  if (x < lo_) {
+  if (std::isnan(x)) {
+    ++underflow_;
+  } else if (x < lo_) {
     ++underflow_;
   } else if (x >= hi_) {
     ++overflow_;
@@ -94,6 +100,17 @@ void Histogram::add(double x) {
     if (idx >= counts_.size()) idx = counts_.size() - 1;  // rounding guard
     ++counts_[idx];
   }
+}
+
+bool Histogram::merge(const Histogram& other) {
+  if (lo_ != other.lo_ || hi_ != other.hi_ || counts_.size() != other.counts_.size()) {
+    return false;
+  }
+  for (std::size_t i = 0; i < counts_.size(); ++i) counts_[i] += other.counts_[i];
+  underflow_ += other.underflow_;
+  overflow_ += other.overflow_;
+  total_ += other.total_;
+  return true;
 }
 
 double Histogram::bucket_lo(std::size_t i) const { return lo_ + bucket_width_ * static_cast<double>(i); }

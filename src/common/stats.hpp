@@ -45,7 +45,9 @@ class Series {
 
   [[nodiscard]] std::size_t count() const { return samples_.size(); }
   [[nodiscard]] double mean() const;
-  /// q in [0,1]; linear interpolation between closest ranks.
+  /// Linear interpolation between closest ranks. q is clamped to [0,1]
+  /// (q=0 -> min, q=1 -> max); a single sample answers every quantile
+  /// with itself; an empty series answers 0.0.
   [[nodiscard]] double percentile(double q) const;
   [[nodiscard]] double min() const;
   [[nodiscard]] double max() const;
@@ -59,11 +61,19 @@ class Series {
 };
 
 /// Fixed-width linear histogram used for latency distribution displays.
+/// A degenerate range (hi <= lo) or zero bucket count collapses to a
+/// single unit-width bucket rather than dividing by zero.
 class Histogram {
  public:
   Histogram(double lo, double hi, std::size_t buckets);
 
+  /// NaN samples count toward total() and underflow (they belong to no
+  /// bucket but must not corrupt the index computation).
   void add(double x);
+  /// Merges another histogram with the identical layout (same lo/hi and
+  /// bucket count); returns false (and changes nothing) on a layout
+  /// mismatch.
+  bool merge(const Histogram& other);
   [[nodiscard]] std::size_t bucket_count() const { return counts_.size(); }
   [[nodiscard]] std::uint64_t bucket(std::size_t i) const { return counts_[i]; }
   [[nodiscard]] double bucket_lo(std::size_t i) const;

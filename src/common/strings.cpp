@@ -31,6 +31,10 @@ bool starts_with(std::string_view s, std::string_view prefix) {
   return s.size() >= prefix.size() && s.substr(0, prefix.size()) == prefix;
 }
 
+bool ends_with(std::string_view s, std::string_view suffix) {
+  return s.size() >= suffix.size() && s.substr(s.size() - suffix.size()) == suffix;
+}
+
 std::optional<std::int64_t> parse_int(std::string_view s) {
   if (s.empty()) return std::nullopt;
   std::string buf(s);

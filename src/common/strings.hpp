@@ -15,6 +15,7 @@ std::vector<std::string> split(std::string_view s, char sep);
 std::string_view trim(std::string_view s);
 
 bool starts_with(std::string_view s, std::string_view prefix);
+bool ends_with(std::string_view s, std::string_view suffix);
 
 /// Strict integer / double parsing: the whole string must be consumed.
 std::optional<std::int64_t> parse_int(std::string_view s);

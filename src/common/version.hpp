@@ -1,0 +1,23 @@
+// Version and build information, echoed by clara_cli at startup so a
+// benchmark run is reproducible from its logs alone.
+#pragma once
+
+namespace clara {
+
+inline constexpr const char* kVersionString = "0.2.0";
+
+/// Compiler + build timestamp, e.g. "g++ 13.2.0, built Aug  5 2026".
+inline const char* build_info() {
+  static const char info[] =
+#if defined(__clang__)
+      "clang++ " __clang_version__
+#elif defined(__GNUC__)
+      "g++ " __VERSION__
+#else
+      "unknown compiler"
+#endif
+      ", built " __DATE__ " " __TIME__;
+  return info;
+}
+
+}  // namespace clara

@@ -4,12 +4,14 @@
 
 #include "cir/verify.hpp"
 #include "common/strings.hpp"
+#include "obs/trace.hpp"
 #include "passes/dataflow.hpp"
 
 namespace clara::core {
 
 Result<Analysis> Analyzer::analyze(const cir::Function& nf, const workload::Trace& trace,
                                    const AnalyzeOptions& options) const {
+  CLARA_TRACE_SCOPE("core/analyze");
   Analysis analysis;
   analysis.lowered = nf;  // operate on a copy; the caller's NF is untouched
 
@@ -29,8 +31,11 @@ Result<Analysis> Analyzer::analyze(const cir::Function& nf, const workload::Trac
     analysis.optimizations = passes::optimize(analysis.lowered);
   }
 
-  if (auto status = cir::verify(analysis.lowered); !status) {
-    return make_error("lowered NF failed verification: " + status.error().message);
+  {
+    CLARA_TRACE_SCOPE("cir/verify");
+    if (auto status = cir::verify(analysis.lowered); !status) {
+      return make_error("lowered NF failed verification: " + status.error().message);
+    }
   }
 
   const passes::CostHints hints = hints_from_trace(trace, profile_);

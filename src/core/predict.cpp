@@ -9,6 +9,7 @@
 #include "cir/builder.hpp"
 #include "cir/interp.hpp"
 #include "common/strings.hpp"
+#include "obs/trace.hpp"
 #include "passes/costmodel.hpp"
 
 namespace clara::core {
@@ -148,6 +149,7 @@ CostHints hints_from_trace(const workload::Trace& trace, const lnic::NicProfile&
 Result<Prediction> predict(const cir::Function& fn, const DataflowGraph& graph, const mapping::Mapping& mapping,
                            const mapping::Mapper& mapper, const workload::Trace& trace,
                            const PredictOptions& options) {
+  CLARA_TRACE_SCOPE("predict/run");
   if (trace.packets.empty()) return make_error("predict: empty trace");
   const auto& profile = mapper.profile();
   const auto& params = profile.params;
@@ -222,6 +224,56 @@ Result<Prediction> predict(const cir::Function& fn, const DataflowGraph& graph, 
     return base;
   };
 
+  // --- Breakdown attribution helpers --------------------------------------
+  // Each mirrors the corresponding cost term above exactly, splitting it
+  // across obs::Component buckets so the per-class components sum to the
+  // class's base latency by construction.
+  using obs::Component;
+  auto add_pkt_access_bd = [&](obs::BreakdownMeans& bd, double n, double frame) {
+    if (n <= 0.0) return;
+    if (residency <= 0.0) {
+      bd.add(Component::kEmemCacheHit, n * params.scalar(keys::kEmemCacheHit));
+      return;
+    }
+    const double ctm = params.scalar(keys::kMemReadCtm);
+    if (frame <= residency) {
+      bd.add(Component::kMemCtm, n * ctm);
+      return;
+    }
+    const double head_frac = residency / frame;
+    bd.add(Component::kMemCtm, n * head_frac * ctm);
+    const double tail = n * (1.0 - head_frac);
+    bd.add(Component::kEmemCacheHit, tail * hr_tail * params.scalar(keys::kEmemCacheHit));
+    bd.add(Component::kEmemCacheMiss, tail * (1.0 - hr_tail) * params.scalar(keys::kMemReadEmem));
+  };
+  auto add_state_bd = [&](obs::BreakdownMeans& bd, double n, const mapping::UnitPool& pool,
+                          NodeId region) {
+    if (n <= 0.0) return;
+    const double base = mapper.access_cycles(pool, region);
+    const auto* mem = profile.graph.node(region).memory();
+    if (mem->kind == lnic::MemKind::kEmem && mem->cache_capacity > 0) {
+      bd.add(Component::kEmemCacheHit, n * hr_emem * params.scalar(keys::kEmemCacheHit));
+      bd.add(Component::kEmemCacheMiss, n * (1.0 - hr_emem) * base);
+      return;
+    }
+    switch (mem->kind) {
+      case lnic::MemKind::kLocal: bd.add(Component::kMemLocal, n * base); break;
+      case lnic::MemKind::kCtm: bd.add(Component::kMemCtm, n * base); break;
+      case lnic::MemKind::kImem: bd.add(Component::kMemImem, n * base); break;
+      case lnic::MemKind::kEmem: bd.add(Component::kEmemCacheMiss, n * base); break;
+    }
+  };
+  auto unit_component = [](lnic::UnitKind kind) {
+    switch (kind) {
+      case lnic::UnitKind::kChecksumAccel: return Component::kCsumAccel;
+      case lnic::UnitKind::kCryptoAccel: return Component::kCryptoAccel;
+      case lnic::UnitKind::kLpmEngine: return Component::kLpmEngine;
+      case lnic::UnitKind::kNpuCore:
+      case lnic::UnitKind::kHeaderEngine: break;
+    }
+    return Component::kCompute;
+  };
+
   // --- Per-class costing --------------------------------------------------
   auto classes = classify(trace, options.payload_buckets);
   const double total_packets = static_cast<double>(trace.packets.size());
@@ -230,6 +282,7 @@ Result<Prediction> predict(const cir::Function& fn, const DataflowGraph& graph, 
     double base = 0.0;                       // latency without queueing
     double worst = 0.0;                      // all cache accesses priced as misses
     std::map<std::size_t, double> pool_use;  // pool -> service cycles (queueable)
+    obs::BreakdownMeans bd;                  // component attribution of `base`
   };
   std::vector<ClassCost> costs(classes.size());
   std::vector<double> pool_demand(mapper.pools().size(), 0.0);  // cycles/packet avg
@@ -252,6 +305,7 @@ Result<Prediction> predict(const cir::Function& fn, const DataflowGraph& graph, 
     cost.base += hub_service + ingress_base + ingress_per_byte * frame;
     if (residency > 0.0 && frame > residency) cost.base += spill_per_byte * (frame - residency);
     cost.worst = cost.base;
+    cost.bd.add(Component::kIngress, cost.base);
 
     // Node bodies: instruction mixes, packet accesses, explicit state ops.
     for (const auto& node : graph.nodes()) {
@@ -268,6 +322,16 @@ Result<Prediction> predict(const cir::Function& fn, const DataflowGraph& graph, 
       }
       const double cycles = static_cast<double>(execs) * per_exec;
       cost.base += cycles;
+      const auto n_execs = static_cast<double>(execs);
+      cost.bd.add(Component::kCompute, n_execs * passes::mix_compute_cycles(node.mix, pool.kind, params));
+      add_pkt_access_bd(cost.bd, n_execs * static_cast<double>(node.mix.packet_loads + node.mix.packet_stores),
+                        frame);
+      for (const auto& [s, n] : node.mix.state_reads) {
+        add_state_bd(cost.bd, n_execs * static_cast<double>(n), pool, mapping.state_region[s]);
+      }
+      for (const auto& [s, n] : node.mix.state_writes) {
+        add_state_bd(cost.bd, n_execs * static_cast<double>(n), pool, mapping.state_region[s]);
+      }
       double per_exec_worst = passes::mix_compute_cycles(node.mix, pool.kind, params);
       per_exec_worst += static_cast<double>(node.mix.packet_loads + node.mix.packet_stores) *
                         passes::packet_access_cycles(frame, frame - 1.0, params);
@@ -302,10 +366,15 @@ Result<Prediction> predict(const cir::Function& fn, const DataflowGraph& graph, 
       const bool use_fc =
           event.v != cir::VCall::kLpmLookup || (event.args.size() >= 3 && event.args[2] != 0);
       double service = passes::vcall_compute_cycles(event.v, pool.kind, arg, state, params, hints, use_fc);
+      cost.bd.add(event.v == cir::VCall::kEmit ? Component::kEgress : unit_component(pool.kind), service);
       if (event.v == cir::VCall::kPayloadScan) {
         service += std::ceil(arg / 64.0) * pkt_access_cycles(frame);
+        add_pkt_access_bd(cost.bd, std::ceil(arg / 64.0), frame);
       }
-      if (event.v == cir::VCall::kEmit) service += hub_service;  // egress hub
+      if (event.v == cir::VCall::kEmit) {
+        service += hub_service;  // egress hub
+        cost.bd.add(Component::kEgress, hub_service);
+      }
       cost.base += service;
       // Worst case: the flow cache misses too.
       passes::CostHints worst_hints = hints;
@@ -325,6 +394,7 @@ Result<Prediction> predict(const cir::Function& fn, const DataflowGraph& graph, 
         const double accesses = passes::vcall_state_accesses(event.v, pool.kind, state);
         cost.base += accesses * eff_state_latency(pool, mapping.state_region[state_idx]);
         cost.worst += accesses * eff_state_latency(pool, mapping.state_region[state_idx], true);
+        add_state_bd(cost.bd, accesses, pool, mapping.state_region[state_idx]);
       }
 
       // Queueable share: LPM DRAM walks overlap across threads, so only
@@ -386,15 +456,18 @@ Result<Prediction> predict(const cir::Function& fn, const DataflowGraph& graph, 
   for (std::size_t c = 0; c < classes.size(); ++c) {
     double latency = costs[c].base;
     double worst = costs[c].worst;
+    obs::BreakdownMeans class_bd = costs[c].bd;
     for (const auto& [p, use] : costs[c].pool_use) {
       if (use > 0.0) {
         latency += pool_wait[p];
+        class_bd.add(obs::Component::kQueueWait, pool_wait[p]);
         worst += 3.0 * pool_wait[p];  // queue tail allowance
       }
     }
     worst_case = std::max(worst_case, worst);
     const double fraction = static_cast<double>(classes[c].count) / total_packets;
     mean += fraction * latency;
+    pred.breakdown.add_scaled(class_bd, fraction);
 
     ClassProfile cp;
     cp.name = classes[c].name();

@@ -28,6 +28,7 @@
 
 #include "common/result.hpp"
 #include "mapping/mapping.hpp"
+#include "obs/breakdown.hpp"
 #include "workload/tracegen.hpp"
 
 namespace clara::core {
@@ -66,6 +67,11 @@ struct Prediction {
   /// Estimated hit rates the model used (exposed for ablation study).
   double emem_cache_hit_rate = 0.0;
   double flow_cache_hit_rate = 0.0;
+  /// Analytic per-packet latency attribution. The components sum to
+  /// mean_latency_cycles exactly (each term of the cost model is charged
+  /// to exactly one component), so it lines up with the simulator's
+  /// measured RunStats::breakdown for side-by-side comparison.
+  obs::BreakdownMeans breakdown;
 };
 
 struct PredictOptions {

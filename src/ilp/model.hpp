@@ -95,12 +95,26 @@ enum class SolveStatus { kOptimal, kInfeasible, kUnbounded, kLimit };
 
 const char* to_string(SolveStatus status);
 
+/// One improving integer solution found during branch-and-bound: after
+/// exploring `node` nodes, the incumbent objective dropped to
+/// `objective`. The trajectory shows how quickly the search converged
+/// (a long flat tail means most nodes only proved optimality).
+struct IncumbentStep {
+  std::size_t node = 0;
+  double objective = 0.0;
+};
+
 struct Solution {
   SolveStatus status = SolveStatus::kInfeasible;
   std::vector<double> values;
   double objective = 0.0;
   /// Branch-and-bound statistics (0 for pure LP solves).
   std::size_t nodes_explored = 0;
+  /// Simplex pivots performed (summed over all LP relaxations for MILP
+  /// solves).
+  std::size_t pivots = 0;
+  /// Incumbent trajectory, in discovery order (empty for pure LP solves).
+  std::vector<IncumbentStep> incumbents;
 
   [[nodiscard]] bool optimal() const { return status == SolveStatus::kOptimal; }
   [[nodiscard]] double value(int var) const { return values.at(static_cast<std::size_t>(var)); }

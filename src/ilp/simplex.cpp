@@ -126,6 +126,13 @@ class Tableau {
       : s_(std::move(std_form)), max_pivots_(max_pivots) {}
 
   Solution solve(const Model& model) {
+    Solution sol = solve_impl(model);
+    sol.pivots = pivots_done_;
+    return sol;
+  }
+
+ private:
+  Solution solve_impl(const Model& model) {
     Solution sol;
     if (s_.infeasible_bounds) {
       sol.status = SolveStatus::kInfeasible;
@@ -220,8 +227,8 @@ class Tableau {
     return sol;
   }
 
- private:
   void pivot(std::size_t row, std::size_t col) {
+    ++pivots_done_;
     const double p = s_.a[row][col];
     assert(std::abs(p) > kEps);
     const std::size_t n_total = s_.a[row].size();
@@ -289,6 +296,7 @@ class Tableau {
   std::size_t max_pivots_;
   std::vector<std::size_t> basis_;
   bool phase2_ = false;
+  std::size_t pivots_done_ = 0;
 };
 
 }  // namespace

@@ -6,6 +6,8 @@
 #include <queue>
 
 #include "ilp/simplex.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 
 namespace clara::ilp {
 
@@ -47,11 +49,14 @@ int pick_branch_var(const Model& model, const std::vector<double>& values, doubl
 }  // namespace
 
 Solution solve_milp(const Model& model, const MilpOptions& options) {
+  CLARA_TRACE_SCOPE("ilp/branch_and_bound");
   if (!model.has_integers()) return solve_lp(model);
 
   Solution incumbent;
   incumbent.status = SolveStatus::kInfeasible;
   incumbent.objective = kInf;
+  std::size_t total_pivots = 0;
+  std::vector<IncumbentStep> trajectory;
 
   auto root = std::make_shared<Node>();
   root->lo.resize(model.num_vars());
@@ -83,6 +88,7 @@ Solution solve_milp(const Model& model, const MilpOptions& options) {
     lp_options.lo_override = node->lo;
     lp_options.hi_override = node->hi;
     const Solution relax = solve_lp(model, lp_options);
+    total_pivots += relax.pivots;
     if (relax.status == SolveStatus::kInfeasible) continue;
     if (relax.status == SolveStatus::kUnbounded) {
       // An unbounded relaxation of a bounded-integer problem means the
@@ -111,6 +117,7 @@ Solution solve_milp(const Model& model, const MilpOptions& options) {
       if (candidate.objective < incumbent.objective) {
         incumbent = candidate;
         incumbent.status = SolveStatus::kOptimal;
+        trajectory.push_back({explored, candidate.objective});
       }
       if (options.rel_gap > 0.0 && !open.empty()) {
         const double bound = open.top()->bound;
@@ -135,7 +142,15 @@ Solution solve_milp(const Model& model, const MilpOptions& options) {
   }
 
   incumbent.nodes_explored = explored;
+  incumbent.pivots = total_pivots;
+  incumbent.incumbents = std::move(trajectory);
   if (incumbent.status != SolveStatus::kOptimal && hit_limit) incumbent.status = SolveStatus::kLimit;
+
+  auto& registry = obs::metrics();
+  registry.counter("ilp/solves").inc();
+  registry.counter("ilp/nodes_explored").inc(explored);
+  registry.counter("ilp/pivots").inc(total_pivots);
+  registry.counter("ilp/incumbents").inc(incumbent.incumbents.size());
   return incumbent;
 }
 

@@ -7,6 +7,8 @@
 
 #include "common/strings.hpp"
 #include "ilp/solver.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "passes/costmodel.hpp"
 
 namespace clara::mapping {
@@ -137,6 +139,7 @@ std::vector<NodeId> Mapper::state_regions() const {
 }
 
 Result<Mapping> Mapper::map(const DataflowGraph& graph, const CostHints& hints, const MapOptions& options) const {
+  CLARA_TRACE_SCOPE("mapping/map");
   const cir::Function& fn = *graph.function();
   const auto& nodes = graph.nodes();
   const auto regions = state_regions();
@@ -282,6 +285,8 @@ Result<Mapping> Mapper::map(const DataflowGraph& graph, const CostHints& hints, 
 
   ilp::MilpOptions milp_options;
   milp_options.max_nodes = options.max_ilp_nodes;
+  obs::metrics().gauge("mapping/ilp_variables").set(static_cast<double>(model.num_vars()));
+  obs::metrics().gauge("mapping/ilp_constraints").set(static_cast<double>(model.constraints().size()));
   const auto solution = ilp::solve_milp(model, milp_options);
   if (solution.status == ilp::SolveStatus::kInfeasible) {
     return make_error(strf("mapping infeasible on %s at %.0f pps (capacity or ordering constraints)",
@@ -297,7 +302,10 @@ Result<Mapping> Mapper::map(const DataflowGraph& graph, const CostHints& hints, 
   Mapping mapping;
   mapping.status = solution.status;
   mapping.ilp_nodes_explored = solution.nodes_explored;
+  mapping.ilp_pivots = solution.pivots;
+  mapping.ilp_incumbents = solution.incumbents;
   mapping.objective = solution.objective;
+  obs::metrics().gauge("mapping/objective_cycles").set(solution.objective);
   mapping.node_pool.assign(nodes.size(), 0);
   for (std::size_t i = 0; i < nodes.size(); ++i) {
     for (std::size_t p = 0; p < pools_.size(); ++p) {
@@ -315,6 +323,7 @@ Result<Mapping> Mapper::map(const DataflowGraph& graph, const CostHints& hints, 
 
 Result<Mapping> Mapper::map_greedy(const DataflowGraph& graph, const CostHints& hints,
                                    const MapOptions& options) const {
+  CLARA_TRACE_SCOPE("mapping/greedy");
   const cir::Function& fn = *graph.function();
   const auto& nodes = graph.nodes();
   const auto regions = state_regions();

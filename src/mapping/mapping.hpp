@@ -50,6 +50,11 @@ struct Mapping {
   double objective = 0.0;
   ilp::SolveStatus status = ilp::SolveStatus::kInfeasible;
   std::size_t ilp_nodes_explored = 0;
+  /// Simplex pivots across all LP relaxations of the solve.
+  std::size_t ilp_pivots = 0;
+  /// Incumbent trajectory of the branch-and-bound search (how the best
+  /// integer objective improved over explored nodes).
+  std::vector<ilp::IncumbentStep> ilp_incumbents;
   bool greedy = false;
 };
 

@@ -5,6 +5,9 @@
 #include <cmath>
 #include <deque>
 
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+
 namespace clara::nicsim {
 
 NicConfig netronome_config() { return NicConfig{}; }
@@ -16,7 +19,7 @@ NicApi::NicApi(NicSim& sim, const workload::PacketMeta& pkt, Cycles start, int t
     : sim_(sim), pkt_(&pkt), now_(start), npu_(thread_id / sim.config_.threads_per_npu), pkt_seq_(pkt_seq) {}
 
 void NicApi::compute(Cycles cycles) {
-  now_ += cycles;
+  charge(obs::Component::kCompute, cycles);
   sim_.core_busy_[static_cast<std::size_t>(npu_)] += cycles;
 }
 
@@ -26,21 +29,21 @@ void NicApi::mem_access(MemLevel level, std::uint64_t addr, bool write) {
   switch (level) {
     case MemLevel::kLocal:
       ++sim_.local_accesses_;
-      now_ += cfg.local_latency;
+      charge(obs::Component::kMemLocal, cfg.local_latency);
       break;
     case MemLevel::kCtm:
       ++sim_.ctm_accesses_;
-      now_ += cfg.ctm_latency;
+      charge(obs::Component::kMemCtm, cfg.ctm_latency);
       break;
     case MemLevel::kImem:
       ++sim_.imem_accesses_;
-      now_ += cfg.imem_latency;
+      charge(obs::Component::kMemImem, cfg.imem_latency);
       break;
     case MemLevel::kEmem: {
       ++sim_.emem_accesses_;
       const bool hit = sim_.emem_cache_.access(addr);
       if (hit) {
-        now_ += cfg.emem_cache_hit_latency;
+        charge(obs::Component::kEmemCacheHit, cfg.emem_cache_hit_latency);
       } else {
         // DRAM: full latency for the requester. The controller tracks
         // bandwidth occupancy for utilization/energy reporting only —
@@ -49,7 +52,7 @@ void NicApi::mem_access(MemLevel level, std::uint64_t addr, bool write) {
         // serialize one packet's early accesses behind another's late
         // ones (the deep-banked controller overlaps them in reality).
         sim_.emem_controller_.request(now_, cfg.emem_occupancy);
-        now_ += cfg.emem_latency;
+        charge(obs::Component::kEmemCacheMiss, cfg.emem_latency);
       }
       break;
     }
@@ -100,7 +103,9 @@ std::uint64_t NicApi::csum(std::uint32_t len, bool use_accel) {
   const NicConfig& cfg = sim_.config_;
   const auto service = static_cast<Cycles>(cfg.csum_accel_base + cfg.csum_accel_per_byte * len);
   if (use_accel) {
-    now_ = sim_.csum_unit_.request(now_, service);
+    // The reservation delta covers queueing behind other packets plus
+    // the service itself — the accelerator stall the breakdown reports.
+    charge(obs::Component::kCsumAccel, sim_.csum_unit_.request(now_, service) - now_);
   } else {
     compute(service + cfg.csum_sw_extra);
   }
@@ -111,7 +116,7 @@ void NicApi::crypto(std::uint32_t len, bool use_accel) {
   const NicConfig& cfg = sim_.config_;
   const auto service = static_cast<Cycles>(cfg.crypto_base + cfg.crypto_per_byte * len);
   if (use_accel) {
-    now_ = sim_.crypto_unit_.request(now_, service);
+    charge(obs::Component::kCryptoAccel, sim_.crypto_unit_.request(now_, service) - now_);
   } else {
     compute(static_cast<Cycles>(service * cfg.crypto_sw_factor));
   }
@@ -144,11 +149,12 @@ bool NicApi::lpm_lookup(LpmTable& table, std::uint64_t key, bool use_flow_cache)
   // serially-reusable stage; a miss then walks the DRAM match-action
   // tables, which is memory-latency-bound and overlaps across threads,
   // so it is charged as wait time rather than unit occupancy.
-  now_ = sim_.lpm_unit_.request(now_, cfg.flow_cache_hit);
+  charge(obs::Component::kLpmEngine, sim_.lpm_unit_.request(now_, cfg.flow_cache_hit) - now_);
   if (!outcome.flow_cache_hit) {
-    now_ += static_cast<Cycles>((cfg.lpm_dram_base +
-                                 cfg.lpm_dram_per_entry * static_cast<double>(table.rule_entries())) *
-                                outcome.walk_factor);
+    charge(obs::Component::kLpmEngine,
+           static_cast<Cycles>((cfg.lpm_dram_base +
+                                cfg.lpm_dram_per_entry * static_cast<double>(table.rule_entries())) *
+                               outcome.walk_factor));
   }
   return outcome.flow_cache_hit;
 }
@@ -200,12 +206,12 @@ void NicApi::emit() {
   // serialize fast packets behind slow ones. Its utilization is far from
   // saturation at the modeled rates, so charge latency and track load.
   sim_.egress_hub_.request(now_, sim_.config_.hub_service);  // busy accounting only
-  now_ += sim_.config_.hub_service + sim_.config_.egress_base;
+  charge(obs::Component::kEgress, sim_.config_.hub_service + sim_.config_.egress_base);
   done_ = true;
 }
 
 void NicApi::drop() {
-  now_ += sim_.config_.egress_base / 4;
+  charge(obs::Component::kEgress, sim_.config_.egress_base / 4);
   done_ = true;
 }
 
@@ -247,6 +253,7 @@ void NicSim::reset_timeline() {
 }
 
 RunStats NicSim::run(NicProgram& program, const workload::Trace& trace) {
+  CLARA_TRACE_SCOPE("nicsim/run");
   RunStats stats;
   stats.clock_hz = config_.clock_hz;
   stats.offered_pps = trace.profile.pps;
@@ -312,6 +319,13 @@ RunStats NicSim::run(NicProgram& program, const workload::Trace& trace) {
     thread_free_[thread] = api.now_;
     last_completion = std::max(last_completion, api.now_);
 
+    // Attribution: on-ramp (hub + DMA) and scheduling wait are charged
+    // here; everything after `start` was charged inside NicApi. The
+    // three pieces telescope to api.now_ - arrival exactly.
+    api.bd_.add(obs::Component::kIngress, (hub_done - arrival) + dma);
+    api.bd_.add(obs::Component::kQueueWait, start - ready);
+    stats.breakdown.add(api.bd_);
+
     const auto latency = static_cast<double>(api.now_ - arrival);
     stats.latency.add(latency);
     if (pkt.is_tcp()) {
@@ -352,6 +366,12 @@ RunStats NicSim::run(NicProgram& program, const workload::Trace& trace) {
                               : 0.0;
     stats.energy_watts = config_.energy_idle_watts + (span_s > 0.0 ? total_nj * 1e-9 / span_s : 0.0);
   }
+
+  auto& registry = obs::metrics();
+  registry.counter("nicsim/packets").inc(stats.packets);
+  registry.counter("nicsim/drops").inc(stats.drops);
+  auto& hist = registry.histogram("nicsim/latency_cycles");
+  for (const auto v : stats.latency.samples()) hist.observe(v);
   return stats;
 }
 
@@ -377,7 +397,7 @@ Cycles NicSim::measure_one(NicProgram& program, const workload::PacketMeta& pkt)
   if (frame > config_.ctm_pkt_residency) {
     dma += static_cast<Cycles>(config_.spill_per_byte * static_cast<double>(frame - config_.ctm_pkt_residency));
   }
-  api.now_ = config_.hub_service + dma;
+  api.charge(obs::Component::kIngress, config_.hub_service + dma);
   program.handle(api);
   if (!api.done_) api.emit();
   return api.now_;

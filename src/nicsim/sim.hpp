@@ -38,6 +38,7 @@
 #include "nicsim/cache.hpp"
 #include "nicsim/config.hpp"
 #include "nicsim/tables.hpp"
+#include "obs/breakdown.hpp"
 #include "workload/tracegen.hpp"
 
 namespace clara::nicsim {
@@ -78,6 +79,11 @@ struct RunStats {
   /// at the offered rate (idle + dynamic), from exact busy counters.
   double energy_nj_per_packet = 0.0;
   double energy_watts = 0.0;
+  /// Measured per-packet latency attribution. Every advance of a
+  /// packet's timeline is charged to exactly one component, so the
+  /// component means sum to mean_latency() in exact integer cycles
+  /// (before the per-packet division).
+  obs::BreakdownReport breakdown;
 
   [[nodiscard]] double mean_latency() const { return latency.mean(); }
   [[nodiscard]] double p99_latency() const { return latency.percentile(0.99); }
@@ -133,11 +139,20 @@ class NicApi {
   /// Access to packet byte at `offset` (CTM head or spilled EMEM tail).
   void packet_access(std::uint32_t offset);
 
+  /// Advances the packet's timeline and charges the delta to one
+  /// breakdown component — the only way now_ moves inside the API, so
+  /// the components provably sum to the processing time.
+  void charge(obs::Component c, Cycles delta) {
+    now_ += delta;
+    bd_.add(c, delta);
+  }
+
   NicSim& sim_;
   const workload::PacketMeta* pkt_;
   Cycles now_;
   int npu_;
   std::uint64_t pkt_seq_;
+  obs::PacketBreakdown bd_;
   bool done_ = false;
 };
 

@@ -1,0 +1,96 @@
+#include "obs/breakdown.hpp"
+
+#include "common/strings.hpp"
+#include "common/table.hpp"
+
+namespace clara::obs {
+
+const char* component_name(Component c) {
+  switch (c) {
+    case Component::kIngress: return "ingress";
+    case Component::kQueueWait: return "queue-wait";
+    case Component::kCompute: return "compute";
+    case Component::kCsumAccel: return "csum-accel";
+    case Component::kCryptoAccel: return "crypto-accel";
+    case Component::kLpmEngine: return "lpm-engine";
+    case Component::kMemLocal: return "mem-local";
+    case Component::kMemCtm: return "mem-ctm";
+    case Component::kMemImem: return "mem-imem";
+    case Component::kEmemCacheHit: return "emem-cache-hit";
+    case Component::kEmemCacheMiss: return "emem-cache-miss";
+    case Component::kEgress: return "egress";
+  }
+  return "?";
+}
+
+Cycles PacketBreakdown::total() const {
+  Cycles sum = 0;
+  for (const Cycles c : cycles) sum += c;
+  return sum;
+}
+
+double BreakdownMeans::total() const {
+  double sum = 0.0;
+  for (const double c : cycles) sum += c;
+  return sum;
+}
+
+void BreakdownMeans::add_scaled(const BreakdownMeans& other, double weight) {
+  for (std::size_t i = 0; i < kComponentCount; ++i) cycles[i] += weight * other.cycles[i];
+}
+
+void BreakdownReport::add(const PacketBreakdown& pb) {
+  ++packets_;
+  for (std::size_t i = 0; i < kComponentCount; ++i) {
+    acc_[i].add(static_cast<double>(pb.cycles[i]));
+  }
+}
+
+BreakdownMeans BreakdownReport::means() const {
+  BreakdownMeans m;
+  for (std::size_t i = 0; i < kComponentCount; ++i) m.cycles[i] = acc_[i].mean();
+  return m;
+}
+
+double BreakdownReport::mean_total_cycles() const { return means().total(); }
+
+std::string BreakdownReport::render() const {
+  const double total = mean_total_cycles();
+  TextTable table({"component", "mean cyc", "share", "max cyc"});
+  for (std::size_t i = 0; i < kComponentCount; ++i) {
+    if (acc_[i].max() <= 0.0) continue;
+    table.add_row({component_name(static_cast<Component>(i)), strf("%.1f", acc_[i].mean()),
+                   strf("%.1f%%", total > 0.0 ? acc_[i].mean() / total * 100.0 : 0.0),
+                   strf("%.0f", acc_[i].max())});
+  }
+  table.add_row({"total", strf("%.1f", total), "100.0%", ""});
+  return table.render();
+}
+
+std::string render_breakdown(const BreakdownMeans& means) {
+  const double total = means.total();
+  TextTable table({"component", "mean cyc", "share"});
+  for (std::size_t i = 0; i < kComponentCount; ++i) {
+    if (means.cycles[i] <= 0.0) continue;
+    table.add_row({component_name(static_cast<Component>(i)), strf("%.1f", means.cycles[i]),
+                   strf("%.1f%%", total > 0.0 ? means.cycles[i] / total * 100.0 : 0.0)});
+  }
+  table.add_row({"total", strf("%.1f", total), "100.0%"});
+  return table.render();
+}
+
+std::string render_breakdown_comparison(const BreakdownMeans& predicted,
+                                        const BreakdownMeans& simulated) {
+  TextTable table({"component", "predicted cyc", "simulated cyc", "delta"});
+  for (std::size_t i = 0; i < kComponentCount; ++i) {
+    if (predicted.cycles[i] <= 0.0 && simulated.cycles[i] <= 0.0) continue;
+    table.add_row({component_name(static_cast<Component>(i)), strf("%.1f", predicted.cycles[i]),
+                   strf("%.1f", simulated.cycles[i]),
+                   strf("%+.1f", predicted.cycles[i] - simulated.cycles[i])});
+  }
+  table.add_row({"total", strf("%.1f", predicted.total()), strf("%.1f", simulated.total()),
+                 strf("%+.1f", predicted.total() - simulated.total())});
+  return table.render();
+}
+
+}  // namespace clara::obs

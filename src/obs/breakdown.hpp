@@ -1,0 +1,89 @@
+// Per-packet latency attribution — where a packet's cycles went.
+//
+// The simulator charges every advance of a packet's timeline to exactly
+// one Component, so a PacketBreakdown's components sum to the packet's
+// end-to-end latency by construction. The predictor produces the same
+// decomposition analytically (BreakdownMeans), enabling side-by-side
+// predicted-vs-simulated attribution: the per-component gap shows *why*
+// the model disagrees with the simulator (e.g. EMEM cache hit-rate
+// estimate vs. exact cache contents), not just by how much.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string>
+
+#include "common/stats.hpp"
+#include "common/types.hpp"
+
+namespace clara::obs {
+
+enum class Component : std::uint8_t {
+  kIngress = 0,     // ingress hub wait+service and DMA/spill into CTM
+  kQueueWait,       // waiting for a free hardware thread
+  kCompute,         // NPU instruction execution (incl. software vcalls)
+  kCsumAccel,       // checksum unit wait + service
+  kCryptoAccel,     // crypto engine wait + service
+  kLpmEngine,       // LPM engine front-end + DRAM match-action walk
+  kMemLocal,        // local-memory accesses
+  kMemCtm,          // CTM accesses (incl. packet head bytes)
+  kMemImem,         // IMEM accesses
+  kEmemCacheHit,    // EMEM accesses served by the cache
+  kEmemCacheMiss,   // EMEM accesses going to DRAM
+  kEgress,          // egress hub + wire-out (or drop handling)
+};
+inline constexpr std::size_t kComponentCount = 12;
+
+const char* component_name(Component c);
+
+/// One packet's cycle attribution, filled by the simulator.
+struct PacketBreakdown {
+  std::array<Cycles, kComponentCount> cycles{};
+
+  void add(Component c, Cycles d) { cycles[static_cast<std::size_t>(c)] += d; }
+  [[nodiscard]] Cycles total() const;
+};
+
+/// Mean per-packet attribution in cycles (doubles; the predictor's
+/// analytic decomposition, and the aggregate view of simulated runs).
+struct BreakdownMeans {
+  std::array<double, kComponentCount> cycles{};
+
+  void add(Component c, double d) { cycles[static_cast<std::size_t>(c)] += d; }
+  [[nodiscard]] double at(Component c) const { return cycles[static_cast<std::size_t>(c)]; }
+  [[nodiscard]] double total() const;
+  /// this += weight * other (per-class aggregation in the predictor).
+  void add_scaled(const BreakdownMeans& other, double weight);
+};
+
+/// Aggregates per-packet breakdowns over a simulated run: mean and
+/// spread per component.
+class BreakdownReport {
+ public:
+  void add(const PacketBreakdown& pb);
+
+  [[nodiscard]] std::uint64_t packets() const { return packets_; }
+  [[nodiscard]] const Accumulator& component(Component c) const {
+    return acc_[static_cast<std::size_t>(c)];
+  }
+  [[nodiscard]] BreakdownMeans means() const;
+  /// Sum of the per-component means == mean end-to-end latency.
+  [[nodiscard]] double mean_total_cycles() const;
+
+  /// ASCII table: component | mean cycles | share | max cycles.
+  [[nodiscard]] std::string render() const;
+
+ private:
+  std::array<Accumulator, kComponentCount> acc_;
+  std::uint64_t packets_ = 0;
+};
+
+/// ASCII table of a single attribution (the predictor's view).
+std::string render_breakdown(const BreakdownMeans& means);
+
+/// Side-by-side predicted-vs-simulated attribution with per-component
+/// deltas.
+std::string render_breakdown_comparison(const BreakdownMeans& predicted,
+                                        const BreakdownMeans& simulated);
+
+}  // namespace clara::obs

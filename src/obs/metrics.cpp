@@ -1,0 +1,167 @@
+#include "obs/metrics.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+#include "common/strings.hpp"
+
+namespace clara::obs {
+
+namespace {
+
+std::size_t bucket_index(double x) {
+  if (!(x >= 1.0)) return 0;  // x < 1 and NaN both land in bucket 0
+  const auto idx = static_cast<std::size_t>(std::floor(std::log2(x))) + 1;
+  return std::min(idx, LatencyHistogram::kBuckets - 1);
+}
+
+/// Geometric midpoint of bucket i's range (representative value used by
+/// the quantile estimate).
+double bucket_mid(std::size_t i) {
+  if (i == 0) return 0.5;
+  const double lo = std::exp2(static_cast<double>(i - 1));
+  return lo * std::sqrt(2.0);
+}
+
+std::string instrument_label(const std::pair<std::string, std::string>& key) {
+  return key.second.empty() ? key.first : key.first + "{" + key.second + "}";
+}
+
+}  // namespace
+
+void LatencyHistogram::observe(double x) {
+  std::lock_guard<std::mutex> lock(mu_);
+  acc_.add(x);
+  ++buckets_[bucket_index(x)];
+}
+
+void LatencyHistogram::merge(const LatencyHistogram& other) {
+  // Lock ordering by address avoids deadlock when two threads merge the
+  // same pair in opposite directions.
+  if (this == &other) return;
+  std::lock(mu_, other.mu_);
+  std::lock_guard<std::mutex> a(mu_, std::adopt_lock);
+  std::lock_guard<std::mutex> b(other.mu_, std::adopt_lock);
+  acc_.merge(other.acc_);
+  for (std::size_t i = 0; i < kBuckets; ++i) buckets_[i] += other.buckets_[i];
+}
+
+std::uint64_t LatencyHistogram::count() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return acc_.count();
+}
+
+Accumulator LatencyHistogram::moments() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return acc_;
+}
+
+double LatencyHistogram::percentile(double q) const {
+  q = std::clamp(q, 0.0, 1.0);
+  std::lock_guard<std::mutex> lock(mu_);
+  const std::uint64_t n = acc_.count();
+  if (n == 0) return 0.0;
+  const auto rank = static_cast<std::uint64_t>(q * static_cast<double>(n - 1));
+  std::uint64_t seen = 0;
+  for (std::size_t i = 0; i < kBuckets; ++i) {
+    seen += buckets_[i];
+    if (seen > rank) return std::clamp(bucket_mid(i), acc_.min(), acc_.max());
+  }
+  return acc_.max();
+}
+
+std::array<std::uint64_t, LatencyHistogram::kBuckets> LatencyHistogram::buckets() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return buckets_;
+}
+
+void LatencyHistogram::reset() {
+  std::lock_guard<std::mutex> lock(mu_);
+  acc_ = Accumulator{};
+  buckets_.fill(0);
+}
+
+Counter& MetricsRegistry::counter(const std::string& name, const std::string& labels) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto& slot = counters_[{name, labels}];
+  if (!slot) slot = std::make_unique<Counter>();
+  return *slot;
+}
+
+Gauge& MetricsRegistry::gauge(const std::string& name, const std::string& labels) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto& slot = gauges_[{name, labels}];
+  if (!slot) slot = std::make_unique<Gauge>();
+  return *slot;
+}
+
+LatencyHistogram& MetricsRegistry::histogram(const std::string& name, const std::string& labels) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto& slot = histograms_[{name, labels}];
+  if (!slot) slot = std::make_unique<LatencyHistogram>();
+  return *slot;
+}
+
+std::string MetricsRegistry::render_text() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::ostringstream os;
+  for (const auto& [key, c] : counters_) {
+    os << instrument_label(key) << " " << c->value() << "\n";
+  }
+  for (const auto& [key, g] : gauges_) {
+    os << instrument_label(key) << " " << strf("%g", g->value()) << "\n";
+  }
+  for (const auto& [key, h] : histograms_) {
+    const Accumulator m = h->moments();
+    os << instrument_label(key) << " count=" << m.count() << strf(" mean=%g", m.mean())
+       << strf(" p50=%g", h->percentile(0.5)) << strf(" p99=%g", h->percentile(0.99))
+       << strf(" max=%g", m.max()) << "\n";
+  }
+  return os.str();
+}
+
+std::string MetricsRegistry::to_json() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::ostringstream os;
+  os << "{\"counters\":{";
+  bool first = true;
+  for (const auto& [key, c] : counters_) {
+    if (!first) os << ",";
+    first = false;
+    os << "\"" << instrument_label(key) << "\":" << c->value();
+  }
+  os << "},\"gauges\":{";
+  first = true;
+  for (const auto& [key, g] : gauges_) {
+    if (!first) os << ",";
+    first = false;
+    os << "\"" << instrument_label(key) << "\":" << strf("%.17g", g->value());
+  }
+  os << "},\"histograms\":{";
+  first = true;
+  for (const auto& [key, h] : histograms_) {
+    if (!first) os << ",";
+    first = false;
+    const Accumulator m = h->moments();
+    os << "\"" << instrument_label(key) << "\":{\"count\":" << m.count()
+       << strf(",\"mean\":%.17g", m.mean()) << strf(",\"p50\":%.17g", h->percentile(0.5))
+       << strf(",\"p99\":%.17g", h->percentile(0.99)) << strf(",\"max\":%.17g", m.max()) << "}";
+  }
+  os << "}}";
+  return os.str();
+}
+
+void MetricsRegistry::reset() {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto& [key, c] : counters_) c->reset();
+  for (auto& [key, g] : gauges_) g->reset();
+  for (auto& [key, h] : histograms_) h->reset();
+}
+
+MetricsRegistry& metrics() {
+  static MetricsRegistry registry;
+  return registry;
+}
+
+}  // namespace clara::obs

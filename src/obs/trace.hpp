@@ -1,0 +1,105 @@
+// Span-based wall-clock tracer for the Clara pipeline.
+//
+// Usage: wrap a phase in an RAII scope —
+//
+//   void Mapper::map(...) {
+//     CLARA_TRACE_SCOPE("mapping/solve");
+//     ...
+//   }
+//
+// Scopes nest naturally (per-thread parent stack) and record wall-clock
+// spans into the process-wide Tracer. Tracing is off by default: a
+// disabled scope is one relaxed atomic load. When enabled, the recorded
+// spans export as
+//
+//   * Chrome trace-event JSON (to_chrome_json) — load the file at
+//     chrome://tracing or https://ui.perfetto.dev;
+//   * an ASCII flame summary (flame_summary) — per span path: call
+//     count, total/self wall time.
+//
+// Span names follow the "<module>/<phase>" convention used by the
+// metrics registry (docs/observability.md).
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace clara::obs {
+
+struct TraceSpan {
+  static constexpr std::uint32_t kNoParent = ~std::uint32_t{0};
+
+  std::string name;
+  std::uint32_t tid = 0;     // dense per-thread id (chrome "tid")
+  std::uint32_t parent = kNoParent;  // index into the tracer's span list
+  std::uint32_t depth = 0;
+  std::int64_t start_ns = 0;  // since the tracer's epoch
+  std::int64_t dur_ns = -1;   // -1 while the span is still open
+};
+
+class Tracer {
+ public:
+  void set_enabled(bool on) { enabled_.store(on, std::memory_order_relaxed); }
+  [[nodiscard]] bool enabled() const { return enabled_.load(std::memory_order_relaxed); }
+
+  /// Opens a span on the calling thread; returns its index. Pair with
+  /// end_span on the same thread (TraceScope does this).
+  std::size_t begin_span(std::string name);
+  void end_span(std::size_t index);
+
+  [[nodiscard]] std::vector<TraceSpan> snapshot() const;
+  [[nodiscard]] std::size_t span_count() const;
+
+  /// Chrome trace-event JSON ("X" complete events, ts/dur in us).
+  [[nodiscard]] std::string to_chrome_json() const;
+  /// ASCII flame summary: one row per distinct span path, sorted by
+  /// total time, at most `max_rows` rows.
+  [[nodiscard]] std::string flame_summary(std::size_t max_rows = 24) const;
+
+  /// Drops all recorded spans (open scopes on other threads must not be
+  /// live — call between pipeline runs, as the tests do).
+  void clear();
+
+ private:
+  std::atomic<bool> enabled_{false};
+  mutable std::mutex mu_;
+  std::vector<TraceSpan> spans_;
+  std::chrono::steady_clock::time_point epoch_ = std::chrono::steady_clock::now();
+};
+
+/// Process-wide tracer used by the CLARA_TRACE_SCOPE instrumentation.
+Tracer& tracer();
+
+class TraceScope {
+ public:
+  explicit TraceScope(const char* name) {
+    if (tracer().enabled()) {
+      index_ = tracer().begin_span(name);
+      armed_ = true;
+    }
+  }
+  ~TraceScope() {
+    if (armed_) tracer().end_span(index_);
+  }
+  TraceScope(const TraceScope&) = delete;
+  TraceScope& operator=(const TraceScope&) = delete;
+
+ private:
+  std::size_t index_ = 0;
+  bool armed_ = false;
+};
+
+/// Escapes a string for embedding in a JSON string literal (shared by
+/// the trace and metrics exporters).
+std::string json_escape(const std::string& s);
+
+#define CLARA_OBS_CONCAT_IMPL(a, b) a##b
+#define CLARA_OBS_CONCAT(a, b) CLARA_OBS_CONCAT_IMPL(a, b)
+#define CLARA_TRACE_SCOPE(name) \
+  ::clara::obs::TraceScope CLARA_OBS_CONCAT(clara_trace_scope_, __LINE__)(name)
+
+}  // namespace clara::obs

@@ -4,6 +4,8 @@
 
 #include "cir/builder.hpp"
 #include "cir/vcalls.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 
 namespace clara::passes {
 
@@ -36,6 +38,7 @@ void adapt_args(VCall v, Instr& instr) {
 }  // namespace
 
 SubstitutionReport substitute_framework_apis(cir::Function& fn) {
+  CLARA_TRACE_SCOPE("passes/api_subst");
   SubstitutionReport report;
   for (auto& block : fn.blocks) {
     for (auto& instr : block.instrs) {
@@ -55,6 +58,7 @@ SubstitutionReport substitute_framework_apis(cir::Function& fn) {
       ++report.substituted;
     }
   }
+  obs::metrics().counter("passes/api_calls_substituted").inc(report.substituted);
   return report;
 }
 

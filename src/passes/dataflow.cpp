@@ -3,6 +3,7 @@
 #include <cassert>
 
 #include "common/strings.hpp"
+#include "obs/trace.hpp"
 
 namespace clara::passes {
 
@@ -57,6 +58,7 @@ bool site_of(const cir::Function& fn, std::uint32_t block, std::uint32_t instr_i
 }  // namespace
 
 DataflowGraph DataflowGraph::build(const cir::Function& fn, const CostHints& hints) {
+  CLARA_TRACE_SCOPE("passes/dataflow");
   DataflowGraph g;
   g.fn_ = &fn;
   const Cfg cfg(fn);

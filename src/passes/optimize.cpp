@@ -2,6 +2,9 @@
 
 #include <algorithm>
 #include <map>
+
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include <optional>
 #include <vector>
 
@@ -225,6 +228,7 @@ bool remove_unreachable(cir::Function& fn, OptimizeReport& report) {
 }  // namespace
 
 OptimizeReport optimize(cir::Function& fn) {
+  CLARA_TRACE_SCOPE("passes/optimize");
   OptimizeReport report;
   bool changed = true;
   int rounds = 0;
@@ -235,6 +239,7 @@ OptimizeReport optimize(cir::Function& fn) {
     changed |= remove_unreachable(fn, report);
     changed |= dce_pass(fn, report);
   }
+  obs::metrics().counter("passes/instrs_optimized").inc(report.total());
   return report;
 }
 

@@ -6,6 +6,8 @@
 
 #include "cir/builder.hpp"
 #include "cir/vcalls.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "passes/cfg.hpp"
 
 namespace clara::passes {
@@ -156,6 +158,7 @@ std::set<std::uint32_t> escaping_defs(const cir::Function& fn, std::uint32_t blo
 }  // namespace
 
 PatternReport collapse_packet_loops(cir::Function& fn) {
+  CLARA_TRACE_SCOPE("passes/patterns");
   PatternReport report;
   const Cfg cfg(fn);
   const auto loops = find_loops(fn, cfg);
@@ -197,6 +200,7 @@ PatternReport collapse_packet_loops(cir::Function& fn) {
       ++report.scan_loops;
     }
   }
+  obs::metrics().counter("passes/loops_collapsed").inc(report.total());
   return report;
 }
 

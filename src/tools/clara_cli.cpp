@@ -30,6 +30,10 @@
 #include "cir/verify.hpp"
 #include "common/strings.hpp"
 #include "common/table.hpp"
+#include "common/version.hpp"
+#include "obs/breakdown.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "core/clara.hpp"
 #include "core/adversarial.hpp"
 #include "core/energy.hpp"
@@ -68,10 +72,16 @@ Args parse_args(int argc, char** argv) {
   for (int i = 2; i < argc; ++i) {
     std::string token = argv[i];
     if (starts_with(token, "--")) {
-      const std::string key = token.substr(2);
+      std::string key = token.substr(2);
+      // --key=value form.
+      if (const auto eq = key.find('='); eq != std::string::npos) {
+        args.options[key.substr(0, eq)] = key.substr(eq + 1);
+        continue;
+      }
       // Flags without values.
       if (key == "lowered" || key == "greedy" || key == "no-patterns" || key == "paths" ||
-          key == "energy" || key == "partial" || key == "csum-sw" || key == "no-flow-cache") {
+          key == "energy" || key == "partial" || key == "csum-sw" || key == "no-flow-cache" ||
+          key == "breakdown") {
         args.options[key] = "1";
       } else if (i + 1 < argc) {
         args.options[key] = argv[++i];
@@ -184,6 +194,9 @@ std::optional<workload::Trace> load_trace(const Args& args) {
     std::fprintf(stderr, "workload error: %s\n", profile.error().message.c_str());
     return std::nullopt;
   }
+  // Echo the effective seed so any run can be reproduced exactly.
+  std::fprintf(stderr, "workload seed %llu: %s\n", (unsigned long long)profile.value().seed,
+               profile.value().serialize().c_str());
   return workload::generate_trace(profile.value());
 }
 
@@ -254,6 +267,11 @@ int cmd_analyze(const Args& args) {
     classes.add_row({cls.name, strf("%.1f%%", cls.fraction * 100), strf("%.0f", cls.latency_cycles)});
   }
   std::printf("%s\n%s", classes.render().c_str(), a.report.c_str());
+
+  if (args.has("breakdown")) {
+    std::printf("\npredicted latency attribution (sums to the mean):\n%s",
+                obs::render_breakdown(a.prediction.breakdown).c_str());
+  }
 
   // Re-derive the graph/mapping context for the optional extras.
   const auto hints = core::hints_from_trace(*trace, analyzer.profile());
@@ -327,6 +345,9 @@ int cmd_simulate(const Args& args) {
   std::printf("caches   : EMEM hit %.2f, flow cache hit %.2f\n", stats.emem_cache_hit_rate,
               stats.flow_cache_hit_rate);
   std::printf("energy   : %.0f nJ/packet, %.1f W\n", stats.energy_nj_per_packet, stats.energy_watts);
+  if (args.has("breakdown")) {
+    std::printf("\nmeasured latency attribution (sums to the mean):\n%s", stats.breakdown.render().c_str());
+  }
   return 0;
 }
 
@@ -409,13 +430,16 @@ void usage() {
       "  adversarial --nf <name> [--nic <profile>] [--workload \"<spec>\"]\n"
       "  microbench\n"
       "  trace-gen  --workload \"<spec>\" --out <f.cltr>\n"
-      "  trace-info <f.cltr>\n");
+      "  trace-info <f.cltr>\n\n"
+      "observability (any command):\n"
+      "  --trace-out=<f.json>    record pipeline spans; write Chrome trace-event JSON\n"
+      "                          (open at chrome://tracing) + flame summary on stderr\n"
+      "  --metrics-out=<f>       dump the metrics registry (.json -> JSON, else text)\n"
+      "  --breakdown             per-packet latency attribution (analyze: predicted;\n"
+      "                          simulate: measured; components sum to the mean)\n");
 }
 
-}  // namespace
-
-int main(int argc, char** argv) {
-  const Args args = parse_args(argc, argv);
+int run_command(const Args& args) {
   if (args.command == "list-nfs") return cmd_list_nfs();
   if (args.command == "list-nics") return cmd_list_nics();
   if (args.command == "print") return cmd_print(args);
@@ -427,4 +451,42 @@ int main(int argc, char** argv) {
   if (args.command == "trace-info") return cmd_trace_info(args);
   usage();
   return args.command.empty() || args.command == "help" || args.command == "--help" ? 0 : 1;
+}
+
+bool write_file(const std::string& path, const std::string& content) {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) {
+    std::fprintf(stderr, "cannot write %s\n", path.c_str());
+    return false;
+  }
+  out << content;
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const Args args = parse_args(argc, argv);
+  std::fprintf(stderr, "clara %s (%s)\n", kVersionString, build_info());
+
+  const std::string trace_out = args.get("trace-out");
+  if (!trace_out.empty()) obs::tracer().set_enabled(true);
+
+  const int rc = run_command(args);
+
+  if (!trace_out.empty()) {
+    if (write_file(trace_out, obs::tracer().to_chrome_json())) {
+      std::fprintf(stderr, "wrote %zu spans to %s (open at chrome://tracing)\n",
+                   obs::tracer().span_count(), trace_out.c_str());
+    }
+    std::fprintf(stderr, "%s", obs::tracer().flame_summary().c_str());
+  }
+  const std::string metrics_out = args.get("metrics-out");
+  if (!metrics_out.empty()) {
+    const bool json = ends_with(metrics_out, ".json");
+    if (write_file(metrics_out, json ? obs::metrics().to_json() : obs::metrics().render_text())) {
+      std::fprintf(stderr, "wrote metrics to %s\n", metrics_out.c_str());
+    }
+  }
+  return rc;
 }
