@@ -1,11 +1,30 @@
-// Library microbenchmarks (google-benchmark): throughput of the tool
-// itself — the analyzer has to be fast enough that "predict before you
-// port" is interactively usable.
-#include <benchmark/benchmark.h>
+// Library microbenchmarks — throughput of the tool itself. The analyzer
+// has to be fast enough that "predict before you port" is interactively
+// usable, and the perf trajectory has to be visible across PRs: with
+// --json=<path> the harness writes BENCH_perf.json (schema documented in
+// docs/performance.md), including serial-vs-parallel wall time for the
+// branch-and-bound and sweep substrates so speedups are tracked, not
+// assumed.
+//
+//   perf_micro [--json=BENCH_perf.json] [--jobs=N]
+//
+// Self-timed (steady_clock, warmup + repetition) rather than a benchmark
+// framework: no external dependency, and the JSON stays under our
+// control.
+#include <chrono>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <thread>
+#include <vector>
 
 #include "cir/interp.hpp"
+#include "common/parallel.hpp"
 #include "common/rng.hpp"
 #include "core/clara.hpp"
+#include "core/sweep.hpp"
 #include "ilp/simplex.hpp"
 #include "ilp/solver.hpp"
 #include "nf/nf_cir.hpp"
@@ -17,114 +36,350 @@
 namespace {
 
 using namespace clara;
+using Clock = std::chrono::steady_clock;
+
+double ms_since(Clock::time_point t0) {
+  return std::chrono::duration<double, std::milli>(Clock::now() - t0).count();
+}
+
+// --- micro harness -----------------------------------------------------------
+
+struct MicroResult {
+  std::string name;
+  double ns_per_iter = 0.0;
+  std::size_t iterations = 0;
+  double items_per_sec = 0.0;  // 0 when the case has no item notion
+};
+
+/// Runs body() repeatedly: a short warmup, then enough iterations to
+/// cover ~80ms of wall time (at least 5).
+template <class F>
+MicroResult run_micro(const std::string& name, F&& body, std::size_t items_per_iter = 0) {
+  for (int i = 0; i < 2; ++i) body();
+  const auto probe0 = Clock::now();
+  body();
+  const double probe_ms = std::max(1e-6, ms_since(probe0));
+  const auto iters = std::max<std::size_t>(5, static_cast<std::size_t>(80.0 / probe_ms));
+  const auto t0 = Clock::now();
+  for (std::size_t i = 0; i < iters; ++i) body();
+  const double total_ms = ms_since(t0);
+  MicroResult r;
+  r.name = name;
+  r.iterations = iters;
+  r.ns_per_iter = total_ms * 1e6 / static_cast<double>(iters);
+  if (items_per_iter > 0) {
+    r.items_per_sec = static_cast<double>(items_per_iter * iters) / (total_ms / 1e3);
+  }
+  std::printf("  %-28s %12.0f ns/iter  (%zu iters)\n", name.c_str(), r.ns_per_iter, iters);
+  return r;
+}
 
 workload::Trace small_trace() {
   return workload::generate_trace(
       workload::parse_profile("tcp=0.8 flows=2000 payload=300 pps=60000 packets=2000").value());
 }
 
-void BM_TraceGeneration(benchmark::State& state) {
-  auto profile = workload::parse_profile("flows=10000 packets=10000").value();
-  for (auto _ : state) {
-    profile.seed++;
-    benchmark::DoNotOptimize(workload::generate_trace(profile));
-  }
-  state.SetItemsProcessed(state.iterations() * 10000);
-}
-BENCHMARK(BM_TraceGeneration);
+std::vector<MicroResult> run_micros() {
+  std::vector<MicroResult> out;
+  std::printf("microbenchmarks:\n");
 
-void BM_SimplexSolve(benchmark::State& state) {
-  // A representative mapping-LP shape: 30 binaries, 20 rows.
-  ilp::Model model;
-  std::vector<int> vars;
-  for (int i = 0; i < 30; ++i) vars.push_back(model.add_binary("b"));
-  for (int r = 0; r < 10; ++r) {
-    ilp::LinExpr row;
-    for (int i = 0; i < 30; ++i) row.add(vars[i], ((i * 7 + r) % 5) - 2.0);
-    model.add_constraint(std::move(row), ilp::Sense::kLe, 3.0);
+  {
+    auto profile = workload::parse_profile("flows=10000 packets=10000").value();
+    out.push_back(run_micro("trace_generation", [&] {
+      profile.seed++;
+      volatile auto n = workload::generate_trace(profile).size();
+      (void)n;
+    }, 10'000));
   }
-  ilp::LinExpr objective;
-  for (int i = 0; i < 30; ++i) objective.add(vars[i], (i % 7) - 3.0);
-  model.set_objective(std::move(objective));
-  for (auto _ : state) {
-    benchmark::DoNotOptimize(ilp::solve_lp(model));
-  }
-}
-BENCHMARK(BM_SimplexSolve);
-
-void BM_MilpMapNat(benchmark::State& state) {
-  auto fn = nf::build_nat_nf();
-  passes::substitute_framework_apis(fn);
-  passes::CostHints hints;
-  const auto graph = passes::DataflowGraph::build(fn, hints);
-  const auto profile = lnic::netronome_agilio_cx();
-  const mapping::Mapper mapper(profile);
-  for (auto _ : state) {
-    benchmark::DoNotOptimize(mapper.map(graph, hints));
-  }
-}
-BENCHMARK(BM_MilpMapNat);
-
-void BM_InterpretNat(benchmark::State& state) {
-  auto fn = nf::build_nat_nf();
-  passes::substitute_framework_apis(fn);
-  class Handler final : public cir::VCallHandler {
-   public:
-    std::uint64_t handle(cir::VCall v, std::span<const std::uint64_t>) override {
-      return v == cir::VCall::kTableLookup ? 1 : 0;
+  {
+    // A representative mapping-LP shape: 30 binaries, 10 rows.
+    ilp::Model model;
+    std::vector<int> vars;
+    for (int i = 0; i < 30; ++i) vars.push_back(model.add_binary("b"));
+    for (int r = 0; r < 10; ++r) {
+      ilp::LinExpr row;
+      for (int i = 0; i < 30; ++i) row.add(vars[i], ((i * 7 + r) % 5) - 2.0);
+      model.add_constraint(std::move(row), ilp::Sense::kLe, 3.0);
     }
-  } handler;
-  cir::Interpreter interp(fn, handler);
-  for (auto _ : state) {
-    benchmark::DoNotOptimize(interp.run());
+    ilp::LinExpr objective;
+    for (int i = 0; i < 30; ++i) objective.add(vars[i], (i % 7) - 3.0);
+    model.set_objective(std::move(objective));
+    out.push_back(run_micro("simplex_solve", [&] {
+      volatile auto s = ilp::solve_lp(model).status;
+      (void)s;
+    }));
   }
+  {
+    auto fn = nf::build_nat_nf();
+    passes::substitute_framework_apis(fn);
+    passes::CostHints hints;
+    const auto graph = passes::DataflowGraph::build(fn, hints);
+    const auto profile = lnic::netronome_agilio_cx();
+    const mapping::Mapper mapper(profile);
+    out.push_back(run_micro("milp_map_nat", [&] {
+      volatile auto ok = mapper.map(graph, hints).ok();
+      (void)ok;
+    }));
+  }
+  {
+    auto fn = nf::build_nat_nf();
+    passes::substitute_framework_apis(fn);
+    class Handler final : public cir::VCallHandler {
+     public:
+      std::uint64_t handle(cir::VCall v, std::span<const std::uint64_t>) override {
+        return v == cir::VCall::kTableLookup ? 1 : 0;
+      }
+    } handler;
+    cir::Interpreter interp(fn, handler);
+    out.push_back(run_micro("interpret_nat", [&] {
+      volatile bool ok = interp.run().ok();
+      (void)ok;
+    }));
+  }
+  {
+    const core::Analyzer analyzer(lnic::netronome_agilio_cx());
+    const auto nat = nf::build_nat_nf();
+    const auto trace = small_trace();
+    out.push_back(run_micro("analyze_nat_end_to_end", [&] {
+      volatile auto ok = analyzer.analyze(nat, trace).ok();
+      (void)ok;
+    }));
+  }
+  {
+    nicsim::NicSim sim;
+    auto& table = sim.create_table("flow_table", 131072, 64, nicsim::MemLevel::kEmem);
+    nf::NatProgram program(table, true);
+    const auto trace = small_trace();
+    std::size_t i = 0;
+    out.push_back(run_micro("simulate_nat_packet", [&] {
+      volatile auto c = sim.measure_one(program, trace.packets[i++ % trace.size()]);
+      (void)c;
+    }, 1));
+  }
+  {
+    nicsim::SetAssocCache cache(3_MiB, 64, 8);
+    std::uint64_t addr = 0;
+    out.push_back(run_micro("emem_cache_access", [&] {
+      volatile bool hit = cache.access(addr);
+      (void)hit;
+      addr += 4096;
+    }, 1));
+  }
+  {
+    Rng rng(1);
+    const ZipfSampler zipf(100000, 1.1);
+    out.push_back(run_micro("zipf_sample", [&] {
+      volatile auto s = zipf.sample(rng);
+      (void)s;
+    }, 1));
+  }
+  return out;
 }
-BENCHMARK(BM_InterpretNat);
 
-void BM_AnalyzeNatEndToEnd(benchmark::State& state) {
-  const core::Analyzer analyzer(lnic::netronome_agilio_cx());
-  const auto nat = nf::build_nat_nf();
-  const auto trace = small_trace();
-  for (auto _ : state) {
-    benchmark::DoNotOptimize(analyzer.analyze(nat, trace));
-  }
-}
-BENCHMARK(BM_AnalyzeNatEndToEnd);
+// --- serial vs parallel comparisons ------------------------------------------
 
-void BM_SimulateNatPacket(benchmark::State& state) {
-  nicsim::NicSim sim;
-  auto& table = sim.create_table("flow_table", 131072, 64, nicsim::MemLevel::kEmem);
-  nf::NatProgram program(table, true);
-  const auto trace = small_trace();
-  std::size_t i = 0;
-  for (auto _ : state) {
-    benchmark::DoNotOptimize(sim.measure_one(program, trace.packets[i++ % trace.size()]));
-  }
-  state.SetItemsProcessed(state.iterations());
-}
-BENCHMARK(BM_SimulateNatPacket);
+struct ParallelResult {
+  std::string name;
+  double serial_ms = 0.0;
+  double parallel_ms = 0.0;
+  double speedup = 0.0;
+  std::size_t jobs = 0;
+  std::uint64_t pivots = 0;          // B&B case
+  std::uint64_t nodes = 0;           // B&B case
+  double packets_per_sec_serial = 0.0;    // sweep case
+  double packets_per_sec_parallel = 0.0;  // sweep case
+  bool identical_results = false;
+};
 
-void BM_EmemCacheAccess(benchmark::State& state) {
-  nicsim::SetAssocCache cache(3_MiB, 64, 8);
-  std::uint64_t addr = 0;
-  for (auto _ : state) {
-    benchmark::DoNotOptimize(cache.access(addr));
-    addr += 4096;
+/// A MILP hard enough to keep many branch-and-bound waves busy: a small
+/// market-split instance (Cornuéjols–Dawande). The LP bound is 0 while
+/// the integer optimum rarely is, so the tree genuinely branches.
+ilp::Model hard_milp(int n, int m) {
+  ilp::Model model;
+  std::uint64_t state = 12345;
+  const auto next = [&state] {
+    state = state * 6364136223846793005ULL + 1442695040888963407ULL;
+    return static_cast<double>((state >> 33) % 100);
+  };
+  std::vector<int> x;
+  for (int j = 0; j < n; ++j) x.push_back(model.add_binary("x"));
+  ilp::LinExpr objective;
+  for (int i = 0; i < m; ++i) {
+    ilp::LinExpr row;
+    double sum = 0.0;
+    for (int j = 0; j < n; ++j) {
+      const double a = next();
+      row.add(x[j], a);
+      sum += a;
+    }
+    // a·x + s - t = floor(sum/2); minimize Σ(s + t).
+    const int s = model.add_continuous("s");
+    const int t = model.add_continuous("t");
+    row.add(s, 1.0);
+    row.add(t, -1.0);
+    model.add_constraint(std::move(row), ilp::Sense::kEq, std::floor(sum / 2.0));
+    objective.add(s, 1.0);
+    objective.add(t, 1.0);
   }
-  state.SetItemsProcessed(state.iterations());
+  model.set_objective(std::move(objective));
+  return model;
 }
-BENCHMARK(BM_EmemCacheAccess);
 
-void BM_ZipfSample(benchmark::State& state) {
-  Rng rng(1);
-  const ZipfSampler zipf(100000, 1.1);
-  for (auto _ : state) {
-    benchmark::DoNotOptimize(zipf.sample(rng));
-  }
-  state.SetItemsProcessed(state.iterations());
+ParallelResult bench_branch_and_bound(std::size_t jobs) {
+  ParallelResult r;
+  r.name = "milp_branch_and_bound";
+  r.jobs = jobs;
+  const auto model = hard_milp(20, 3);
+  ilp::MilpOptions options;
+  options.max_nodes = 10'000;
+
+  options.jobs = 1;
+  auto t0 = Clock::now();
+  const auto serial = ilp::solve_milp(model, options);
+  r.serial_ms = ms_since(t0);
+
+  options.jobs = jobs;
+  t0 = Clock::now();
+  const auto parallel = ilp::solve_milp(model, options);
+  r.parallel_ms = ms_since(t0);
+
+  r.speedup = r.parallel_ms > 0 ? r.serial_ms / r.parallel_ms : 0.0;
+  r.pivots = serial.pivots;
+  r.nodes = serial.nodes_explored;
+  r.identical_results = serial.status == parallel.status &&
+                        serial.objective == parallel.objective && serial.values == parallel.values &&
+                        serial.nodes_explored == parallel.nodes_explored &&
+                        serial.pivots == parallel.pivots;
+  return r;
 }
-BENCHMARK(BM_ZipfSample);
+
+ParallelResult bench_sweep(std::size_t jobs) {
+  ParallelResult r;
+  r.name = "sweep_replay";
+  r.jobs = jobs;
+  constexpr std::size_t kPoints = 8;
+  constexpr std::uint64_t kPackets = 4'000;
+
+  const auto eval = [](const core::SweepPoint& point, core::SweepResult& result) {
+    auto profile =
+        workload::parse_profile("tcp=0.8 flows=2000 payload=300 packets=4000").value();
+    profile.pps = point.load_pps;
+    profile.seed = point.seed;
+    const auto trace = workload::generate_trace(profile);
+    nicsim::NicSim sim;
+    auto& table = sim.create_table("flow_table", 131072, 64, nicsim::MemLevel::kEmem);
+    nf::NatProgram program(table, true);
+    const auto stats = sim.run(program, trace);
+    result.value = stats.mean_latency();
+    result.stats.add(stats.mean_latency());
+  };
+
+  std::vector<double> loads;
+  for (std::size_t i = 0; i < kPoints; ++i) {
+    loads.push_back(20'000.0 + 20'000.0 * static_cast<double>(i));
+  }
+  const auto grid = core::make_grid(loads, {}, 42);
+
+  core::SweepOptions options;
+  options.jobs = 1;
+  auto t0 = Clock::now();
+  const auto serial = core::run_sweep(grid, eval, options);
+  r.serial_ms = ms_since(t0);
+
+  options.jobs = jobs;
+  t0 = Clock::now();
+  const auto parallel = core::run_sweep(grid, eval, options);
+  r.parallel_ms = ms_since(t0);
+
+  r.speedup = r.parallel_ms > 0 ? r.serial_ms / r.parallel_ms : 0.0;
+  const double total_packets = static_cast<double>(kPackets * kPoints);
+  r.packets_per_sec_serial = total_packets / (r.serial_ms / 1e3);
+  r.packets_per_sec_parallel = total_packets / (r.parallel_ms / 1e3);
+  r.identical_results = serial.size() == parallel.size();
+  for (std::size_t i = 0; i < serial.size() && r.identical_results; ++i) {
+    r.identical_results = serial[i].value == parallel[i].value;
+  }
+  return r;
+}
+
+// --- output ------------------------------------------------------------------
+
+void write_json(const std::string& path, std::size_t jobs, const std::vector<MicroResult>& micros,
+                const std::vector<ParallelResult>& par) {
+  FILE* f = std::fopen(path.c_str(), "w");
+  if (!f) {
+    std::fprintf(stderr, "cannot write %s\n", path.c_str());
+    std::exit(1);
+  }
+  std::fprintf(f, "{\n  \"schema\": \"clara-bench-perf/1\",\n");
+  std::fprintf(f, "  \"jobs\": %zu,\n", jobs);
+  std::fprintf(f, "  \"hardware_concurrency\": %u,\n", std::thread::hardware_concurrency());
+  std::fprintf(f, "  \"micro\": [\n");
+  for (std::size_t i = 0; i < micros.size(); ++i) {
+    const auto& m = micros[i];
+    std::fprintf(f,
+                 "    {\"name\": \"%s\", \"ns_per_iter\": %.1f, \"iterations\": %zu, "
+                 "\"items_per_sec\": %.1f}%s\n",
+                 m.name.c_str(), m.ns_per_iter, m.iterations, m.items_per_sec,
+                 i + 1 < micros.size() ? "," : "");
+  }
+  std::fprintf(f, "  ],\n  \"parallel\": [\n");
+  for (std::size_t i = 0; i < par.size(); ++i) {
+    const auto& p = par[i];
+    std::fprintf(f,
+                 "    {\"name\": \"%s\", \"jobs\": %zu, \"serial_ms\": %.2f, \"parallel_ms\": %.2f, "
+                 "\"speedup\": %.3f, \"pivots\": %llu, \"nodes\": %llu, "
+                 "\"packets_per_sec_serial\": %.1f, \"packets_per_sec_parallel\": %.1f, "
+                 "\"identical_results\": %s}%s\n",
+                 p.name.c_str(), p.jobs, p.serial_ms, p.parallel_ms, p.speedup,
+                 static_cast<unsigned long long>(p.pivots), static_cast<unsigned long long>(p.nodes),
+                 p.packets_per_sec_serial, p.packets_per_sec_parallel,
+                 p.identical_results ? "true" : "false", i + 1 < par.size() ? "," : "");
+  }
+  std::fprintf(f, "  ]\n}\n");
+  std::fclose(f);
+  std::printf("wrote %s\n", path.c_str());
+}
 
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  std::string json_path;
+  std::size_t jobs = 4;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg.rfind("--json=", 0) == 0) json_path = arg.substr(7);
+    else if (arg.rfind("--jobs=", 0) == 0) jobs = std::strtoul(arg.c_str() + 7, nullptr, 10);
+    else {
+      std::fprintf(stderr, "usage: perf_micro [--json=<path>] [--jobs=N]\n");
+      return 1;
+    }
+  }
+  if (jobs < 1) jobs = 1;
+  // Size the shared pool for the parallel comparisons; serial runs pin
+  // options.jobs = 1 and stay inline regardless.
+  parallel::set_jobs(jobs);
+
+  const auto micros = run_micros();
+
+  std::printf("\nserial vs %zu-thread (hardware threads: %u):\n", jobs,
+              std::thread::hardware_concurrency());
+  std::vector<ParallelResult> par;
+  par.push_back(bench_branch_and_bound(jobs));
+  par.push_back(bench_sweep(jobs));
+  for (const auto& p : par) {
+    std::printf("  %-24s serial %8.2f ms  parallel %8.2f ms  speedup %.2fx  identical=%s\n",
+                p.name.c_str(), p.serial_ms, p.parallel_ms, p.speedup,
+                p.identical_results ? "yes" : "NO");
+  }
+
+  if (!json_path.empty()) write_json(json_path, jobs, micros, par);
+
+  bool ok = true;
+  for (const auto& p : par) ok = ok && p.identical_results;
+  if (!ok) {
+    std::fprintf(stderr, "FAIL: parallel results differ from serial\n");
+    return 1;
+  }
+  return 0;
+}

@@ -10,6 +10,8 @@
 #include <memory>
 
 #include "bench_util.hpp"
+#include "common/parallel.hpp"
+#include "core/sweep.hpp"
 
 int main() {
   using namespace clara;
@@ -41,8 +43,20 @@ int main() {
                      return std::make_unique<nf::HhProgram>(counters);
                    }});
 
-  TextTable table({"NF", "predicted max pps", "bottleneck", "sim achieved pps", "ratio"});
-  for (auto& c : cases) {
+  // Each case is an independent shard: the analyze+flood pair runs
+  // concurrently across cases via the sweep driver, with results written
+  // to disjoint per-case slots (output order stays deterministic).
+  struct Row {
+    std::string predicted, bottleneck, achieved, ratio;
+  };
+  std::vector<Row> rows(cases.size());
+  std::vector<core::SweepPoint> points(cases.size());
+  for (std::size_t i = 0; i < cases.size(); ++i) {
+    points[i].index = i;
+    points[i].seed = parallel::shard_seed(42, i);
+  }
+  core::run_sweep(points, [&](const core::SweepPoint& point, core::SweepResult& result) {
+    auto& c = cases[point.index];
     const int payload = std::string(c.name).find("1400") != std::string::npos ? 1400 : 300;
     // Predict at a feasible mapping rate; saturate the simulator.
     const auto predict_trace =
@@ -56,9 +70,15 @@ int main() {
     auto program = c.make(sim);
     const auto stats = sim.run(*program, flood);
 
-    table.add_row({c.name, fmt(analysis.prediction.throughput_pps), analysis.prediction.bottleneck,
-                   fmt(stats.achieved_pps),
-                   fmt2(analysis.prediction.throughput_pps / stats.achieved_pps) + "x"});
+    rows[point.index] = {fmt(analysis.prediction.throughput_pps), analysis.prediction.bottleneck,
+                         fmt(stats.achieved_pps),
+                         fmt2(analysis.prediction.throughput_pps / stats.achieved_pps) + "x"};
+    result.value = analysis.prediction.throughput_pps / stats.achieved_pps;
+  });
+
+  TextTable table({"NF", "predicted max pps", "bottleneck", "sim achieved pps", "ratio"});
+  for (std::size_t i = 0; i < cases.size(); ++i) {
+    table.add_row({cases[i].name, rows[i].predicted, rows[i].bottleneck, rows[i].achieved, rows[i].ratio});
   }
   std::printf("%s", table.render().c_str());
   std::printf("\n(ratio near 1x = the bottleneck analysis found the real limiter;\n"

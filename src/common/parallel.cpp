@@ -1,0 +1,359 @@
+#include "common/parallel.hpp"
+
+#include <algorithm>
+#include <array>
+#include <chrono>
+#include <condition_variable>
+#include <cstdlib>
+#include <deque>
+#include <mutex>
+#include <thread>
+
+namespace clara::parallel {
+
+namespace {
+
+struct Task {
+  std::function<void()> fn;
+  TaskGroup* group = nullptr;
+};
+
+/// Bounded Chase-Lev deque (Lê/Pop/Cocchiarella/Zappa Nardelli's
+/// fence-free formulation: top/bottom are seq_cst, slots are
+/// acquire/release). The owner pushes and pops at the bottom; any other
+/// thread steals from the top. A full deque rejects the push and the
+/// caller runs the task inline — safe, just momentarily less parallel.
+class WorkDeque {
+ public:
+  static constexpr std::size_t kCapacity = 1 << 13;
+
+  bool push(Task* task) {  // owner only
+    const std::int64_t b = bottom_.load(std::memory_order_seq_cst);
+    const std::int64_t t = top_.load(std::memory_order_seq_cst);
+    if (b - t >= static_cast<std::int64_t>(kCapacity)) return false;
+    slots_[static_cast<std::size_t>(b) & kMask].store(task, std::memory_order_release);
+    bottom_.store(b + 1, std::memory_order_seq_cst);
+    return true;
+  }
+
+  Task* pop() {  // owner only
+    const std::int64_t b = bottom_.load(std::memory_order_seq_cst) - 1;
+    bottom_.store(b, std::memory_order_seq_cst);
+    std::int64_t t = top_.load(std::memory_order_seq_cst);
+    if (t > b) {  // empty: undo
+      bottom_.store(b + 1, std::memory_order_seq_cst);
+      return nullptr;
+    }
+    Task* task = slots_[static_cast<std::size_t>(b) & kMask].load(std::memory_order_acquire);
+    if (t == b) {  // last element: race the thieves for it
+      if (!top_.compare_exchange_strong(t, t + 1, std::memory_order_seq_cst)) task = nullptr;
+      bottom_.store(b + 1, std::memory_order_seq_cst);
+    }
+    return task;
+  }
+
+  Task* steal() {  // any thread
+    std::int64_t t = top_.load(std::memory_order_seq_cst);
+    const std::int64_t b = bottom_.load(std::memory_order_seq_cst);
+    if (t >= b) return nullptr;
+    Task* task = slots_[static_cast<std::size_t>(t) & kMask].load(std::memory_order_acquire);
+    if (!top_.compare_exchange_strong(t, t + 1, std::memory_order_seq_cst)) return nullptr;
+    return task;
+  }
+
+  [[nodiscard]] bool empty() const {
+    return bottom_.load(std::memory_order_relaxed) <= top_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  static constexpr std::size_t kMask = kCapacity - 1;
+  std::atomic<std::int64_t> top_{0};
+  std::atomic<std::int64_t> bottom_{0};
+  std::array<std::atomic<Task*>, kCapacity> slots_{};
+};
+
+struct WorkerState {
+  WorkDeque deque;
+  std::atomic<std::uint64_t> busy_ns{0};
+};
+
+std::atomic<std::size_t> g_jobs{0};  // 0 = uninitialized, use default
+
+}  // namespace
+
+struct ThreadPool::Impl {
+  std::vector<std::unique_ptr<WorkerState>> states;
+  std::vector<std::thread> threads;
+  std::atomic<bool> stop{false};
+
+  std::mutex injector_mu;
+  std::deque<Task*> injector;
+  std::condition_variable wake;
+
+  std::atomic<std::uint64_t> tasks_run{0};
+  std::atomic<std::uint64_t> tasks_inline{0};
+  std::atomic<std::uint64_t> steals{0};
+  std::atomic<std::uint64_t> injected{0};
+
+  ~Impl() { shutdown(); }
+
+  void spawn(std::size_t n) {
+    stop.store(false, std::memory_order_relaxed);
+    states.clear();
+    states.reserve(n);
+    for (std::size_t i = 0; i < n; ++i) states.push_back(std::make_unique<WorkerState>());
+    threads.reserve(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      threads.emplace_back([this, i] { worker_loop(i); });
+    }
+  }
+
+  void shutdown() {
+    stop.store(true, std::memory_order_seq_cst);
+    wake.notify_all();
+    for (auto& t : threads) {
+      if (t.joinable()) t.join();
+    }
+    threads.clear();
+    // Drain any stranded injector tasks inline (none in normal use: a
+    // resize only happens with no region in flight).
+    for (;;) {
+      Task* task = pop_injector();
+      if (!task) break;
+      execute(task, nullptr);
+    }
+    states.clear();
+  }
+
+  Task* pop_injector() {
+    std::lock_guard<std::mutex> lock(injector_mu);
+    if (injector.empty()) return nullptr;
+    Task* task = injector.front();
+    injector.pop_front();
+    return task;
+  }
+
+  Task* try_steal(std::size_t self) {
+    const std::size_t n = states.size();
+    for (std::size_t k = 1; k <= n; ++k) {
+      const std::size_t victim = (self + k) % n;
+      if (victim == self) continue;
+      if (Task* task = states[victim]->deque.steal()) {
+        steals.fetch_add(1, std::memory_order_relaxed);
+        return task;
+      }
+    }
+    return nullptr;
+  }
+
+  /// Own deque (workers), then injector, then steal.
+  Task* acquire(std::size_t worker_id) {
+    if (worker_id < states.size()) {
+      if (Task* task = states[worker_id]->deque.pop()) return task;
+    }
+    if (Task* task = pop_injector()) return task;
+    if (!states.empty()) {
+      const std::size_t start = worker_id < states.size() ? worker_id : 0;
+      if (Task* task = try_steal(start)) return task;
+    }
+    return nullptr;
+  }
+
+  void execute(Task* task, WorkerState* state) {
+    const auto t0 = std::chrono::steady_clock::now();
+    task->fn();
+    TaskGroup* group = task->group;
+    // Decrement before deleting the task: a detached group (submit())
+    // lives inside the task's own captures, and its destructor waits for
+    // pending_ to reach zero — deleting first would self-deadlock. The
+    // group pointer is copied out and never touched after the decrement,
+    // so an owner destroying the group the moment wait() returns is safe.
+    if (group) group->pending_.fetch_sub(1, std::memory_order_release);
+    delete task;
+    if (state) {
+      const auto dt = std::chrono::steady_clock::now() - t0;
+      state->busy_ns.fetch_add(
+          static_cast<std::uint64_t>(std::chrono::duration_cast<std::chrono::nanoseconds>(dt).count()),
+          std::memory_order_relaxed);
+    }
+  }
+
+  void worker_loop(std::size_t id);
+  void enqueue(Task* task, std::size_t worker_id);
+};
+
+namespace {
+/// Which pool worker the current thread is (kNotWorker for externals).
+constexpr std::size_t kNotWorker = ~std::size_t{0};
+thread_local std::size_t t_worker_id = kNotWorker;
+thread_local const void* t_worker_pool = nullptr;
+}  // namespace
+
+void ThreadPool::Impl::worker_loop(std::size_t id) {
+  t_worker_id = id;
+  t_worker_pool = this;
+  while (!stop.load(std::memory_order_seq_cst)) {
+    Task* task = acquire(id);
+    if (task) {
+      tasks_run.fetch_add(1, std::memory_order_relaxed);
+      execute(task, states[id].get());
+      continue;
+    }
+    std::unique_lock<std::mutex> lock(injector_mu);
+    if (!injector.empty() || stop.load(std::memory_order_relaxed)) continue;
+    // Bounded nap: submissions notify, the timeout covers the lost-wakeup
+    // window between the lock-free deque check and the sleep.
+    wake.wait_for(lock, std::chrono::microseconds(500));
+  }
+  t_worker_id = kNotWorker;
+  t_worker_pool = nullptr;
+}
+
+void ThreadPool::Impl::enqueue(Task* task, std::size_t worker_id) {
+  if (worker_id != kNotWorker && t_worker_pool == this && worker_id < states.size() &&
+      states[worker_id]->deque.push(task)) {
+    wake.notify_one();  // siblings may steal it
+    return;
+  }
+  {
+    std::lock_guard<std::mutex> lock(injector_mu);
+    injector.push_back(task);
+  }
+  injected.fetch_add(1, std::memory_order_relaxed);
+  wake.notify_one();
+}
+
+ThreadPool::ThreadPool(std::size_t workers) : impl_(std::make_unique<Impl>()) { impl_->spawn(workers); }
+
+ThreadPool::~ThreadPool() = default;
+
+std::size_t ThreadPool::workers() const { return impl_->threads.size(); }
+
+void ThreadPool::resize(std::size_t n) {
+  if (n == impl_->threads.size()) return;
+  impl_->shutdown();
+  impl_->spawn(n);
+}
+
+PoolStats ThreadPool::stats() const {
+  PoolStats out;
+  out.tasks_run = impl_->tasks_run.load(std::memory_order_relaxed);
+  out.tasks_inline = impl_->tasks_inline.load(std::memory_order_relaxed);
+  out.steals = impl_->steals.load(std::memory_order_relaxed);
+  out.injected = impl_->injected.load(std::memory_order_relaxed);
+  {
+    std::lock_guard<std::mutex> lock(impl_->injector_mu);
+    out.queue_depth = impl_->injector.size();
+  }
+  for (const auto& state : impl_->states) {
+    const auto ns = state->busy_ns.load(std::memory_order_relaxed);
+    out.per_worker_busy_ns.push_back(ns);
+    out.worker_busy_ns += ns;
+  }
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// TaskGroup
+
+TaskGroup::TaskGroup() : pool_(&pool()) {}
+TaskGroup::TaskGroup(ThreadPool& pool) : pool_(&pool) {}
+
+TaskGroup::~TaskGroup() { wait(); }
+
+void TaskGroup::run(std::function<void()> fn) {
+  if (pool_->impl_->states.empty()) {
+    fn();  // no workers: serial execution
+    return;
+  }
+  pending_.fetch_add(1, std::memory_order_relaxed);
+  auto* task = new Task{std::move(fn), this};
+  pool_->impl_->enqueue(task, t_worker_id);
+}
+
+void TaskGroup::wait() {
+  auto* impl = pool_->impl_.get();
+  while (pending_.load(std::memory_order_acquire) > 0) {
+    Task* task = impl->acquire(t_worker_pool == impl ? t_worker_id : kNotWorker);
+    if (task) {
+      impl->tasks_inline.fetch_add(1, std::memory_order_relaxed);
+      impl->execute(task, nullptr);
+    } else {
+      std::this_thread::yield();
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Globals
+
+std::size_t default_jobs() {
+  if (const char* env = std::getenv("CLARA_JOBS")) {
+    const long v = std::strtol(env, nullptr, 10);
+    if (v > 0) return static_cast<std::size_t>(v);
+  }
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw > 0 ? hw : 1;
+}
+
+std::size_t jobs() {
+  const std::size_t j = g_jobs.load(std::memory_order_relaxed);
+  return j > 0 ? j : default_jobs();
+}
+
+ThreadPool& pool() {
+  static ThreadPool instance(jobs() > 0 ? jobs() - 1 : 0);
+  return instance;
+}
+
+void set_jobs(std::size_t n) {
+  g_jobs.store(n, std::memory_order_relaxed);
+  pool().resize(jobs() - 1);
+}
+
+// ---------------------------------------------------------------------------
+// parallel_for
+
+void parallel_for_jobs(std::size_t jobs_override, std::size_t begin, std::size_t end,
+                       const std::function<void(std::size_t)>& body, std::size_t grain) {
+  if (end <= begin) return;
+  const std::size_t n = end - begin;
+  const std::size_t j = jobs_override > 0 ? jobs_override : jobs();
+  grain = std::max<std::size_t>(1, grain);
+  if (j <= 1 || n <= grain || pool().workers() == 0) {
+    for (std::size_t i = begin; i < end; ++i) body(i);
+    return;
+  }
+  // ~4 chunks per lane keeps the fastest lane busy while the slowest
+  // finishes, without per-index task overhead.
+  const std::size_t chunks = std::min((n + grain - 1) / grain, 4 * j);
+  const std::size_t base = n / chunks;
+  const std::size_t rem = n % chunks;
+  TaskGroup group;
+  std::size_t start = begin;
+  for (std::size_t c = 0; c < chunks; ++c) {
+    const std::size_t len = base + (c < rem ? 1 : 0);
+    if (len == 0) continue;
+    const std::size_t s = start;
+    const std::size_t e = start + len;
+    start = e;
+    group.run([&body, s, e] {
+      for (std::size_t i = s; i < e; ++i) body(i);
+    });
+  }
+  group.wait();
+}
+
+void parallel_for(std::size_t begin, std::size_t end, const std::function<void(std::size_t)>& body,
+                  std::size_t grain) {
+  parallel_for_jobs(0, begin, end, body, grain);
+}
+
+std::uint64_t shard_seed(std::uint64_t base, std::uint64_t index) {
+  std::uint64_t z = base + (index + 1) * 0x9e3779b97f4a7c15ULL;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+}  // namespace clara::parallel

@@ -1,0 +1,151 @@
+// Shared parallelism substrate: a fixed-size work-stealing thread pool.
+//
+// Every parallel path in Clara (branch-and-bound LP solves, sharded
+// workload sweeps) funnels through this one pool so the process never
+// oversubscribes the machine. Design:
+//
+//   * one Chase-Lev deque per worker — the owning worker pushes/pops at
+//     the bottom, idle workers steal from the top (lock-free, the
+//     fence-free seq_cst formulation of Lê et al., which is also clean
+//     under ThreadSanitizer);
+//   * external threads (and parallel_for callers) enqueue into a
+//     mutex-guarded injector queue; workers drain their own deque first,
+//     then the injector, then steal round-robin;
+//   * waiting threads are never passive: TaskGroup::wait() executes
+//     pending tasks while it waits, so nested parallel_for (a sweep
+//     shard whose MILP solve fans out again) cannot deadlock.
+//
+// Concurrency level: `jobs()` tasks run at once (pool workers plus the
+// participating caller). The global default comes from --jobs / the
+// CLARA_JOBS environment variable, else hardware_concurrency; jobs()==1
+// executes everything inline — fully serial, deterministic, zero
+// threads. All Clara parallel algorithms are written so their *results*
+// are identical at every jobs level; the pool only changes wall time.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <future>
+#include <memory>
+#include <vector>
+
+namespace clara::parallel {
+
+/// Global concurrency level (>= 1). Defaults to CLARA_JOBS if set, else
+/// std::thread::hardware_concurrency().
+std::size_t jobs();
+
+/// Sets the global concurrency level; 0 restores the default. Must not
+/// be called while parallel work is in flight (configure at startup or
+/// between pipeline phases, as clara_cli and the tests do).
+void set_jobs(std::size_t n);
+
+/// The default jobs value: CLARA_JOBS when set to a positive integer,
+/// else hardware_concurrency (min 1).
+std::size_t default_jobs();
+
+/// Monotonic pool counters for observability. Consumers snapshot before
+/// and after a parallel region and publish the delta to obs::metrics()
+/// (common/ stays free of an obs dependency).
+struct PoolStats {
+  std::uint64_t tasks_run = 0;       // tasks executed by pool workers
+  std::uint64_t tasks_inline = 0;    // tasks executed by waiting callers
+  std::uint64_t steals = 0;          // successful deque steals
+  std::uint64_t injected = 0;        // tasks routed through the injector
+  std::uint64_t worker_busy_ns = 0;  // summed task wall time on workers
+  std::size_t queue_depth = 0;       // injector backlog at snapshot time
+  std::vector<std::uint64_t> per_worker_busy_ns;
+};
+
+class ThreadPool;
+
+/// Latch-style completion tracker for a batch of tasks. run() enqueues,
+/// wait() helps execute pending work until every task in the group has
+/// finished. A group is single-owner: run/wait from the owning thread.
+class TaskGroup {
+ public:
+  TaskGroup();
+  explicit TaskGroup(ThreadPool& pool);
+  ~TaskGroup();
+  TaskGroup(const TaskGroup&) = delete;
+  TaskGroup& operator=(const TaskGroup&) = delete;
+
+  /// Enqueues fn on the pool (runs inline immediately when jobs()==1 or
+  /// the pool has no workers). fn must not throw.
+  void run(std::function<void()> fn);
+  /// Blocks until every task run() on this group has completed,
+  /// executing pending pool tasks while waiting.
+  void wait();
+
+ private:
+  ThreadPool* pool_;
+  std::atomic<std::size_t> pending_{0};
+  friend class ThreadPool;
+};
+
+/// The process-wide pool, sized to jobs()-1 background workers (the
+/// caller is the remaining lane). Resized lazily by set_jobs().
+ThreadPool& pool();
+
+class ThreadPool {
+ public:
+  explicit ThreadPool(std::size_t workers);
+  ~ThreadPool();
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Background worker count (concurrency is workers()+1 with the
+  /// participating caller).
+  [[nodiscard]] std::size_t workers() const;
+  /// Joins and respawns workers so workers()==n. Callers must ensure no
+  /// parallel region is active.
+  void resize(std::size_t n);
+
+  [[nodiscard]] PoolStats stats() const;
+
+ private:
+  friend class TaskGroup;
+  friend std::size_t jobs();
+  struct Impl;
+  std::unique_ptr<Impl> impl_;
+};
+
+/// Parallel loop over [begin, end): body(i) for every index, partitioned
+/// into ~4x-jobs() contiguous chunks of at least `grain` indices. The
+/// caller participates; nested calls are safe (inner loops run inline or
+/// steal lanes as available). Iterations must be independent — the loop
+/// guarantees nothing about execution order.
+void parallel_for(std::size_t begin, std::size_t end, const std::function<void(std::size_t)>& body,
+                  std::size_t grain = 1);
+
+/// parallel_for with an explicit concurrency override (0 = global
+/// jobs()). Used by solver/sweep options that pin their own jobs value.
+void parallel_for_jobs(std::size_t jobs_override, std::size_t begin, std::size_t end,
+                       const std::function<void(std::size_t)>& body, std::size_t grain = 1);
+
+/// Future-based one-off submission. With jobs()==1 the task runs inline
+/// and the future is immediately ready.
+template <class F>
+auto submit(F&& fn) -> std::future<std::invoke_result_t<F>> {
+  using R = std::invoke_result_t<F>;
+  auto task = std::make_shared<std::packaged_task<R()>>(std::forward<F>(fn));
+  auto future = task->get_future();
+  if (jobs() <= 1) {
+    (*task)();
+    return future;
+  }
+  // Detached group: the future carries completion, no join needed.
+  auto group = std::make_shared<TaskGroup>();
+  group->run([task, group] { (*task)(); });
+  return future;
+}
+
+/// Deterministic per-shard RNG stream seed: splitmix64 of (base, index).
+/// Shards seeded this way are statistically independent regardless of
+/// how close the base seeds are (the workload generator's seeds are
+/// small integers).
+std::uint64_t shard_seed(std::uint64_t base, std::uint64_t index);
+
+}  // namespace clara::parallel

@@ -23,4 +23,21 @@ inline constexpr Bytes operator""_KiB(unsigned long long v) { return Bytes{v} * 
 inline constexpr Bytes operator""_MiB(unsigned long long v) { return Bytes{v} * 1024 * 1024; }
 inline constexpr Bytes operator""_GiB(unsigned long long v) { return Bytes{v} * 1024 * 1024 * 1024; }
 
+/// Saturating cycle addition: long replays at extreme service values
+/// must clamp at the top of the range, not wrap (a wrapped timeline
+/// silently reorders every later event).
+inline constexpr Cycles saturating_add(Cycles a, Cycles b) {
+  const Cycles sum = a + b;
+  return sum < a ? ~Cycles{0} : sum;
+}
+
+/// Clamped double → Cycles conversion. Casting a double at or above
+/// 2^64 (or negative, or NaN) is undefined behaviour; timeline math that
+/// starts from floating-point rates goes through here.
+inline constexpr Cycles cycles_from_double(double v) {
+  if (!(v > 0.0)) return 0;  // also catches NaN
+  if (v >= 18446744073709551615.0) return ~Cycles{0};
+  return static_cast<Cycles>(v);
+}
+
 }  // namespace clara

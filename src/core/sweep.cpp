@@ -1,0 +1,110 @@
+#include "core/sweep.hpp"
+
+#include "common/parallel.hpp"
+#include "core/predict.hpp"
+#include "obs/metrics.hpp"
+#include "obs/pool.hpp"
+#include "obs/trace.hpp"
+#include "passes/dataflow.hpp"
+#include "workload/tracegen.hpp"
+
+namespace clara::core {
+
+std::vector<SweepPoint> make_grid(const std::vector<double>& loads_pps,
+                                  const std::vector<std::vector<double>>& params,
+                                  std::uint64_t base_seed) {
+  const std::vector<double> loads = loads_pps.empty() ? std::vector<double>{0.0} : loads_pps;
+  const std::vector<std::vector<double>> vecs =
+      params.empty() ? std::vector<std::vector<double>>{{}} : params;
+  std::vector<SweepPoint> grid;
+  grid.reserve(loads.size() * vecs.size());
+  for (const double pps : loads) {
+    for (const auto& vec : vecs) {
+      SweepPoint p;
+      p.index = grid.size();
+      p.seed = parallel::shard_seed(base_seed, p.index);
+      p.load_pps = pps;
+      p.params = vec;
+      grid.push_back(std::move(p));
+    }
+  }
+  return grid;
+}
+
+std::vector<SweepResult> run_sweep(const std::vector<SweepPoint>& points, const SweepEval& eval,
+                                   const SweepOptions& options) {
+  CLARA_TRACE_SCOPE("core/sweep");
+  const auto pool_before = parallel::pool().stats();
+  std::vector<SweepResult> results(points.size());
+  for (std::size_t i = 0; i < points.size(); ++i) {
+    results[i].point = points[i];
+    results[i].histogram = Histogram(options.hist_lo, options.hist_hi, options.hist_buckets);
+  }
+  // Shards are disjoint slots of `results`, so the body is race-free by
+  // construction; each shard's RNG stream comes from its point.seed.
+  parallel::parallel_for_jobs(options.jobs, 0, points.size(),
+                              [&](std::size_t i) { eval(points[i], results[i]); });
+  obs::publish_pool_stats("sweep", pool_before, parallel::pool().stats());
+  auto& registry = obs::metrics();
+  registry.counter("sweep/runs").inc();
+  registry.counter("sweep/points").inc(points.size());
+  return results;
+}
+
+Histogram merge_histograms(const std::vector<SweepResult>& results, const SweepOptions& options) {
+  Histogram merged(options.hist_lo, options.hist_hi, options.hist_buckets);
+  for (const auto& r : results) {
+    if (r.ok) merged.merge(r.histogram);
+  }
+  return merged;
+}
+
+Accumulator merge_stats(const std::vector<SweepResult>& results) {
+  Accumulator merged;
+  for (const auto& r : results) {
+    if (r.ok) merged.merge(r.stats);
+  }
+  return merged;
+}
+
+std::vector<LoadSweepPoint> predict_load_sweep(const Analyzer& analyzer, const Analysis& analysis,
+                                               const workload::WorkloadProfile& profile,
+                                               const std::vector<double>& loads_pps,
+                                               const AnalyzeOptions& options, std::size_t jobs) {
+  // The graph the mapping was priced against: rebuilt from the lowered
+  // function with hints taken at the base profile (mirrors analyze()).
+  const auto base_trace = workload::generate_trace(profile);
+  const auto hints = hints_from_trace(base_trace, analyzer.profile());
+  const auto graph = passes::DataflowGraph::build(analysis.lowered, hints);
+  const mapping::Mapper mapper(analyzer.profile());
+
+  std::vector<LoadSweepPoint> out(loads_pps.size());
+  SweepOptions sweep_options;
+  sweep_options.jobs = jobs;
+  const auto grid = make_grid(loads_pps, {}, profile.seed);
+  run_sweep(grid,
+            [&](const SweepPoint& point, SweepResult& result) {
+              auto& slot = out[point.index];
+              slot.pps = point.load_pps;
+              slot.seed = point.seed;
+              workload::WorkloadProfile shard = profile;
+              shard.pps = point.load_pps;
+              shard.seed = point.seed;
+              const auto trace = workload::generate_trace(shard);
+              auto prediction =
+                  predict(analysis.lowered, graph, analysis.mapping, mapper, trace, options.predict);
+              if (!prediction) {
+                result.ok = false;
+                result.error = slot.error = prediction.error().message;
+                return;
+              }
+              slot.prediction = std::move(prediction).value();
+              slot.ok = true;
+              result.value = slot.prediction.mean_latency_us;
+              result.stats.add(slot.prediction.mean_latency_us);
+            },
+            sweep_options);
+  return out;
+}
+
+}  // namespace clara::core

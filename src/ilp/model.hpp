@@ -115,6 +115,11 @@ struct Solution {
   std::size_t pivots = 0;
   /// Incumbent trajectory, in discovery order (empty for pure LP solves).
   std::vector<IncumbentStep> incumbents;
+  /// Optimal basis (standard-form column index per row), recorded by
+  /// solve_lp when no artificial column is basic. Feed it to
+  /// LpOptions::warm_basis to warm-start a child solve after a bound
+  /// change. Empty otherwise.
+  std::vector<std::size_t> basis;
 
   [[nodiscard]] bool optimal() const { return status == SolveStatus::kOptimal; }
   [[nodiscard]] double value(int var) const { return values.at(static_cast<std::size_t>(var)); }

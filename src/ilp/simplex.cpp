@@ -131,6 +131,53 @@ class Tableau {
     return sol;
   }
 
+  /// Warm-started solve: pivot into `warm` (a parent-optimal basis),
+  /// repair primal feasibility with dual simplex, then finish with
+  /// primal phase 2 — phase 1 and its artificials are skipped entirely.
+  /// Returns false (tableau left in an undefined state, caller must
+  /// fall back to a cold solve) when the basis is structurally
+  /// incompatible or numerically singular.
+  bool solve_warm(const Model& model, const std::vector<std::size_t>& warm, Solution& out) {
+    if (s_.infeasible_bounds || warm.size() != s_.m) return false;
+    std::vector<bool> seen(s_.n, false);
+    for (const auto j : warm) {
+      if (j >= s_.n || seen[j]) return false;
+      seen[j] = true;
+    }
+
+    // Gauss-Jordan into the warm basis: for each basis column pick the
+    // still-unassigned row with the largest pivot magnitude.
+    const std::size_t m = s_.m;
+    basis_.assign(m, ~std::size_t{0});
+    std::vector<bool> row_done(m, false);
+    for (const auto j : warm) {
+      std::size_t best_r = ~std::size_t{0};
+      double best_abs = 1e-7;  // tighter than kEps: a near-singular basis is not worth keeping
+      for (std::size_t r = 0; r < m; ++r) {
+        if (row_done[r]) continue;
+        const double mag = std::abs(s_.a[r][j]);
+        if (mag > best_abs) {
+          best_abs = mag;
+          best_r = r;
+        }
+      }
+      if (best_r == ~std::size_t{0}) return false;  // singular under this basis
+      pivot(best_r, j);
+      row_done[best_r] = true;
+    }
+
+    // The parent basis is dual-feasible here (branching is an rhs-only
+    // change: bound overrides move `shift` and upper-bound rows, and the
+    // sign-normalization is a row rescaling that reduced costs do not
+    // see), so dual simplex restores b >= 0 without phase 1.
+    auto status = dual_run();
+    phase2_ = true;
+    if (status == SolveStatus::kOptimal) status = run(s_.c, s_.n);
+    out = extract(model, status);
+    out.pivots = pivots_done_;
+    return true;
+  }
+
  private:
   Solution solve_impl(const Model& model) {
     Solution sol;
@@ -211,12 +258,16 @@ class Tableau {
     // Phase 2: forbid artificials from re-entering by pricing them +inf
     // (practically: skip them as entering candidates inside run()).
     phase2_ = true;
-    const auto status = run(s_.c, n_total);
+    return extract(model, run(s_.c, n_total));
+  }
+
+  Solution extract(const Model& model, SolveStatus status) {
+    Solution sol;
     sol.status = status;
     if (status != SolveStatus::kOptimal) return sol;
-
+    const std::size_t n_total = s_.a.empty() ? s_.n : s_.a[0].size();
     std::vector<double> y(n_total, 0.0);
-    for (std::size_t r = 0; r < m; ++r) y[basis_[r]] = s_.b[r];
+    for (std::size_t r = 0; r < s_.m; ++r) y[basis_[r]] = s_.b[r];
     sol.values.assign(model.num_vars(), 0.0);
     double obj = s_.obj_const;
     for (std::size_t i = 0; i < s_.n_model; ++i) {
@@ -224,7 +275,49 @@ class Tableau {
       obj += s_.c[i] * y[i];
     }
     sol.objective = obj;
+    // Record the basis for descendants — only when no (degenerate)
+    // artificial is still basic, since artificial columns do not exist
+    // in a child's standard form.
+    bool clean = true;
+    for (std::size_t r = 0; r < s_.m; ++r) clean = clean && basis_[r] < s_.n;
+    if (clean) sol.basis = basis_;
     return sol;
+  }
+
+  /// Dual simplex. Precondition: reduced costs >= 0 (dual feasibility);
+  /// drives b >= 0 while keeping them so. Leaving row: smallest index
+  /// with b < -eps (Bland-safe); entering: minimum ratio
+  /// reduced_j / |a[row][j]| over a[row][j] < -eps. A row with no
+  /// negative coefficient proves primal infeasibility.
+  SolveStatus dual_run() {
+    std::size_t pivots = 0;
+    while (true) {
+      if (++pivots > max_pivots_) return SolveStatus::kLimit;
+      std::size_t row = ~std::size_t{0};
+      for (std::size_t r = 0; r < s_.m; ++r) {
+        if (s_.b[r] < -kEps) {
+          row = r;
+          break;
+        }
+      }
+      if (row == ~std::size_t{0}) return SolveStatus::kOptimal;
+      std::size_t entering = ~std::size_t{0};
+      double best_ratio = kInf;
+      // Basic columns are unit vectors with a zero in `row` (or +1 for
+      // the row's own basis column), so they never qualify as entering.
+      for (std::size_t j = 0; j < s_.n; ++j) {
+        if (s_.a[row][j] >= -kEps) continue;
+        double reduced = s_.c[j];
+        for (std::size_t r = 0; r < s_.m; ++r) reduced -= s_.c[basis_[r]] * s_.a[r][j];
+        const double ratio = std::max(0.0, reduced) / -s_.a[row][j];
+        if (ratio < best_ratio - kEps) {
+          best_ratio = ratio;
+          entering = j;
+        }
+      }
+      if (entering == ~std::size_t{0}) return SolveStatus::kInfeasible;
+      pivot(row, entering);
+    }
   }
 
   void pivot(std::size_t row, std::size_t col) {
@@ -302,7 +395,13 @@ class Tableau {
 }  // namespace
 
 Solution solve_lp(const Model& model, const LpOptions& options) {
-  Tableau tableau(build_standard(model, options), options.max_pivots);
+  Standard std_form = build_standard(model, options);
+  if (!options.warm_basis.empty()) {
+    Tableau warm(std_form, options.max_pivots);  // copy: cold fallback needs a pristine tableau
+    Solution sol;
+    if (warm.solve_warm(model, options.warm_basis, sol)) return sol;
+  }
+  Tableau tableau(std::move(std_form), options.max_pivots);
   return tableau.solve(model);
 }
 

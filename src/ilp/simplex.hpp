@@ -18,6 +18,13 @@ struct LpOptions {
   std::vector<double> lo_override;
   std::vector<double> hi_override;
   std::size_t max_pivots = 200'000;
+  /// Warm-start basis (standard-form column index per row), typically
+  /// the parent node's Solution::basis. Branching only changes bound
+  /// values, which is an rhs-only perturbation of the standard form, so
+  /// the parent basis stays dual-feasible: the solver pivots into it,
+  /// repairs primal feasibility with dual simplex, and skips phase 1.
+  /// Ignored (cold solve) when structurally incompatible.
+  std::vector<std::size_t> warm_basis;
 };
 
 /// Solves the LP relaxation. Solution::values has one entry per model

@@ -5,8 +5,10 @@
 #include <memory>
 #include <queue>
 
+#include "common/parallel.hpp"
 #include "ilp/simplex.hpp"
 #include "obs/metrics.hpp"
+#include "obs/pool.hpp"
 #include "obs/trace.hpp"
 
 namespace clara::ilp {
@@ -17,40 +19,58 @@ struct Node {
   std::vector<double> lo;
   std::vector<double> hi;
   double bound = -kInf;  // LP relaxation objective (lower bound for min)
+  /// Parent's optimal basis, used to warm-start this node's relaxation.
+  std::vector<std::size_t> warm_basis;
+  /// Creation order — the deterministic tie-break for equal bounds, so
+  /// the search visits nodes in the same order at every jobs level.
+  std::uint64_t seq = 0;
 };
 
 struct NodeOrder {
   bool operator()(const std::shared_ptr<Node>& a, const std::shared_ptr<Node>& b) const {
-    return a->bound > b->bound;  // best-bound-first
+    if (a->bound != b->bound) return a->bound > b->bound;  // best-bound-first
+    return a->seq > b->seq;                                // then oldest-first
   }
 };
 
-/// Index of the most fractional integer variable, or -1 if all integral.
+/// Nodes popped per wave. The relaxations of one wave solve in
+/// parallel; their results are applied strictly in pop order, which is
+/// what makes the search deterministic. Fixed (never derived from the
+/// jobs level) so the explored node sequence is identical at every
+/// concurrency setting.
+constexpr std::size_t kWaveWidth = 16;
+
+struct WaveResult {
+  Solution relax;
+  bool solved = false;
+};
+
+}  // namespace
+
 int pick_branch_var(const Model& model, const std::vector<double>& values, double tol) {
   int best = -1;
-  double best_frac = tol;
+  double best_score = -1.0;
   for (std::size_t i = 0; i < model.num_vars(); ++i) {
     if (model.variables()[i].kind == VarKind::kContinuous) continue;
     const double v = values[i];
     const double frac = std::abs(v - std::round(v));
-    const double dist_to_half = std::abs(frac - 0.5);
-    if (frac > tol) {
-      // prefer fractions near 0.5
-      const double score = 0.5 - dist_to_half + 0.5;
-      if (best == -1 || score > best_frac) {
-        best = static_cast<int>(i);
-        best_frac = score;
-      }
+    if (frac <= tol) continue;
+    // Most-fractional rule: score peaks at frac == 0.5 and is symmetric
+    // around it; strict > keeps the lowest index on exact ties.
+    const double score = 0.5 - std::abs(frac - 0.5);
+    if (score > best_score) {
+      best = static_cast<int>(i);
+      best_score = score;
     }
   }
   return best;
 }
 
-}  // namespace
-
 Solution solve_milp(const Model& model, const MilpOptions& options) {
   CLARA_TRACE_SCOPE("ilp/branch_and_bound");
   if (!model.has_integers()) return solve_lp(model);
+
+  const auto pool_before = parallel::pool().stats();
 
   Solution incumbent;
   incumbent.status = SolveStatus::kInfeasible;
@@ -58,6 +78,7 @@ Solution solve_milp(const Model& model, const MilpOptions& options) {
   std::size_t total_pivots = 0;
   std::vector<IncumbentStep> trajectory;
 
+  std::uint64_t next_seq = 0;
   auto root = std::make_shared<Node>();
   root->lo.resize(model.num_vars());
   root->hi.resize(model.num_vars());
@@ -65,79 +86,128 @@ Solution solve_milp(const Model& model, const MilpOptions& options) {
     root->lo[i] = model.variables()[i].lo;
     root->hi[i] = model.variables()[i].hi;
   }
+  root->seq = next_seq++;
 
   std::priority_queue<std::shared_ptr<Node>, std::vector<std::shared_ptr<Node>>, NodeOrder> open;
   open.push(root);
 
   std::size_t explored = 0;
   bool hit_limit = false;
+  bool stop_search = false;
+  std::vector<std::shared_ptr<Node>> wave;
+  std::vector<WaveResult> results;
 
-  while (!open.empty()) {
-    if (explored >= options.max_nodes) {
-      hit_limit = true;
+  while (!open.empty() && !stop_search) {
+    // Form a wave of the globally best open nodes. Wave composition
+    // depends only on the heap (deterministic), never on timing.
+    wave.clear();
+    while (wave.size() < kWaveWidth && !open.empty() && explored + wave.size() < options.max_nodes) {
+      wave.push_back(open.top());
+      open.pop();
+    }
+    if (wave.empty()) {
+      hit_limit = true;  // node budget exhausted with work remaining
       break;
     }
-    const auto node = open.top();
-    open.pop();
-    ++explored;
 
-    // Bound pruning against the incumbent.
-    if (node->bound >= incumbent.objective - 1e-12) continue;
+    // Solve the wave's LP relaxations concurrently. Pruning here uses
+    // the incumbent as of the wave boundary — a deterministic snapshot —
+    // so which nodes get solved never depends on thread scheduling.
+    // (A node that an in-wave incumbent would prune is solved anyway and
+    // discarded below: wasted work, never wrong results.)
+    const double wave_incumbent = incumbent.objective;
+    results.assign(wave.size(), WaveResult{});
+    parallel::parallel_for_jobs(options.jobs, 0, wave.size(), [&](std::size_t i) {
+      const auto& node = wave[i];
+      if (node->bound >= wave_incumbent - 1e-12) return;
+      LpOptions lp_options;
+      lp_options.lo_override = node->lo;
+      lp_options.hi_override = node->hi;
+      lp_options.warm_basis = node->warm_basis;
+      results[i].relax = solve_lp(model, lp_options);
+      results[i].solved = true;
+    });
 
-    LpOptions lp_options;
-    lp_options.lo_override = node->lo;
-    lp_options.hi_override = node->hi;
-    const Solution relax = solve_lp(model, lp_options);
-    total_pivots += relax.pivots;
-    if (relax.status == SolveStatus::kInfeasible) continue;
-    if (relax.status == SolveStatus::kUnbounded) {
-      // An unbounded relaxation of a bounded-integer problem means the
-      // continuous part is unbounded; report it.
-      Solution out;
-      out.status = SolveStatus::kUnbounded;
-      out.nodes_explored = explored;
-      return out;
-    }
-    if (relax.status == SolveStatus::kLimit) {
-      hit_limit = true;
-      continue;
-    }
-    if (relax.objective >= incumbent.objective - 1e-12) continue;
+    // Apply results strictly in pop order. Everything below is serial
+    // and a pure function of (model, options, wave, results), so the
+    // incumbent trajectory, node/pivot counts, and final Solution are
+    // bit-identical at every jobs level.
+    for (std::size_t i = 0; i < wave.size() && !stop_search; ++i) {
+      const auto& node = wave[i];
+      ++explored;
 
-    const int branch_var = pick_branch_var(model, relax.values, options.int_tol);
-    if (branch_var < 0) {
-      // Integral: new incumbent.
-      Solution candidate = relax;
-      // Snap near-integers exactly.
-      for (std::size_t i = 0; i < model.num_vars(); ++i) {
-        if (model.variables()[i].kind != VarKind::kContinuous) {
-          candidate.values[i] = std::round(candidate.values[i]);
+      // Bound pruning against the incumbent (which may have improved
+      // earlier in this wave — discarded solves leave no trace, not
+      // even their pivots).
+      if (node->bound >= incumbent.objective - 1e-12) continue;
+
+      const Solution& relax = results[i].relax;
+      total_pivots += relax.pivots;
+      if (relax.status == SolveStatus::kInfeasible) continue;
+      if (relax.status == SolveStatus::kUnbounded) {
+        // An unbounded relaxation of a bounded-integer problem means the
+        // continuous part is unbounded; report it.
+        Solution out;
+        out.status = SolveStatus::kUnbounded;
+        out.nodes_explored = explored;
+        return out;
+      }
+      if (relax.status == SolveStatus::kLimit) {
+        hit_limit = true;
+        continue;
+      }
+      if (relax.objective >= incumbent.objective - 1e-12) continue;
+
+      const int branch_var = pick_branch_var(model, relax.values, options.int_tol);
+      if (branch_var < 0) {
+        // Integral: new incumbent.
+        Solution candidate = relax;
+        candidate.basis.clear();  // internal detail, not part of the answer
+        // Snap near-integers exactly.
+        for (std::size_t v = 0; v < model.num_vars(); ++v) {
+          if (model.variables()[v].kind != VarKind::kContinuous) {
+            candidate.values[v] = std::round(candidate.values[v]);
+          }
         }
+        if (candidate.objective < incumbent.objective) {
+          incumbent = candidate;
+          incumbent.status = SolveStatus::kOptimal;
+          trajectory.push_back({explored, candidate.objective});
+        }
+        if (options.rel_gap > 0.0) {
+          // Best outstanding bound: the open heap plus this wave's
+          // not-yet-applied tail.
+          double bound = open.empty() ? kInf : open.top()->bound;
+          for (std::size_t k = i + 1; k < wave.size(); ++k) bound = std::min(bound, wave[k]->bound);
+          if (bound != kInf &&
+              incumbent.objective - bound <= options.rel_gap * std::max(1.0, std::abs(incumbent.objective))) {
+            stop_search = true;
+          }
+        }
+        continue;
       }
-      if (candidate.objective < incumbent.objective) {
-        incumbent = candidate;
-        incumbent.status = SolveStatus::kOptimal;
-        trajectory.push_back({explored, candidate.objective});
-      }
-      if (options.rel_gap > 0.0 && !open.empty()) {
-        const double bound = open.top()->bound;
-        if (incumbent.objective - bound <= options.rel_gap * std::max(1.0, std::abs(incumbent.objective))) break;
-      }
-      continue;
-    }
 
-    const double v = relax.values[static_cast<std::size_t>(branch_var)];
-    auto down = std::make_shared<Node>(*node);
-    down->hi[static_cast<std::size_t>(branch_var)] = std::floor(v);
-    down->bound = relax.objective;
-    auto up = std::make_shared<Node>(*node);
-    up->lo[static_cast<std::size_t>(branch_var)] = std::ceil(v);
-    up->bound = relax.objective;
-    if (down->lo[static_cast<std::size_t>(branch_var)] <= down->hi[static_cast<std::size_t>(branch_var)]) {
-      open.push(down);
-    }
-    if (up->lo[static_cast<std::size_t>(branch_var)] <= up->hi[static_cast<std::size_t>(branch_var)]) {
-      open.push(up);
+      const double v = relax.values[static_cast<std::size_t>(branch_var)];
+      auto down = std::make_shared<Node>();
+      down->lo = node->lo;
+      down->hi = node->hi;
+      down->hi[static_cast<std::size_t>(branch_var)] = std::floor(v);
+      down->bound = relax.objective;
+      down->warm_basis = relax.basis;
+      auto up = std::make_shared<Node>();
+      up->lo = node->lo;
+      up->hi = node->hi;
+      up->lo[static_cast<std::size_t>(branch_var)] = std::ceil(v);
+      up->bound = relax.objective;
+      up->warm_basis = relax.basis;
+      if (down->lo[static_cast<std::size_t>(branch_var)] <= down->hi[static_cast<std::size_t>(branch_var)]) {
+        down->seq = next_seq++;
+        open.push(down);
+      }
+      if (up->lo[static_cast<std::size_t>(branch_var)] <= up->hi[static_cast<std::size_t>(branch_var)]) {
+        up->seq = next_seq++;
+        open.push(up);
+      }
     }
   }
 
@@ -151,6 +221,7 @@ Solution solve_milp(const Model& model, const MilpOptions& options) {
   registry.counter("ilp/nodes_explored").inc(explored);
   registry.counter("ilp/pivots").inc(total_pivots);
   registry.counter("ilp/incumbents").inc(incumbent.incumbents.size());
+  obs::publish_pool_stats("ilp", pool_before, parallel::pool().stats());
   return incumbent;
 }
 

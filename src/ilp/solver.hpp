@@ -12,7 +12,18 @@ struct MilpOptions {
   /// Stop early when the incumbent is within this relative gap of the
   /// best bound (0 = prove optimality).
   double rel_gap = 0.0;
+  /// Concurrency for the branch-and-bound search (0 = the global
+  /// parallel::jobs() level, 1 = fully serial). The returned Solution is
+  /// bit-identical at every jobs value: node waves are formed and applied
+  /// deterministically and only the LP relaxations run concurrently.
+  std::size_t jobs = 0;
 };
+
+/// Index of the integer variable whose fractional part is closest to
+/// one half (the classic most-fractional branching rule), or -1 when
+/// every integer variable is integral within tol. Ties break toward the
+/// lowest variable index. Exposed for testing.
+int pick_branch_var(const Model& model, const std::vector<double>& values, double tol);
 
 /// Solves the model, honoring binary/integer variable kinds. Returns
 /// kOptimal with the best integer solution, kInfeasible when none

@@ -101,7 +101,7 @@ void NicApi::set_hdr(cir::HdrField f, std::uint64_t v) {
 
 std::uint64_t NicApi::csum(std::uint32_t len, bool use_accel) {
   const NicConfig& cfg = sim_.config_;
-  const auto service = static_cast<Cycles>(cfg.csum_accel_base + cfg.csum_accel_per_byte * len);
+  const Cycles service = cycles_from_double(cfg.csum_accel_base + cfg.csum_accel_per_byte * len);
   if (use_accel) {
     // The reservation delta covers queueing behind other packets plus
     // the service itself — the accelerator stall the breakdown reports.
@@ -114,11 +114,11 @@ std::uint64_t NicApi::csum(std::uint32_t len, bool use_accel) {
 
 void NicApi::crypto(std::uint32_t len, bool use_accel) {
   const NicConfig& cfg = sim_.config_;
-  const auto service = static_cast<Cycles>(cfg.crypto_base + cfg.crypto_per_byte * len);
+  const Cycles service = cycles_from_double(cfg.crypto_base + cfg.crypto_per_byte * len);
   if (use_accel) {
     charge(obs::Component::kCryptoAccel, sim_.crypto_unit_.request(now_, service) - now_);
   } else {
-    compute(static_cast<Cycles>(service * cfg.crypto_sw_factor));
+    compute(cycles_from_double(static_cast<double>(service) * cfg.crypto_sw_factor));
   }
 }
 
@@ -152,9 +152,9 @@ bool NicApi::lpm_lookup(LpmTable& table, std::uint64_t key, bool use_flow_cache)
   charge(obs::Component::kLpmEngine, sim_.lpm_unit_.request(now_, cfg.flow_cache_hit) - now_);
   if (!outcome.flow_cache_hit) {
     charge(obs::Component::kLpmEngine,
-           static_cast<Cycles>((cfg.lpm_dram_base +
-                                cfg.lpm_dram_per_entry * static_cast<double>(table.rule_entries())) *
-                               outcome.walk_factor));
+           cycles_from_double((cfg.lpm_dram_base +
+                               cfg.lpm_dram_per_entry * static_cast<double>(table.rule_entries())) *
+                              outcome.walk_factor));
   }
   return outcome.flow_cache_hit;
 }
@@ -284,17 +284,18 @@ RunStats NicSim::run(NicProgram& program, const workload::Trace& trace) {
   Cycles first_arrival = ~Cycles{0};
 
   for (const auto& pkt : trace.packets) {
-    const auto arrival = static_cast<Cycles>(static_cast<double>(pkt.arrival_ns) * cycles_per_ns);
+    const Cycles arrival = cycles_from_double(static_cast<double>(pkt.arrival_ns) * cycles_per_ns);
     first_arrival = std::min(first_arrival, arrival);
 
     // Ingress hub + DMA into CTM (with EMEM spill for big packets).
     const Cycles hub_done = ingress_hub_.request(arrival, config_.hub_service);
     const std::uint32_t frame = pkt.frame_len();
-    Cycles dma = config_.ingress_base + static_cast<Cycles>(config_.ingress_per_byte * frame);
+    Cycles dma = saturating_add(config_.ingress_base, cycles_from_double(config_.ingress_per_byte * frame));
     if (frame > config_.ctm_pkt_residency) {
-      dma += static_cast<Cycles>(config_.spill_per_byte * static_cast<double>(frame - config_.ctm_pkt_residency));
+      dma = saturating_add(
+          dma, cycles_from_double(config_.spill_per_byte * static_cast<double>(frame - config_.ctm_pkt_residency)));
     }
-    const Cycles ready = hub_done + dma;
+    const Cycles ready = saturating_add(hub_done, dma);
     dma_bytes_ += 2ULL * frame;  // in and back out
 
     // Queue occupancy check: packets not yet dispatched when this one
@@ -393,11 +394,12 @@ Cycles NicSim::measure_one(NicProgram& program, const workload::PacketMeta& pkt)
   NicApi api(self, trace.packets[0], 0, 0, pkt_counter_++);
   // Charge the datapath on-ramp exactly like run().
   const std::uint32_t frame = pkt.frame_len();
-  Cycles dma = config_.ingress_base + static_cast<Cycles>(config_.ingress_per_byte * frame);
+  Cycles dma = saturating_add(config_.ingress_base, cycles_from_double(config_.ingress_per_byte * frame));
   if (frame > config_.ctm_pkt_residency) {
-    dma += static_cast<Cycles>(config_.spill_per_byte * static_cast<double>(frame - config_.ctm_pkt_residency));
+    dma = saturating_add(
+        dma, cycles_from_double(config_.spill_per_byte * static_cast<double>(frame - config_.ctm_pkt_residency)));
   }
-  api.charge(obs::Component::kIngress, config_.hub_service + dma);
+  api.charge(obs::Component::kIngress, saturating_add(config_.hub_service, dma));
   program.handle(api);
   if (!api.done_) api.emit();
   return api.now_;

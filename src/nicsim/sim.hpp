@@ -47,11 +47,14 @@ namespace clara::nicsim {
 class ServiceUnit {
  public:
   /// Reserves `service` cycles starting no earlier than `now`; returns
-  /// the completion time.
+  /// the completion time. Saturates instead of wrapping: a replay long
+  /// enough (or a service value extreme enough) to exhaust the 64-bit
+  /// cycle space pins the unit at the end of time rather than silently
+  /// reordering every later reservation.
   Cycles request(Cycles now, Cycles service) {
     const Cycles start = std::max(now, next_free_);
-    next_free_ = start + service;
-    busy_ += service;
+    next_free_ = saturating_add(start, service);
+    busy_ = saturating_add(busy_, service);
     return next_free_;
   }
   [[nodiscard]] Cycles busy_cycles() const { return busy_; }
@@ -141,9 +144,10 @@ class NicApi {
 
   /// Advances the packet's timeline and charges the delta to one
   /// breakdown component — the only way now_ moves inside the API, so
-  /// the components provably sum to the processing time.
+  /// the components provably sum to the processing time. Saturating for
+  /// the same reason as ServiceUnit::request.
   void charge(obs::Component c, Cycles delta) {
-    now_ += delta;
+    now_ = saturating_add(now_, delta);
     bd_.add(c, delta);
   }
 

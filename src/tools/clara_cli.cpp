@@ -28,6 +28,7 @@
 
 #include "cir/printer.hpp"
 #include "cir/verify.hpp"
+#include "common/parallel.hpp"
 #include "common/strings.hpp"
 #include "common/table.hpp"
 #include "common/version.hpp"
@@ -38,6 +39,7 @@
 #include "core/adversarial.hpp"
 #include "core/energy.hpp"
 #include "core/partial.hpp"
+#include "core/sweep.hpp"
 #include "frontend/p4lite.hpp"
 #include "microbench/microbench.hpp"
 #include "nf/nf_cir.hpp"
@@ -296,6 +298,32 @@ int cmd_analyze(const Args& args) {
                 paths.complete ? "" : ", truncated");
     for (const auto& path : paths.paths) std::printf("  %s\n", path.describe(a.lowered).c_str());
   }
+  if (args.has("sweep-pps")) {
+    // Comma-separated load points, e.g. --sweep-pps=10000,60000,200000.
+    std::vector<double> loads;
+    std::stringstream ss(args.get("sweep-pps"));
+    for (std::string item; std::getline(ss, item, ',');) {
+      const double pps = std::atof(item.c_str());
+      if (pps > 0) loads.push_back(pps);
+    }
+    if (loads.empty()) {
+      std::fprintf(stderr, "sweep-pps: no valid load points\n");
+      return 1;
+    }
+    const auto sweep = core::predict_load_sweep(analyzer, a, trace->profile, loads, options);
+    std::printf("\nload sensitivity (mapping fixed, workload regenerated per point):\n");
+    TextTable sweep_table({"offered pps", "mean latency (us)", "worst case (cyc)", "bottleneck"});
+    for (const auto& point : sweep) {
+      if (!point.ok) {
+        sweep_table.add_row({strf("%.0f", point.pps), "error: " + point.error, "", ""});
+        continue;
+      }
+      sweep_table.add_row({strf("%.0f", point.pps), strf("%.2f", point.prediction.mean_latency_us),
+                           strf("%.0f", point.prediction.worst_case_cycles),
+                           point.prediction.bottleneck});
+    }
+    std::printf("%s", sweep_table.render().c_str());
+  }
   return 0;
 }
 
@@ -426,11 +454,15 @@ void usage() {
       "  analyze  --nf <name>|--nf-file <f.cir>|--nf-p4 <f.p4nf> [--nic <profile>]\n"
       "           [--workload \"<spec>\"]\n"
       "           [--trace <f.cltr>] [--greedy] [--no-patterns] [--paths] [--energy] [--partial]\n"
+      "           [--sweep-pps <a,b,c>]  predictor sensitivity sweep over offered loads\n"
       "  simulate --nf <name> [--workload \"<spec>\"] [--csum-sw] [--no-flow-cache]\n"
       "  adversarial --nf <name> [--nic <profile>] [--workload \"<spec>\"]\n"
       "  microbench\n"
       "  trace-gen  --workload \"<spec>\" --out <f.cltr>\n"
       "  trace-info <f.cltr>\n\n"
+      "global:\n"
+      "  --jobs=<N>              concurrency level for parallel phases (default:\n"
+      "                          CLARA_JOBS or hardware threads; 1 = fully serial)\n\n"
       "observability (any command):\n"
       "  --trace-out=<f.json>    record pipeline spans; write Chrome trace-event JSON\n"
       "                          (open at chrome://tracing) + flame summary on stderr\n"
@@ -467,7 +499,18 @@ bool write_file(const std::string& path, const std::string& content) {
 
 int main(int argc, char** argv) {
   const Args args = parse_args(argc, argv);
-  std::fprintf(stderr, "clara %s (%s)\n", kVersionString, build_info());
+  if (args.has("jobs")) {
+    const long n = std::atol(args.get("jobs").c_str());
+    if (n < 1) {
+      std::fprintf(stderr, "--jobs must be a positive integer\n");
+      return 1;
+    }
+    parallel::set_jobs(static_cast<std::size_t>(n));
+  }
+  // Echo the effective concurrency alongside the version so any run's
+  // conditions are reproducible from its stderr log.
+  std::fprintf(stderr, "clara %s (%s, jobs=%zu)\n", kVersionString, build_info(),
+               parallel::jobs());
 
   const std::string trace_out = args.get("trace-out");
   if (!trace_out.empty()) obs::tracer().set_enabled(true);

@@ -192,6 +192,28 @@ TEST(Milp, AssignmentProblem) {
   EXPECT_NEAR(sol.objective, 12.0, 1e-6);
 }
 
+TEST(Milp, PickBranchVarPrefersMostFractional) {
+  // Regression: the score must reward closeness to 0.5, so a 0.49
+  // fraction beats a 0.01 fraction (an earlier version scored by the
+  // raw fraction and picked nearly-integral variables).
+  Model m;
+  const int a = m.add_binary("a");
+  const int b = m.add_binary("b");
+  const int c = m.add_binary("c");
+  std::vector<double> values(3, 0.0);
+  values[static_cast<std::size_t>(a)] = 1.01;  // fraction 0.01
+  values[static_cast<std::size_t>(b)] = 0.49;  // most fractional
+  values[static_cast<std::size_t>(c)] = 1.0;   // integral
+  EXPECT_EQ(pick_branch_var(m, values, 1e-6), b);
+  // Fractions symmetric around one half tie; the lowest index wins.
+  values[static_cast<std::size_t>(a)] = 0.51;
+  EXPECT_EQ(pick_branch_var(m, values, 1e-6), a);
+  // All integral within tolerance: no branch candidate.
+  values[static_cast<std::size_t>(a)] = 1.0;
+  values[static_cast<std::size_t>(b)] = 0.0;
+  EXPECT_EQ(pick_branch_var(m, values, 1e-6), -1);
+}
+
 // Property test: branch-and-bound equals brute-force enumeration on
 // random binary programs.
 class MilpPropertyTest : public ::testing::TestWithParam<int> {};

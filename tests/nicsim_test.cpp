@@ -151,6 +151,45 @@ TEST(ServiceUnitTest, SerializesRequests) {
   EXPECT_EQ(unit.busy_cycles(), 25u);
 }
 
+TEST(ServiceUnitTest, SaturatesInsteadOfWrapping) {
+  // Regression: extreme service values used to wrap the 64-bit timeline,
+  // silently reordering every later reservation. The unit must pin at
+  // the top of the cycle range instead.
+  const Cycles top = ~Cycles{0};
+  ServiceUnit unit;
+  EXPECT_EQ(unit.request(top - 5, 100), top);    // start + service overflows
+  EXPECT_EQ(unit.request(0, 100), top);          // queued behind the pinned unit
+  EXPECT_EQ(unit.busy_cycles(), 200u);
+
+  ServiceUnit unit2;
+  EXPECT_EQ(unit2.request(10, top), top);        // service alone near the limit
+  EXPECT_EQ(unit2.request(top, top), top);       // both extreme
+  EXPECT_EQ(unit2.busy_cycles(), top);           // busy accounting saturates too
+}
+
+TEST(NicSimTest, ExtremeServiceValuesDoNotWrapTimeline) {
+  // A config with absurd accelerator costs must yield a saturated (huge)
+  // latency, never a wrapped-around small one.
+  NicConfig config;
+  config.csum_accel_base = 1e30;  // would overflow any integer cast
+  config.crypto_base = 1e30;
+  NicSim sim(config);
+  auto& sa = sim.create_table("sa", 1024, 64, MemLevel::kCtm);
+  nf::CryptoGwProgram program(sa, /*use_crypto_accel=*/true);
+  workload::PacketMeta pkt;
+  pkt.payload_len = 512;
+  sa.update(pkt.flow_hash());  // SA hit so the crypto path actually runs
+  const Cycles t = sim.measure_one(program, pkt);
+  EXPECT_EQ(t, ~Cycles{0});  // pinned at the end of time, not wrapped
+
+  // Sane configs stay far away from saturation.
+  NicSim sane;
+  auto& sane_sa = sane.create_table("sa", 1024, 64, MemLevel::kCtm);
+  sane_sa.update(pkt.flow_hash());
+  nf::CryptoGwProgram sane_program(sane_sa, true);
+  EXPECT_LT(sane.measure_one(sane_program, pkt), Cycles{1} << 40);
+}
+
 TEST(NicSimTest, MeasureOneIsDeterministic) {
   NicSim sim;
   nf::RewriteProgram program;
