@@ -49,7 +49,7 @@ int main() {
     const auto dpi = nf::build_dpi_nf();
     core::AnalyzeOptions with;
     core::AnalyzeOptions without;
-    without.pattern_matching = false;
+    without.stages = core::PipelineStages::no_patterns();
     const auto a = analyze_or_die(analyzer, dpi, trace, with);
     const auto b = analyze_or_die(analyzer, dpi, trace, without);
 

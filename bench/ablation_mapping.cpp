@@ -32,7 +32,7 @@ int main() {
   for (auto& c : cases) {
     core::AnalyzeOptions ilp_options;
     core::AnalyzeOptions greedy_options;
-    greedy_options.use_ilp = false;
+    greedy_options.stages = core::PipelineStages::no_ilp();
     const auto a = analyze_or_die(analyzer, c.fn, trace, ilp_options);
     const auto b = analyze_or_die(analyzer, c.fn, trace, greedy_options);
     const double penalty = b.prediction.mean_latency_cycles / a.prediction.mean_latency_cycles;
@@ -52,7 +52,7 @@ int main() {
   const auto nat = nf::build_nat_nf();
   core::AnalyzeOptions ilp_options;
   core::AnalyzeOptions greedy_options;
-  greedy_options.use_ilp = false;
+  greedy_options.stages = core::PipelineStages::no_ilp();
   const auto a = analyze_or_die(analyzer, nat, hot_trace, ilp_options);
   const auto b = analyze_or_die(analyzer, nat, hot_trace, greedy_options);
 

@@ -50,7 +50,7 @@ int main() {
   // Clara: solo and co-resident predictions.
   const auto solo_nat = analyze_or_die(analyzer, nat, trace);
   const auto solo_dpi = analyze_or_die(analyzer, dpi, trace);
-  auto co = core::analyze_coresident(analyzer, nat, trace, dpi, trace);
+  auto co = analyzer.coresident(nat, trace, dpi, trace);
   if (!co.ok()) {
     std::fprintf(stderr, "co-resident analysis failed: %s\n", co.error().message.c_str());
     return 1;

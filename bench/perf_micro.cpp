@@ -23,8 +23,10 @@
 #include "cir/interp.hpp"
 #include "common/parallel.hpp"
 #include "common/rng.hpp"
+#include "core/cache.hpp"
 #include "core/clara.hpp"
 #include "core/sweep.hpp"
+#include "obs/metrics.hpp"
 #include "ilp/simplex.hpp"
 #include "ilp/solver.hpp"
 #include "nf/nf_cir.hpp"
@@ -140,8 +142,12 @@ std::vector<MicroResult> run_micros() {
     const core::Analyzer analyzer(lnic::netronome_agilio_cx());
     const auto nat = nf::build_nat_nf();
     const auto trace = small_trace();
+    // Cache off: this micro tracks the *cold* pipeline cost; the warm
+    // path is measured separately by the cached_sweep scenario.
+    core::AnalyzeOptions options;
+    options.use_cache = false;
     out.push_back(run_micro("analyze_nat_end_to_end", [&] {
-      volatile auto ok = analyzer.analyze(nat, trace).ok();
+      volatile auto ok = analyzer.analyze(nat, trace, options).ok();
       (void)ok;
     }));
   }
@@ -230,7 +236,7 @@ ParallelResult bench_branch_and_bound(std::size_t jobs) {
   r.name = "milp_branch_and_bound";
   r.jobs = jobs;
   const auto model = hard_milp(20, 3);
-  ilp::MilpOptions options;
+  ilp::SolveOptions options;
   options.max_nodes = 10'000;
 
   options.jobs = 1;
@@ -302,10 +308,65 @@ ParallelResult bench_sweep(std::size_t jobs) {
   return r;
 }
 
+// --- cached analysis sweep ---------------------------------------------------
+
+struct CacheBenchResult {
+  double cold_ms = 0.0;
+  double warm_ms = 0.0;
+  /// cold_ms / warm_ms — the headline number tracked across PRs.
+  double cache_warm_speedup = 0.0;
+  std::uint64_t hits = 0;
+  std::uint64_t misses = 0;
+  std::uint64_t warm_ilp_solves = 0;  // must be 0: a warm pass skips the ILP
+  bool identical_results = false;
+};
+
+/// Analyzes a batch of NFs twice against the same trace: once against a
+/// cleared cache (cold) and once warm. The warm pass must be bit-identical
+/// and run zero ILP solves; the speedup is what interactive re-analysis
+/// (sweeps, co-residence studies, CI reruns) actually feels.
+CacheBenchResult bench_cached_sweep() {
+  CacheBenchResult r;
+  const core::Analyzer analyzer(lnic::netronome_agilio_cx());
+  std::vector<cir::Function> nfs;
+  nfs.push_back(nf::build_nat_nf());
+  nfs.push_back(nf::build_hh_nf());
+  nfs.push_back(nf::build_vnf_chain());
+  const auto trace = small_trace();
+
+  const auto run_pass = [&] {
+    std::vector<double> latencies;
+    for (const auto& fn : nfs) {
+      auto analysis = analyzer.analyze(fn, trace);
+      latencies.push_back(analysis.ok() ? analysis.value().prediction.mean_latency_cycles : -1.0);
+    }
+    return latencies;
+  };
+
+  core::analysis_cache().clear();
+  auto t0 = Clock::now();
+  const auto cold = run_pass();
+  r.cold_ms = ms_since(t0);
+
+  auto& solves = obs::metrics().counter("ilp/solves");
+  const std::uint64_t solves_before = solves.value();
+  t0 = Clock::now();
+  const auto warm = run_pass();
+  r.warm_ms = ms_since(t0);
+
+  r.warm_ilp_solves = solves.value() - solves_before;
+  r.cache_warm_speedup = r.warm_ms > 0 ? r.cold_ms / r.warm_ms : 0.0;
+  r.identical_results = cold == warm;
+  const auto stats = core::analysis_cache().stats();
+  r.hits = stats.hits;
+  r.misses = stats.misses;
+  return r;
+}
+
 // --- output ------------------------------------------------------------------
 
 void write_json(const std::string& path, std::size_t jobs, const std::vector<MicroResult>& micros,
-                const std::vector<ParallelResult>& par) {
+                const std::vector<ParallelResult>& par, const CacheBenchResult& cache) {
   FILE* f = std::fopen(path.c_str(), "w");
   if (!f) {
     std::fprintf(stderr, "cannot write %s\n", path.c_str());
@@ -336,7 +397,17 @@ void write_json(const std::string& path, std::size_t jobs, const std::vector<Mic
                  p.packets_per_sec_serial, p.packets_per_sec_parallel,
                  p.identical_results ? "true" : "false", i + 1 < par.size() ? "," : "");
   }
-  std::fprintf(f, "  ]\n}\n");
+  std::fprintf(f, "  ],\n");
+  std::fprintf(f,
+               "  \"cache\": {\"name\": \"cached_sweep\", \"cold_ms\": %.2f, \"warm_ms\": %.2f, "
+               "\"cache_warm_speedup\": %.3f, \"hits\": %llu, \"misses\": %llu, "
+               "\"warm_ilp_solves\": %llu, \"identical_results\": %s}\n",
+               cache.cold_ms, cache.warm_ms, cache.cache_warm_speedup,
+               static_cast<unsigned long long>(cache.hits),
+               static_cast<unsigned long long>(cache.misses),
+               static_cast<unsigned long long>(cache.warm_ilp_solves),
+               cache.identical_results ? "true" : "false");
+  std::fprintf(f, "}\n");
   std::fclose(f);
   std::printf("wrote %s\n", path.c_str());
 }
@@ -373,12 +444,23 @@ int main(int argc, char** argv) {
                 p.identical_results ? "yes" : "NO");
   }
 
-  if (!json_path.empty()) write_json(json_path, jobs, micros, par);
+  const auto cache = bench_cached_sweep();
+  std::printf("\ncached analysis sweep (cold vs warm, 3 NFs):\n");
+  std::printf("  cold %8.2f ms  warm %8.2f ms  cache_warm_speedup %.2fx  warm_ilp_solves=%llu  identical=%s\n",
+              cache.cold_ms, cache.warm_ms, cache.cache_warm_speedup,
+              static_cast<unsigned long long>(cache.warm_ilp_solves),
+              cache.identical_results ? "yes" : "NO");
+
+  if (!json_path.empty()) write_json(json_path, jobs, micros, par, cache);
 
   bool ok = true;
   for (const auto& p : par) ok = ok && p.identical_results;
   if (!ok) {
     std::fprintf(stderr, "FAIL: parallel results differ from serial\n");
+    return 1;
+  }
+  if (!cache.identical_results || cache.warm_ilp_solves != 0) {
+    std::fprintf(stderr, "FAIL: warm cache pass diverged from cold pass\n");
     return 1;
   }
   return 0;

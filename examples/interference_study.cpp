@@ -51,7 +51,7 @@ int main() {
         row.push_back("-");
         continue;
       }
-      auto co = core::analyze_coresident(analyzer, cases[i].fn, trace, cases[j].fn, trace);
+      auto co = analyzer.coresident(cases[i].fn, trace, cases[j].fn, trace);
       if (!co) {
         row.push_back("err");
         continue;

@@ -1,0 +1,63 @@
+#include "cir/hash.hpp"
+
+#include "common/hash.hpp"
+
+namespace clara::cir {
+
+namespace {
+
+void mix_value(Fnv1a& h, const Value& v) {
+  h.mix_byte(static_cast<std::uint8_t>(v.kind));
+  switch (v.kind) {
+    case Value::Kind::kNone: break;
+    case Value::Kind::kReg: h.mix(v.reg); break;
+    case Value::Kind::kImm: h.mix(v.imm); break;
+  }
+}
+
+void mix_instr(Fnv1a& h, const Instr& instr) {
+  h.mix_byte(static_cast<std::uint8_t>(instr.op));
+  h.mix_byte(static_cast<std::uint8_t>(instr.type));
+  h.mix(instr.dst);
+  h.mix(static_cast<std::uint64_t>(instr.args.size()));
+  for (const auto& arg : instr.args) mix_value(h, arg);
+  h.mix(instr.target0);
+  h.mix(instr.target1);
+  h.mix(std::string_view(instr.callee));
+  h.mix_byte(static_cast<std::uint8_t>(instr.space));
+  h.mix(instr.state);
+  h.mix(static_cast<std::uint64_t>(instr.phi_preds.size()));
+  for (std::uint32_t pred : instr.phi_preds) h.mix(pred);
+}
+
+void mix_sym(Fnv1a& h, const SymExpr& e) {
+  h.mix(e.scale);
+  h.mix(std::string_view(e.param));
+  h.mix(e.bias);
+}
+
+}  // namespace
+
+std::uint64_t hash_function(const Function& fn) {
+  Fnv1a h;
+  h.mix(std::string_view(fn.name));
+  h.mix(fn.num_regs);
+  h.mix(static_cast<std::uint64_t>(fn.blocks.size()));
+  for (const auto& block : fn.blocks) {
+    h.mix(std::string_view(block.label));
+    h.mix(block.has_trip);
+    mix_sym(h, block.trip);
+    h.mix(static_cast<std::uint64_t>(block.instrs.size()));
+    for (const auto& instr : block.instrs) mix_instr(h, instr);
+  }
+  h.mix(static_cast<std::uint64_t>(fn.state_objects.size()));
+  for (const auto& so : fn.state_objects) {
+    h.mix(std::string_view(so.name));
+    h.mix(static_cast<std::uint64_t>(so.entry_bytes));
+    h.mix(so.entries);
+    h.mix_byte(static_cast<std::uint8_t>(so.pattern));
+  }
+  return h.digest();
+}
+
+}  // namespace clara::cir

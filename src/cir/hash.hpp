@@ -1,0 +1,21 @@
+// Deterministic content hash of a CIR function.
+//
+// The digest covers everything that affects lowering, the DFG, and the
+// mapping model: instruction streams, block structure and trip counts,
+// state-object shapes, and register counts. Two functions with equal
+// hashes are (up to 64-bit collision) behaviourally identical inputs to
+// the pipeline, which is what lets the analysis cache key on content
+// instead of identity.
+#pragma once
+
+#include <cstdint>
+
+#include "cir/function.hpp"
+
+namespace clara::cir {
+
+/// Stable across runs: mixes only logical content (names, opcodes,
+/// operand values, indices), never pointers.
+std::uint64_t hash_function(const Function& fn);
+
+}  // namespace clara::cir

@@ -1,0 +1,71 @@
+// Deterministic content hashing for cache keys.
+//
+// FNV-1a (64-bit) over a typed mixing interface. The hash is stable
+// across runs and platforms of equal endianness/width: it sees only the
+// logical content (integers widened to u64, doubles by bit pattern,
+// strings length-prefixed), never pointers or container addresses, so
+// equal values always hash equally and a hash can key a process-wide
+// content-addressed cache. Not cryptographic — collisions are possible
+// in principle; cache consumers treat a hit as authoritative because the
+// keyed domains (one NF corpus, a handful of profiles) are tiny relative
+// to 64 bits.
+#pragma once
+
+#include <cstdint>
+#include <cstring>
+#include <string_view>
+
+namespace clara {
+
+class Fnv1a {
+ public:
+  static constexpr std::uint64_t kOffset = 1469598103934665603ULL;
+  static constexpr std::uint64_t kPrime = 1099511628211ULL;
+
+  Fnv1a& mix_byte(std::uint8_t b) {
+    state_ = (state_ ^ b) * kPrime;
+    return *this;
+  }
+
+  Fnv1a& mix_bytes(const void* data, std::size_t n) {
+    const auto* p = static_cast<const std::uint8_t*>(data);
+    for (std::size_t i = 0; i < n; ++i) mix_byte(p[i]);
+    return *this;
+  }
+
+  Fnv1a& mix(std::uint64_t v) {
+    for (int i = 0; i < 8; ++i) mix_byte(static_cast<std::uint8_t>(v >> (8 * i)));
+    return *this;
+  }
+  Fnv1a& mix(std::int64_t v) { return mix(static_cast<std::uint64_t>(v)); }
+  Fnv1a& mix(std::uint32_t v) { return mix(static_cast<std::uint64_t>(v)); }
+  Fnv1a& mix(int v) { return mix(static_cast<std::uint64_t>(static_cast<std::int64_t>(v))); }
+  Fnv1a& mix(bool v) { return mix_byte(v ? 1 : 0); }
+
+  /// Doubles hash by bit pattern: 0.0 and -0.0 differ, NaNs hash by
+  /// payload. Exact-value keying is what a memoization cache wants.
+  Fnv1a& mix(double v) {
+    std::uint64_t bits = 0;
+    static_assert(sizeof(bits) == sizeof(v));
+    std::memcpy(&bits, &v, sizeof(bits));
+    return mix(bits);
+  }
+
+  /// Length-prefixed so ("ab","c") and ("a","bc") mix differently.
+  Fnv1a& mix(std::string_view s) {
+    mix(static_cast<std::uint64_t>(s.size()));
+    return mix_bytes(s.data(), s.size());
+  }
+
+  [[nodiscard]] std::uint64_t digest() const { return state_; }
+
+ private:
+  std::uint64_t state_ = kOffset;
+};
+
+/// Combines two digests (order-sensitive).
+inline std::uint64_t hash_combine(std::uint64_t a, std::uint64_t b) {
+  return Fnv1a().mix(a).mix(b).digest();
+}
+
+}  // namespace clara

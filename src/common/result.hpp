@@ -6,18 +6,49 @@
 #pragma once
 
 #include <cassert>
+#include <cstdint>
 #include <string>
 #include <utility>
 #include <variant>
 
 namespace clara {
 
-/// Default error payload: a human-readable message.
-struct Error {
-  std::string message;
+/// Machine-readable failure classification carried alongside the
+/// message. Callers that only print the message can ignore it; callers
+/// that branch on failure kind (retry with a larger budget on
+/// kDeadline, reject input on kParse) switch on the code instead of
+/// grepping message text.
+enum class ErrorCode : std::uint8_t {
+  kUnspecified,  // legacy / untagged errors
+  kParse,        // malformed input (CIR text, workload spec, profile)
+  kVerify,       // IR verification failed
+  kUnknownCall,  // call neither a vcall nor a known framework API
+  kInfeasible,   // constraint system has no solution
+  kDeadline,     // a time/node budget expired before an answer existed
+  kInternal,     // invariant violation (model bug)
 };
 
-inline Error make_error(std::string msg) { return Error{std::move(msg)}; }
+constexpr const char* to_string(ErrorCode code) {
+  switch (code) {
+    case ErrorCode::kUnspecified: return "unspecified";
+    case ErrorCode::kParse: return "parse";
+    case ErrorCode::kVerify: return "verify";
+    case ErrorCode::kUnknownCall: return "unknown-call";
+    case ErrorCode::kInfeasible: return "infeasible";
+    case ErrorCode::kDeadline: return "deadline";
+    case ErrorCode::kInternal: return "internal";
+  }
+  return "?";
+}
+
+/// Default error payload: a human-readable message plus a typed code.
+struct Error {
+  std::string message;
+  ErrorCode code = ErrorCode::kUnspecified;
+};
+
+inline Error make_error(std::string msg) { return Error{std::move(msg), ErrorCode::kUnspecified}; }
+inline Error make_error(ErrorCode code, std::string msg) { return Error{std::move(msg), code}; }
 
 template <typename T, typename E = Error>
 class Result {

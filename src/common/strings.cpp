@@ -1,9 +1,11 @@
 #include "common/strings.hpp"
 
+#include <algorithm>
 #include <cstdarg>
 #include <cstdint>
 #include <cstdio>
 #include <cstdlib>
+#include <limits>
 
 namespace clara {
 
@@ -86,6 +88,41 @@ std::string format_count(std::uint64_t value) {
     out.push_back(digits[i]);
   }
   return out;
+}
+
+std::size_t edit_distance(std::string_view a, std::string_view b) {
+  // Single-row dynamic program; O(|a|*|b|) time, O(|b|) space.
+  std::vector<std::size_t> row(b.size() + 1);
+  for (std::size_t j = 0; j <= b.size(); ++j) row[j] = j;
+  for (std::size_t i = 1; i <= a.size(); ++i) {
+    std::size_t diag = row[0];
+    row[0] = i;
+    for (std::size_t j = 1; j <= b.size(); ++j) {
+      const std::size_t sub = diag + (a[i - 1] == b[j - 1] ? 0 : 1);
+      diag = row[j];
+      row[j] = std::min({sub, row[j] + 1, row[j - 1] + 1});
+    }
+  }
+  return row[b.size()];
+}
+
+std::string closest_match(std::string_view word, const std::vector<std::string>& candidates) {
+  std::string best;
+  std::size_t best_dist = std::numeric_limits<std::size_t>::max();
+  bool tie = false;
+  for (const auto& c : candidates) {
+    const std::size_t d = edit_distance(word, c);
+    if (d < best_dist) {
+      best_dist = d;
+      best = c;
+      tie = false;
+    } else if (d == best_dist) {
+      tie = true;
+    }
+  }
+  const std::size_t cutoff = std::max<std::size_t>(2, word.size() / 3);
+  if (best_dist > cutoff || (tie && best_dist > 0)) return {};
+  return best;
 }
 
 }  // namespace clara

@@ -30,4 +30,12 @@ std::string format_bytes(std::uint64_t bytes);
 /// Thousands separators: 1234567 -> "1,234,567".
 std::string format_count(std::uint64_t value);
 
+/// Levenshtein edit distance (insert/delete/substitute, unit costs).
+std::size_t edit_distance(std::string_view a, std::string_view b);
+
+/// The candidate closest to `word` by edit distance, for "did you mean"
+/// suggestions. Returns empty when no candidate is close enough
+/// (distance > max(2, |word|/3)) or on ties that are not exact.
+std::string closest_match(std::string_view word, const std::vector<std::string>& candidates);
+
 }  // namespace clara

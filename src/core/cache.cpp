@@ -1,0 +1,222 @@
+#include "core/cache.hpp"
+
+#include "common/hash.hpp"
+#include "obs/metrics.hpp"
+
+namespace clara::core {
+
+namespace {
+
+// Coarse footprint estimates for the cache/bytes gauge. Accounting only
+// — eviction is entry-count-based, so a rough model is fine.
+std::uint64_t approx_bytes(const LoweredEntry& entry) {
+  std::uint64_t n = 256;
+  for (const auto& block : entry.fn.blocks) {
+    n += 64 + block.instrs.size() * sizeof(cir::Instr);
+  }
+  n += entry.fn.state_objects.size() * sizeof(cir::StateObject);
+  return n;
+}
+
+std::uint64_t approx_bytes(const GraphEntry& entry) {
+  return 128 + entry.graph.nodes().size() * sizeof(passes::DfNode) +
+         entry.graph.edges().size() * sizeof(passes::DfEdge);
+}
+
+std::uint64_t approx_bytes(const MappingEntry& entry) {
+  return 128 + entry.mapping.node_pool.size() * sizeof(std::uint32_t) +
+         entry.mapping.state_region.size() * sizeof(NodeId) +
+         entry.mapping.ilp_incumbents.size() * sizeof(ilp::IncumbentStep) +
+         entry.mapping.ilp_basis.size() * sizeof(std::size_t);
+}
+
+void count_lookup(std::atomic<std::uint64_t>& counter, const char* metric, const char* stage) {
+  counter.fetch_add(1, std::memory_order_relaxed);
+  obs::metrics().counter(metric, std::string("stage=") + stage).inc();
+}
+
+}  // namespace
+
+void AnalysisCache::configure(const CacheConfig& config) {
+  enabled_.store(config.enabled, std::memory_order_relaxed);
+  lowered_.set_capacity(config.max_entries);
+  graphs_.set_capacity(config.max_entries);
+  mappings_.set_capacity(config.max_entries);
+}
+
+std::shared_ptr<const LoweredEntry> AnalysisCache::find_lowered(std::uint64_t key) {
+  if (!enabled()) return nullptr;
+  auto entry = lowered_.find(key);
+  count_lookup(entry ? hits_ : misses_, entry ? "cache/hits" : "cache/misses", "lowered");
+  return entry;
+}
+
+std::shared_ptr<const GraphEntry> AnalysisCache::find_graph(std::uint64_t key) {
+  if (!enabled()) return nullptr;
+  auto entry = graphs_.find(key);
+  count_lookup(entry ? hits_ : misses_, entry ? "cache/hits" : "cache/misses", "graph");
+  return entry;
+}
+
+std::shared_ptr<const MappingEntry> AnalysisCache::find_mapping(std::uint64_t key) {
+  if (!enabled()) return nullptr;
+  auto entry = mappings_.find(key);
+  count_lookup(entry ? hits_ : misses_, entry ? "cache/hits" : "cache/misses", "map");
+  return entry;
+}
+
+void AnalysisCache::insert_lowered(std::uint64_t key, std::shared_ptr<const LoweredEntry> entry) {
+  if (!enabled()) return;
+  const std::uint64_t bytes = approx_bytes(*entry);
+  std::uint64_t evicted = 0;
+  std::uint64_t added = 0;
+  lowered_.insert(key, std::move(entry), bytes, &evicted, &added);
+  if (evicted > 0) {
+    evictions_.fetch_add(evicted, std::memory_order_relaxed);
+    obs::metrics().counter("cache/evictions", "stage=lowered").inc(evicted);
+  }
+  obs::metrics().gauge("cache/bytes").set(static_cast<double>(stats().bytes));
+}
+
+void AnalysisCache::insert_graph(std::uint64_t key, std::shared_ptr<const GraphEntry> entry) {
+  if (!enabled()) return;
+  const std::uint64_t bytes = approx_bytes(*entry);
+  std::uint64_t evicted = 0;
+  std::uint64_t added = 0;
+  graphs_.insert(key, std::move(entry), bytes, &evicted, &added);
+  if (evicted > 0) {
+    evictions_.fetch_add(evicted, std::memory_order_relaxed);
+    obs::metrics().counter("cache/evictions", "stage=graph").inc(evicted);
+  }
+  obs::metrics().gauge("cache/bytes").set(static_cast<double>(stats().bytes));
+}
+
+void AnalysisCache::insert_mapping(std::uint64_t key, std::uint64_t family_key,
+                                   std::shared_ptr<const MappingEntry> entry) {
+  if (!enabled()) return;
+  if (!entry->mapping.ilp_basis.empty()) {
+    std::lock_guard<std::mutex> lock(family_mu_);
+    family_bases_[family_key] = entry->mapping.ilp_basis;
+  }
+  const std::uint64_t bytes = approx_bytes(*entry);
+  std::uint64_t evicted = 0;
+  std::uint64_t added = 0;
+  mappings_.insert(key, std::move(entry), bytes, &evicted, &added);
+  if (evicted > 0) {
+    evictions_.fetch_add(evicted, std::memory_order_relaxed);
+    obs::metrics().counter("cache/evictions", "stage=map").inc(evicted);
+  }
+  obs::metrics().gauge("cache/bytes").set(static_cast<double>(stats().bytes));
+}
+
+std::vector<std::size_t> AnalysisCache::family_basis(std::uint64_t family_key) const {
+  std::lock_guard<std::mutex> lock(family_mu_);
+  const auto it = family_bases_.find(family_key);
+  return it != family_bases_.end() ? it->second : std::vector<std::size_t>{};
+}
+
+CacheStats AnalysisCache::stats() const {
+  CacheStats out;
+  out.hits = hits_.load(std::memory_order_relaxed);
+  out.misses = misses_.load(std::memory_order_relaxed);
+  out.evictions = evictions_.load(std::memory_order_relaxed);
+  out.bytes = lowered_.bytes() + graphs_.bytes() + mappings_.bytes();
+  return out;
+}
+
+void AnalysisCache::clear() {
+  lowered_.clear();
+  graphs_.clear();
+  mappings_.clear();
+  {
+    std::lock_guard<std::mutex> lock(family_mu_);
+    family_bases_.clear();
+  }
+  hits_.store(0, std::memory_order_relaxed);
+  misses_.store(0, std::memory_order_relaxed);
+  evictions_.store(0, std::memory_order_relaxed);
+  obs::metrics().gauge("cache/bytes").set(0.0);
+}
+
+AnalysisCache& analysis_cache() {
+  static AnalysisCache cache;
+  return cache;
+}
+
+std::uint64_t hash_profile(const lnic::NicProfile& profile) {
+  Fnv1a h;
+  h.mix(std::string_view(profile.name));
+  // The parameter store's canonical text form covers every Π/Γ/Θ scalar
+  // and curve; the graph loop covers structural edits (units, regions,
+  // capacities, NUMA weights).
+  h.mix(std::string_view(profile.params.serialize()));
+  h.mix(static_cast<std::uint64_t>(profile.graph.nodes().size()));
+  for (const auto& node : profile.graph.nodes()) {
+    h.mix(static_cast<std::uint64_t>(node.id));
+    h.mix(std::string_view(node.name));
+    h.mix_byte(static_cast<std::uint8_t>(node.type()));
+    if (const auto* cu = node.compute()) {
+      h.mix_byte(static_cast<std::uint8_t>(cu->kind));
+      h.mix(cu->island);
+      h.mix(cu->threads);
+      h.mix(cu->pipeline_stage);
+      h.mix(cu->match_action);
+    } else if (const auto* mem = node.memory()) {
+      h.mix_byte(static_cast<std::uint8_t>(mem->kind));
+      h.mix(static_cast<std::uint64_t>(mem->capacity));
+      h.mix(mem->island);
+      h.mix(static_cast<std::uint64_t>(mem->cache_capacity));
+    } else if (const auto* hub = node.hub()) {
+      h.mix(static_cast<std::uint64_t>(hub->queue_capacity));
+      h.mix_byte(static_cast<std::uint8_t>(hub->discipline));
+    }
+  }
+  h.mix(static_cast<std::uint64_t>(profile.graph.edges().size()));
+  for (const auto& edge : profile.graph.edges()) {
+    h.mix(static_cast<std::uint64_t>(edge.from));
+    h.mix(static_cast<std::uint64_t>(edge.to));
+    h.mix_byte(static_cast<std::uint8_t>(edge.kind));
+    h.mix(edge.weight);
+  }
+  return h.digest();
+}
+
+std::uint64_t hash_hints(const passes::CostHints& hints) {
+  Fnv1a h;
+  h.mix(static_cast<std::uint64_t>(hints.params.size()));
+  for (const auto& [name, value] : hints.params) {  // std::map: deterministic order
+    h.mix(std::string_view(name));
+    h.mix(value);
+  }
+  h.mix(hints.avg_payload);
+  h.mix(hints.flow_cache_hit_rate);
+  h.mix(hints.branch_prob);
+  return h.digest();
+}
+
+std::uint64_t lowered_key(std::uint64_t input_fn_hash, bool pattern_matching, bool optimize_ir) {
+  return Fnv1a().mix(std::string_view("lowered")).mix(input_fn_hash).mix(pattern_matching).mix(optimize_ir).digest();
+}
+
+std::uint64_t graph_key(std::uint64_t lowered_fn_hash, std::uint64_t hints_hash,
+                        std::uint64_t profile_hash) {
+  return Fnv1a().mix(std::string_view("graph")).mix(lowered_fn_hash).mix(hints_hash).mix(profile_hash).digest();
+}
+
+std::uint64_t mapping_key(std::uint64_t graph_digest, const mapping::MapOptions& options,
+                          bool use_ilp, std::uint64_t* family_out) {
+  Fnv1a h;
+  h.mix(std::string_view("map"));
+  h.mix(graph_digest);
+  h.mix(options.pps);
+  h.mix(options.ctm_state_fraction);
+  h.mix(static_cast<std::uint64_t>(options.max_ilp_nodes));
+  h.mix(use_ilp);
+  // Everything but the time budget forms the warm-basis family: the
+  // model is identical, only how long we are willing to solve differs.
+  if (family_out != nullptr) *family_out = h.digest();
+  h.mix(options.time_budget_ms);
+  return h.digest();
+}
+
+}  // namespace clara::core

@@ -2,55 +2,120 @@
 
 #include <sstream>
 
+#include "cir/hash.hpp"
 #include "cir/verify.hpp"
 #include "common/strings.hpp"
+#include "core/cache.hpp"
 #include "obs/trace.hpp"
 #include "passes/dataflow.hpp"
 
 namespace clara::core {
 
+Analyzer::Analyzer(lnic::NicProfile profile)
+    : profile_(std::move(profile)), profile_hash_(hash_profile(profile_)) {}
+
 Result<Analysis> Analyzer::analyze(const cir::Function& nf, const workload::Trace& trace,
                                    const AnalyzeOptions& options) const {
   CLARA_TRACE_SCOPE("core/analyze");
-  Analysis analysis;
-  analysis.lowered = nf;  // operate on a copy; the caller's NF is untouched
+  auto& cache = analysis_cache();
+  const bool use_cache = options.use_cache && cache.enabled();
 
-  analysis.substitution = passes::substitute_framework_apis(analysis.lowered);
-  if (options.fail_on_unknown_calls && !analysis.substitution.unknown_calls.empty()) {
+  // Stage 1: lowering (substitution -> patterns -> optimize -> verify).
+  // Cached on the *input* function's content plus the stage toggles.
+  // Only successful lowerings are cached; the unknown-calls policy is
+  // applied after retrieval so a cached entry serves both policies.
+  std::uint64_t lkey = 0;
+  std::shared_ptr<const LoweredEntry> lowered;
+  if (use_cache) {
+    lkey = lowered_key(cir::hash_function(nf), options.stages.patterns(), options.stages.optimize());
+    lowered = cache.find_lowered(lkey);
+  }
+  if (!lowered) {
+    auto entry = std::make_shared<LoweredEntry>();
+    entry->fn = nf;  // operate on a copy; the caller's NF is untouched
+    entry->substitution = passes::substitute_framework_apis(entry->fn);
+    if (options.stages.patterns()) {
+      entry->patterns = passes::collapse_packet_loops(entry->fn);
+    }
+    if (options.stages.optimize()) {
+      entry->optimizations = passes::optimize(entry->fn);
+    }
+    {
+      CLARA_TRACE_SCOPE("cir/verify");
+      if (auto status = cir::verify(entry->fn); !status) {
+        return make_error(ErrorCode::kVerify,
+                          "lowered NF failed verification: " + status.error().message);
+      }
+    }
+    entry->lowered_hash = cir::hash_function(entry->fn);
+    if (use_cache) cache.insert_lowered(lkey, entry);
+    lowered = std::move(entry);
+  }
+
+  if (options.fail_on_unknown_calls && !lowered->substitution.unknown_calls.empty()) {
     std::ostringstream os;
     os << "unrecognized calls in '" << nf.name << "':";
-    for (const auto& name : analysis.substitution.unknown_calls) os << " " << name;
-    return make_error(os.str());
+    for (const auto& name : lowered->substitution.unknown_calls) os << " " << name;
+    return make_error(ErrorCode::kUnknownCall, os.str());
   }
 
-  if (options.pattern_matching) {
-    analysis.patterns = passes::collapse_packet_loops(analysis.lowered);
-  }
+  Analysis analysis;
+  analysis.lowered = lowered->fn;
+  analysis.substitution = lowered->substitution;
+  analysis.patterns = lowered->patterns;
+  analysis.optimizations = lowered->optimizations;
 
-  if (options.optimize_ir) {
-    analysis.optimizations = passes::optimize(analysis.lowered);
-  }
-
-  {
-    CLARA_TRACE_SCOPE("cir/verify");
-    if (auto status = cir::verify(analysis.lowered); !status) {
-      return make_error("lowered NF failed verification: " + status.error().message);
-    }
-  }
-
+  // Stage 2: dataflow graph. Keyed on the *lowered* function's hash so
+  // holders of a lowered function (the load-sweep driver) can address
+  // the same entry without re-running stage 1.
   const passes::CostHints hints = hints_from_trace(trace, profile_);
-  const auto graph = passes::DataflowGraph::build(analysis.lowered, hints);
+  std::uint64_t gkey = 0;
+  std::shared_ptr<const GraphEntry> graph_entry;
+  if (use_cache) {
+    gkey = graph_key(lowered->lowered_hash, hash_hints(hints), profile_hash_);
+    graph_entry = cache.find_graph(gkey);
+  }
+  if (!graph_entry) {
+    auto entry = std::make_shared<GraphEntry>();
+    entry->lowered = lowered;  // keep-alive: the graph points into this fn
+    entry->graph = passes::DataflowGraph::build(entry->lowered->fn, hints);
+    if (use_cache) cache.insert_graph(gkey, entry);
+    graph_entry = std::move(entry);
+  }
+  const passes::DataflowGraph& graph = graph_entry->graph;
 
   mapping::MapOptions map_options = options.map;
   if (map_options.pps == mapping::MapOptions{}.pps && trace.profile.pps > 0.0) {
     map_options.pps = trace.profile.pps;
   }
 
+  // Stage 3: the mapping solve — the expensive stage the cache exists
+  // for. A hit skips the ILP entirely; a miss within a known model
+  // family (same model, different time budget) warm-starts the root
+  // relaxation from the family's last recorded basis.
   const mapping::Mapper mapper(profile_);
-  auto mapped = options.use_ilp ? mapper.map(graph, hints, map_options)
-                                : mapper.map_greedy(graph, hints, map_options);
-  if (!mapped) return mapped.error();
-  analysis.mapping = std::move(mapped).value();
+  std::uint64_t mkey = 0;
+  std::uint64_t family = 0;
+  std::shared_ptr<const MappingEntry> mapping_entry;
+  if (use_cache) {
+    mkey = mapping_key(gkey, map_options, options.stages.ilp(), &family);
+    mapping_entry = cache.find_mapping(mkey);
+  }
+  if (!mapping_entry) {
+    mapping::MapOptions solve_options = map_options;
+    if (use_cache && options.stages.ilp() && solve_options.warm_basis.empty()) {
+      solve_options.warm_basis = cache.family_basis(family);
+    }
+    auto mapped = options.stages.ilp() ? mapper.map(graph, hints, solve_options)
+                                       : mapper.map_greedy(graph, hints, solve_options);
+    if (!mapped) return mapped.error();
+    auto entry = std::make_shared<MappingEntry>();
+    entry->mapping = std::move(mapped).value();
+    if (use_cache) cache.insert_mapping(mkey, family, entry);
+    mapping_entry = std::move(entry);
+  }
+  analysis.mapping = mapping_entry->mapping;
+  analysis.degraded = analysis.mapping.degraded;
 
   auto prediction = predict(analysis.lowered, graph, analysis.mapping, mapper, trace, options.predict);
   if (!prediction) return prediction.error();
@@ -86,17 +151,19 @@ double emem_pressure(const Analysis& analysis, const workload::Trace& trace, con
 
 }  // namespace
 
-Result<CoResident> analyze_coresident(const Analyzer& analyzer, const cir::Function& nf_a,
-                                      const workload::Trace& trace_a, const cir::Function& nf_b,
-                                      const workload::Trace& trace_b, const AnalyzeOptions& options) {
-  // Solo pass to obtain mappings and working sets.
-  auto solo_a = analyzer.analyze(nf_a, trace_a, options);
+Result<CoResident> Analyzer::coresident(const cir::Function& nf_a, const workload::Trace& trace_a,
+                                        const cir::Function& nf_b, const workload::Trace& trace_b,
+                                        const AnalyzeOptions& options) const {
+  // Solo pass to obtain mappings and working sets. The shared pass below
+  // re-analyzes under interference options that only perturb prediction,
+  // so its lowering/graph/mapping stages all hit the cache warm.
+  auto solo_a = analyze(nf_a, trace_a, options);
   if (!solo_a) return solo_a.error();
-  auto solo_b = analyzer.analyze(nf_b, trace_b, options);
+  auto solo_b = analyze(nf_b, trace_b, options);
   if (!solo_b) return solo_b.error();
 
-  const double pressure_a = emem_pressure(solo_a.value(), trace_a, analyzer.profile());
-  const double pressure_b = emem_pressure(solo_b.value(), trace_b, analyzer.profile());
+  const double pressure_a = emem_pressure(solo_a.value(), trace_a, profile_);
+  const double pressure_b = emem_pressure(solo_b.value(), trace_b, profile_);
 
   AnalyzeOptions opts_a = options;
   opts_a.predict.nic_share = 0.5;
@@ -105,15 +172,21 @@ Result<CoResident> analyze_coresident(const Analyzer& analyzer, const cir::Funct
   opts_b.predict.nic_share = 0.5;
   opts_b.predict.foreign_cache_pressure_bytes = pressure_a;
 
-  auto shared_a = analyzer.analyze(nf_a, trace_a, opts_a);
+  auto shared_a = analyze(nf_a, trace_a, opts_a);
   if (!shared_a) return shared_a.error();
-  auto shared_b = analyzer.analyze(nf_b, trace_b, opts_b);
+  auto shared_b = analyze(nf_b, trace_b, opts_b);
   if (!shared_b) return shared_b.error();
 
   CoResident out;
   out.first = std::move(shared_a).value();
   out.second = std::move(shared_b).value();
   return out;
+}
+
+Result<CoResident> analyze_coresident(const Analyzer& analyzer, const cir::Function& nf_a,
+                                      const workload::Trace& trace_a, const cir::Function& nf_b,
+                                      const workload::Trace& trace_b, const AnalyzeOptions& options) {
+  return analyzer.coresident(nf_a, trace_a, nf_b, trace_b, options);
 }
 
 }  // namespace clara::core

@@ -27,20 +27,72 @@
 
 namespace clara::core {
 
+/// Which pipeline stages analyze() runs — one bitmask replacing the
+/// three boolean ablation flags this API grew historically. API
+/// substitution, verification, graph construction, and prediction always
+/// run; the mask controls the optional transforms and the mapper choice.
+struct PipelineStages {
+  enum Stage : std::uint32_t {
+    /// Idiom pattern matching — checksum/scan byte loops collapse to
+    /// vcalls (off: loops map as general NPU code).
+    kPatterns = 1u << 0,
+    /// Constant folding / DCE / CFG cleanup before analysis (what a real
+    /// front-end's -O pipeline would already have done).
+    kOptimize = 1u << 1,
+    /// The ILP mapper (off: the greedy baseline — ablation).
+    kIlp = 1u << 2,
+  };
+
+  std::uint32_t mask = kPatterns | kOptimize | kIlp;
+
+  static constexpr PipelineStages full() { return {kPatterns | kOptimize | kIlp}; }
+  static constexpr PipelineStages no_ilp() { return {kPatterns | kOptimize}; }
+  static constexpr PipelineStages no_patterns() { return {kOptimize | kIlp}; }
+  /// Nothing optional: raw IR, greedy mapping.
+  static constexpr PipelineStages raw() { return {0}; }
+
+  [[nodiscard]] constexpr bool patterns() const { return (mask & kPatterns) != 0; }
+  [[nodiscard]] constexpr bool optimize() const { return (mask & kOptimize) != 0; }
+  [[nodiscard]] constexpr bool ilp() const { return (mask & kIlp) != 0; }
+
+  constexpr PipelineStages& set(Stage stage, bool on) {
+    mask = on ? (mask | stage) : (mask & ~static_cast<std::uint32_t>(stage));
+    return *this;
+  }
+
+  friend constexpr bool operator==(const PipelineStages&, const PipelineStages&) = default;
+};
+
 struct AnalyzeOptions {
-  /// false selects the greedy baseline mapper (ablation).
-  bool use_ilp = true;
-  /// false skips idiom pattern matching (ablation) — byte loops then map
-  /// as general NPU code.
-  bool pattern_matching = true;
-  /// Run constant folding / DCE / CFG cleanup before analysis (what a
-  /// real front-end's -O pipeline would already have done).
-  bool optimize_ir = true;
+  PipelineStages stages = PipelineStages::full();
   /// Treat calls Clara cannot recognize as an error (default) or ignore
   /// them (costing them zero).
   bool fail_on_unknown_calls = true;
+  /// Consult/populate the process-wide analysis cache (core/cache). Also
+  /// requires the cache itself to be enabled (CacheConfig::enabled).
+  bool use_cache = true;
   mapping::MapOptions map;
   PredictOptions predict;
+
+  // -- Deprecated accessors bridging the pre-PipelineStages API. The
+  //    fields they replaced (use_ilp, pattern_matching, optimize_ir)
+  //    are now bits of `stages`; these go away next release.
+  [[deprecated("use stages.ilp()")]] [[nodiscard]] bool use_ilp() const { return stages.ilp(); }
+  [[deprecated("use stages.set(PipelineStages::kIlp, v)")]] void use_ilp(bool v) {
+    stages.set(PipelineStages::kIlp, v);
+  }
+  [[deprecated("use stages.patterns()")]] [[nodiscard]] bool pattern_matching() const {
+    return stages.patterns();
+  }
+  [[deprecated("use stages.set(PipelineStages::kPatterns, v)")]] void pattern_matching(bool v) {
+    stages.set(PipelineStages::kPatterns, v);
+  }
+  [[deprecated("use stages.optimize()")]] [[nodiscard]] bool optimize_ir() const {
+    return stages.optimize();
+  }
+  [[deprecated("use stages.set(PipelineStages::kOptimize, v)")]] void optimize_ir(bool v) {
+    stages.set(PipelineStages::kOptimize, v);
+  }
 };
 
 struct Analysis {
@@ -53,32 +105,47 @@ struct Analysis {
   Prediction prediction;
   /// Human-readable porting plan (paper §6 "offloading hints").
   std::string report;
+  /// Mirrors mapping.degraded: the solver's time budget expired and the
+  /// mapping is best-effort, not certified optimal.
+  bool degraded = false;
+};
+
+/// Co-resident interference analysis result (paper §3.5): the two
+/// analyses, each degraded by the other's presence.
+struct CoResident {
+  Analysis first;
+  Analysis second;
 };
 
 class Analyzer {
  public:
-  explicit Analyzer(lnic::NicProfile profile) : profile_(std::move(profile)) {}
+  explicit Analyzer(lnic::NicProfile profile);
 
   /// Analyzes an unported NF against a workload trace. The offered rate
   /// is taken from the trace's profile unless options.map.pps overrides.
   [[nodiscard]] Result<Analysis> analyze(const cir::Function& nf, const workload::Trace& trace,
                                          const AnalyzeOptions& options = {}) const;
 
+  /// Co-resident interference analysis (paper §3.5): each NF gets half
+  /// the NIC's compute parallelism and sees the other's working set as
+  /// EMEM cache pressure.
+  [[nodiscard]] Result<CoResident> coresident(const cir::Function& nf_a, const workload::Trace& trace_a,
+                                              const cir::Function& nf_b, const workload::Trace& trace_b,
+                                              const AnalyzeOptions& options = {}) const;
+
   [[nodiscard]] const lnic::NicProfile& profile() const { return profile_; }
+
+  /// Content digest of the profile (cache-key component, computed once).
+  [[nodiscard]] std::uint64_t profile_hash() const { return profile_hash_; }
 
  private:
   lnic::NicProfile profile_;
+  std::uint64_t profile_hash_ = 0;
 };
 
-/// Co-resident interference analysis (paper §3.5): each NF gets half the
-/// NIC's compute parallelism and sees the other's working set as EMEM
-/// cache pressure. Returns the two degraded analyses.
-struct CoResident {
-  Analysis first;
-  Analysis second;
-};
-Result<CoResident> analyze_coresident(const Analyzer& analyzer, const cir::Function& nf_a,
-                                      const workload::Trace& trace_a, const cir::Function& nf_b,
-                                      const workload::Trace& trace_b, const AnalyzeOptions& options = {});
+/// Deprecated free-function spelling of Analyzer::coresident.
+[[deprecated("use Analyzer::coresident")]] Result<CoResident> analyze_coresident(
+    const Analyzer& analyzer, const cir::Function& nf_a, const workload::Trace& trace_a,
+    const cir::Function& nf_b, const workload::Trace& trace_b, const AnalyzeOptions& options = {});
 
 }  // namespace clara::core

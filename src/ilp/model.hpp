@@ -118,8 +118,13 @@ struct Solution {
   /// Optimal basis (standard-form column index per row), recorded by
   /// solve_lp when no artificial column is basic. Feed it to
   /// LpOptions::warm_basis to warm-start a child solve after a bound
-  /// change. Empty otherwise.
+  /// change. For MILP solves this is the incumbent's basis, usable to
+  /// warm-start a re-solve of the same model. Empty otherwise.
   std::vector<std::size_t> basis;
+  /// True when the search stopped at a deadline (SolveOptions::deadline)
+  /// before proving optimality: the answer is the best incumbent found,
+  /// not a certified optimum.
+  bool degraded = false;
 
   [[nodiscard]] bool optimal() const { return status == SolveStatus::kOptimal; }
   [[nodiscard]] double value(int var) const { return values.at(static_cast<std::size_t>(var)); }

@@ -66,7 +66,7 @@ int pick_branch_var(const Model& model, const std::vector<double>& values, doubl
   return best;
 }
 
-Solution solve_milp(const Model& model, const MilpOptions& options) {
+Solution solve_milp(const Model& model, const SolveOptions& options) {
   CLARA_TRACE_SCOPE("ilp/branch_and_bound");
   if (!model.has_integers()) return solve_lp(model);
 
@@ -87,17 +87,28 @@ Solution solve_milp(const Model& model, const MilpOptions& options) {
     root->hi[i] = model.variables()[i].hi;
   }
   root->seq = next_seq++;
+  root->warm_basis = options.warm_basis;
 
   std::priority_queue<std::shared_ptr<Node>, std::vector<std::shared_ptr<Node>>, NodeOrder> open;
   open.push(root);
 
   std::size_t explored = 0;
   bool hit_limit = false;
+  bool hit_deadline = false;
   bool stop_search = false;
   std::vector<std::shared_ptr<Node>> wave;
   std::vector<WaveResult> results;
 
   while (!open.empty() && !stop_search) {
+    // The deadline is checked only here, at the wave boundary: the node
+    // sequence explored before the stop is always a prefix of the
+    // deterministic no-deadline sequence, and a budget short enough to
+    // expire before the first wave stops identically at every jobs
+    // level (what the determinism tests rely on).
+    if (options.deadline && std::chrono::steady_clock::now() >= *options.deadline) {
+      hit_deadline = true;
+      break;
+    }
     // Form a wave of the globally best open nodes. Wave composition
     // depends only on the heap (deterministic), never on timing.
     wave.clear();
@@ -160,9 +171,9 @@ Solution solve_milp(const Model& model, const MilpOptions& options) {
 
       const int branch_var = pick_branch_var(model, relax.values, options.int_tol);
       if (branch_var < 0) {
-        // Integral: new incumbent.
+        // Integral: new incumbent. Its basis is kept on the Solution so
+        // a re-solve of the same model can warm-start from it.
         Solution candidate = relax;
-        candidate.basis.clear();  // internal detail, not part of the answer
         // Snap near-integers exactly.
         for (std::size_t v = 0; v < model.num_vars(); ++v) {
           if (model.variables()[v].kind != VarKind::kContinuous) {
@@ -214,13 +225,17 @@ Solution solve_milp(const Model& model, const MilpOptions& options) {
   incumbent.nodes_explored = explored;
   incumbent.pivots = total_pivots;
   incumbent.incumbents = std::move(trajectory);
-  if (incumbent.status != SolveStatus::kOptimal && hit_limit) incumbent.status = SolveStatus::kLimit;
+  incumbent.degraded = hit_deadline;
+  if (incumbent.status != SolveStatus::kOptimal && (hit_limit || hit_deadline)) {
+    incumbent.status = SolveStatus::kLimit;
+  }
 
   auto& registry = obs::metrics();
   registry.counter("ilp/solves").inc();
   registry.counter("ilp/nodes_explored").inc(explored);
   registry.counter("ilp/pivots").inc(total_pivots);
   registry.counter("ilp/incumbents").inc(incumbent.incumbents.size());
+  if (hit_deadline) registry.counter("ilp/deadline_hits").inc();
   obs::publish_pool_stats("ilp", pool_before, parallel::pool().stats());
   return incumbent;
 }

@@ -1,11 +1,14 @@
 // Branch-and-bound MILP solver over the simplex LP relaxation.
 #pragma once
 
+#include <chrono>
+#include <optional>
+
 #include "ilp/model.hpp"
 
 namespace clara::ilp {
 
-struct MilpOptions {
+struct SolveOptions {
   std::size_t max_nodes = 100'000;
   /// Integrality tolerance: values within this of an integer count.
   double int_tol = 1e-6;
@@ -17,7 +20,23 @@ struct MilpOptions {
   /// bit-identical at every jobs value: node waves are formed and applied
   /// deterministically and only the LP relaxations run concurrently.
   std::size_t jobs = 0;
+  /// Absolute wall-clock deadline. Checked only at wave boundaries, so
+  /// the explored-node sequence up to the stop is the deterministic one;
+  /// on expiry the best incumbent so far is returned with
+  /// Solution::degraded set (status kLimit when no incumbent exists —
+  /// callers then substitute their own fallback). nullopt = unbounded.
+  std::optional<std::chrono::steady_clock::time_point> deadline;
+  /// Basis to warm-start the root relaxation with (from a previous solve
+  /// of the same model, e.g. a deadline-degraded attempt). Only pass a
+  /// basis recorded against this exact model: a stale basis is repaired
+  /// by dual simplex, but may steer a degenerate LP to a different
+  /// optimal vertex.
+  std::vector<std::size_t> warm_basis;
 };
+
+/// Deprecated spelling from before deadlines existed; new code should
+/// say SolveOptions.
+using MilpOptions = SolveOptions;
 
 /// Index of the integer variable whose fractional part is closest to
 /// one half (the classic most-fractional branching rule), or -1 when
@@ -27,9 +46,10 @@ int pick_branch_var(const Model& model, const std::vector<double>& values, doubl
 
 /// Solves the model, honoring binary/integer variable kinds. Returns
 /// kOptimal with the best integer solution, kInfeasible when none
-/// exists, kLimit when the node budget ran out with no incumbent
+/// exists, kLimit when the node or time budget ran out with no incumbent
 /// (with an incumbent, kOptimal is returned — the caller can inspect
-/// nodes_explored against max_nodes if it cares about proof quality).
-Solution solve_milp(const Model& model, const MilpOptions& options = {});
+/// nodes_explored against max_nodes, or Solution::degraded for deadline
+/// stops, if it cares about proof quality).
+Solution solve_milp(const Model& model, const SolveOptions& options = {});
 
 }  // namespace clara::ilp

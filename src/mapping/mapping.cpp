@@ -1,6 +1,7 @@
 #include "mapping/mapping.hpp"
 
 #include <algorithm>
+#include <chrono>
 #include <cmath>
 #include <map>
 #include <tuple>
@@ -283,20 +284,36 @@ Result<Mapping> Mapper::map(const DataflowGraph& graph, const CostHints& hints, 
 
   model.set_objective(std::move(objective));
 
-  ilp::MilpOptions milp_options;
-  milp_options.max_nodes = options.max_ilp_nodes;
+  ilp::SolveOptions solve_options;
+  solve_options.max_nodes = options.max_ilp_nodes;
+  solve_options.warm_basis = options.warm_basis;
+  if (options.time_budget_ms > 0.0) {
+    solve_options.deadline = std::chrono::steady_clock::now() +
+                             std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+                                 std::chrono::duration<double, std::milli>(options.time_budget_ms));
+  }
   obs::metrics().gauge("mapping/ilp_variables").set(static_cast<double>(model.num_vars()));
   obs::metrics().gauge("mapping/ilp_constraints").set(static_cast<double>(model.constraints().size()));
-  const auto solution = ilp::solve_milp(model, milp_options);
+  const auto solution = ilp::solve_milp(model, solve_options);
   if (solution.status == ilp::SolveStatus::kInfeasible) {
-    return make_error(strf("mapping infeasible on %s at %.0f pps (capacity or ordering constraints)",
+    return make_error(ErrorCode::kInfeasible,
+                      strf("mapping infeasible on %s at %.0f pps (capacity or ordering constraints)",
                            profile_->name.c_str(), options.pps));
   }
   if (solution.status == ilp::SolveStatus::kLimit) {
-    return make_error("ILP node budget exhausted without an integer solution");
+    if (solution.degraded) {
+      // Deadline expired before any integer solution existed: degrade to
+      // the deterministic greedy baseline instead of failing — graceful
+      // degradation is the contract of time_budget_ms.
+      auto fallback = map_greedy(graph, hints, options);
+      if (!fallback) return fallback.error();
+      fallback.value().degraded = true;
+      return fallback;
+    }
+    return make_error(ErrorCode::kDeadline, "ILP node budget exhausted without an integer solution");
   }
   if (solution.status == ilp::SolveStatus::kUnbounded) {
-    return make_error("mapping ILP unbounded (model bug)");
+    return make_error(ErrorCode::kInternal, "mapping ILP unbounded (model bug)");
   }
 
   Mapping mapping;
@@ -304,6 +321,8 @@ Result<Mapping> Mapper::map(const DataflowGraph& graph, const CostHints& hints, 
   mapping.ilp_nodes_explored = solution.nodes_explored;
   mapping.ilp_pivots = solution.pivots;
   mapping.ilp_incumbents = solution.incumbents;
+  mapping.degraded = solution.degraded;
+  mapping.ilp_basis = solution.basis;
   mapping.objective = solution.objective;
   obs::metrics().gauge("mapping/objective_cycles").set(solution.objective);
   mapping.node_pool.assign(nodes.size(), 0);
@@ -348,8 +367,8 @@ Result<Mapping> Mapper::map_greedy(const DataflowGraph& graph, const CostHints& 
       }
     }
     if (best_pool < 0) {
-      return make_error(strf("greedy: node '%s' cannot be placed on %s", nodes[i].label.c_str(),
-                             profile_->name.c_str()));
+      return make_error(ErrorCode::kInfeasible, strf("greedy: node '%s' cannot be placed on %s",
+                                                     nodes[i].label.c_str(), profile_->name.c_str()));
     }
     mapping.node_pool[i] = static_cast<std::uint32_t>(best_pool);
     mapping.objective += nodes[i].weight * best;
@@ -386,7 +405,8 @@ Result<Mapping> Mapper::map_greedy(const DataflowGraph& graph, const CostHints& 
       break;
     }
     if (!placed) {
-      return make_error(strf("greedy: state '%s' fits no region", fn.state_objects[s].name.c_str()));
+      return make_error(ErrorCode::kInfeasible,
+                        strf("greedy: state '%s' fits no region", fn.state_objects[s].name.c_str()));
     }
     // Account access cost against the chosen region.
     for (std::size_t i = 0; i < nodes.size(); ++i) {
@@ -405,6 +425,9 @@ std::string describe_mapping(const Mapping& mapping, const DataflowGraph& graph,
   std::string out;
   out += strf("Porting plan for '%s' on %s (%s mapper, est. %.0f cycles/pkt service)\n", fn.name.c_str(),
               mapper.profile().name.c_str(), mapping.greedy ? "greedy" : "ILP", mapping.objective);
+  if (mapping.degraded) {
+    out += "  NOTE: solver time budget expired — this plan is the best found, not a certified optimum\n";
+  }
   out += "  compute bindings:\n";
   for (std::size_t i = 0; i < graph.nodes().size(); ++i) {
     const auto& node = graph.nodes()[i];

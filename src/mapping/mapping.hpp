@@ -56,6 +56,14 @@ struct Mapping {
   /// integer objective improved over explored nodes).
   std::vector<ilp::IncumbentStep> ilp_incumbents;
   bool greedy = false;
+  /// True when the time budget expired before the solver proved
+  /// optimality: the mapping is the best incumbent found (or the greedy
+  /// baseline's when no incumbent existed). Propagates into Analysis and
+  /// the report text.
+  bool degraded = false;
+  /// The solution's simplex basis, usable to warm-start a re-solve of
+  /// the same model (ilp::SolveOptions::warm_basis). Empty for greedy.
+  std::vector<std::size_t> ilp_basis;
 };
 
 /// Options shared by the ILP and greedy mappers.
@@ -65,6 +73,14 @@ struct MapOptions {
   /// Fraction of each CTM usable for state (the rest buffers packets).
   double ctm_state_fraction = 0.75;
   std::size_t max_ilp_nodes = 50'000;
+  /// Wall-clock budget for the ILP solve in milliseconds (0 = none). On
+  /// expiry map() returns the best incumbent — or the greedy baseline's
+  /// result when none exists — flagged Mapping::degraded instead of
+  /// failing.
+  double time_budget_ms = 0.0;
+  /// Basis from a previous solve of the *same* model (Mapping::ilp_basis)
+  /// to warm-start the root relaxation with.
+  std::vector<std::size_t> warm_basis;
 };
 
 class Mapper {

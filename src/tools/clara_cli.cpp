@@ -16,6 +16,7 @@
 //
 // Workload spec syntax: "tcp=0.8 flows=10000 payload=300 pps=60000
 // packets=50000 zipf=1.0 arrivals=deterministic seed=42".
+#include <algorithm>
 #include <cstdio>
 #include <cstring>
 #include <fstream>
@@ -35,6 +36,7 @@
 #include "obs/breakdown.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
+#include "core/cache.hpp"
 #include "core/clara.hpp"
 #include "core/adversarial.hpp"
 #include "core/energy.hpp"
@@ -60,6 +62,8 @@ struct Args {
   std::string command;
   std::map<std::string, std::string> options;
   std::vector<std::string> positional;
+  /// Non-empty when parsing rejected an option (unknown key).
+  std::string error;
 
   [[nodiscard]] bool has(const std::string& key) const { return options.count(key) > 0; }
   [[nodiscard]] std::string get(const std::string& key, const std::string& fallback = {}) const {
@@ -68,28 +72,60 @@ struct Args {
   }
 };
 
+/// Every option key any command accepts. parse_args rejects keys outside
+/// this list — a typo like --sweep-psp used to be silently ignored and
+/// the run would quietly do less than asked.
+const std::vector<std::string>& known_option_keys() {
+  static const std::vector<std::string> kKeys = {
+      "breakdown", "cache", "cache-entries", "csum-sw", "energy", "greedy",
+      "jobs", "lowered", "metrics-out", "nf", "nf-file", "nf-p4", "nic",
+      "no-flow-cache", "no-optimize", "no-patterns", "out", "partial", "paths",
+      "sweep-pps", "time-budget-ms", "trace", "trace-out", "workload"};
+  return kKeys;
+}
+
+/// True for options that take no value (bare --flag form).
+bool is_bare_flag(const std::string& key) {
+  return key == "lowered" || key == "greedy" || key == "no-patterns" || key == "no-optimize" ||
+         key == "paths" || key == "energy" || key == "partial" || key == "csum-sw" ||
+         key == "no-flow-cache" || key == "breakdown";
+}
+
 Args parse_args(int argc, char** argv) {
   Args args;
-  if (argc > 1) args.command = argv[1];
-  for (int i = 2; i < argc; ++i) {
+  for (int i = 1; i < argc; ++i) {
     std::string token = argv[i];
-    if (starts_with(token, "--")) {
+    if (token == "--help" || token == "-h") {
+      args.command = "help";
+    } else if (starts_with(token, "--")) {
       std::string key = token.substr(2);
-      // --key=value form.
+      std::string value;
+      bool has_value = false;
       if (const auto eq = key.find('='); eq != std::string::npos) {
-        args.options[key.substr(0, eq)] = key.substr(eq + 1);
-        continue;
+        value = key.substr(eq + 1);
+        key = key.substr(0, eq);
+        has_value = true;
       }
-      // Flags without values.
-      if (key == "lowered" || key == "greedy" || key == "no-patterns" || key == "paths" ||
-          key == "energy" || key == "partial" || key == "csum-sw" || key == "no-flow-cache" ||
-          key == "breakdown") {
+      const auto& known = known_option_keys();
+      if (std::find(known.begin(), known.end(), key) == known.end()) {
+        args.error = strf("unknown option --%s", key.c_str());
+        const std::string suggestion = closest_match(key, known);
+        if (!suggestion.empty()) args.error += strf(" (did you mean --%s?)", suggestion.c_str());
+        args.error += "\nvalid options:";
+        for (const auto& k : known) args.error += " --" + k;
+        return args;
+      }
+      if (has_value) {
+        args.options[key] = std::move(value);
+      } else if (is_bare_flag(key)) {
         args.options[key] = "1";
       } else if (i + 1 < argc) {
         args.options[key] = argv[++i];
       } else {
         args.options[key] = "";
       }
+    } else if (args.command.empty()) {
+      args.command = std::move(token);
     } else {
       args.positional.push_back(std::move(token));
     }
@@ -243,16 +279,24 @@ int cmd_analyze(const Args& args) {
   if (!fn || !nic || !trace) return 1;
 
   core::AnalyzeOptions options;
-  options.use_ilp = !args.has("greedy");
-  options.pattern_matching = !args.has("no-patterns");
+  if (args.has("greedy")) options.stages.set(core::PipelineStages::kIlp, false);
+  if (args.has("no-patterns")) options.stages.set(core::PipelineStages::kPatterns, false);
+  if (args.has("no-optimize")) options.stages.set(core::PipelineStages::kOptimize, false);
+  if (args.has("time-budget-ms")) {
+    options.map.time_budget_ms = std::atof(args.get("time-budget-ms").c_str());
+  }
 
   core::Analyzer analyzer(std::move(*nic));
   auto analysis = analyzer.analyze(*fn, *trace, options);
   if (!analysis) {
-    std::fprintf(stderr, "analysis failed: %s\n", analysis.error().message.c_str());
+    std::fprintf(stderr, "analysis failed [%s]: %s\n", to_string(analysis.error().code),
+                 analysis.error().message.c_str());
     return 1;
   }
   const auto& a = analysis.value();
+  if (a.degraded) {
+    std::fprintf(stderr, "NOTE: solver time budget expired; the mapping is best-effort (degraded)\n");
+  }
 
   std::printf("NF '%s' on %s  (%zu calls substituted, %zu loops collapsed, %s mapper)\n",
               fn->name.c_str(), analyzer.profile().name.c_str(), a.substitution.substituted,
@@ -453,8 +497,11 @@ void usage() {
       "  print    --nf <name> [--lowered]\n"
       "  analyze  --nf <name>|--nf-file <f.cir>|--nf-p4 <f.p4nf> [--nic <profile>]\n"
       "           [--workload \"<spec>\"]\n"
-      "           [--trace <f.cltr>] [--greedy] [--no-patterns] [--paths] [--energy] [--partial]\n"
+      "           [--trace <f.cltr>] [--greedy] [--no-patterns] [--no-optimize]\n"
+      "           [--paths] [--energy] [--partial]\n"
       "           [--sweep-pps <a,b,c>]  predictor sensitivity sweep over offered loads\n"
+      "           [--time-budget-ms=<N>] ILP deadline; on expiry the best mapping found\n"
+      "                                  so far is returned, flagged degraded\n"
       "  simulate --nf <name> [--workload \"<spec>\"] [--csum-sw] [--no-flow-cache]\n"
       "  adversarial --nf <name> [--nic <profile>] [--workload \"<spec>\"]\n"
       "  microbench\n"
@@ -462,7 +509,11 @@ void usage() {
       "  trace-info <f.cltr>\n\n"
       "global:\n"
       "  --jobs=<N>              concurrency level for parallel phases (default:\n"
-      "                          CLARA_JOBS or hardware threads; 1 = fully serial)\n\n"
+      "                          CLARA_JOBS or hardware threads; 1 = fully serial)\n"
+      "  --cache=on|off          content-addressed analysis cache (default: on);\n"
+      "                          repeated analyses and sweep points reuse lowered\n"
+      "                          IR, dataflow graphs, and ILP mappings\n"
+      "  --cache-entries=<N>     cache capacity per stage, in entries (default 256)\n\n"
       "observability (any command):\n"
       "  --trace-out=<f.json>    record pipeline spans; write Chrome trace-event JSON\n"
       "                          (open at chrome://tracing) + flame summary on stderr\n"
@@ -499,6 +550,28 @@ bool write_file(const std::string& path, const std::string& content) {
 
 int main(int argc, char** argv) {
   const Args args = parse_args(argc, argv);
+  if (!args.error.empty()) {
+    std::fprintf(stderr, "%s\n", args.error.c_str());
+    return 2;
+  }
+  core::CacheConfig cache_config;
+  if (args.has("cache")) {
+    const std::string mode = args.get("cache");
+    if (mode != "on" && mode != "off") {
+      std::fprintf(stderr, "--cache must be 'on' or 'off' (got '%s')\n", mode.c_str());
+      return 2;
+    }
+    cache_config.enabled = mode == "on";
+  }
+  if (args.has("cache-entries")) {
+    const long n = std::atol(args.get("cache-entries").c_str());
+    if (n < 1) {
+      std::fprintf(stderr, "--cache-entries must be a positive integer\n");
+      return 2;
+    }
+    cache_config.max_entries = static_cast<std::size_t>(n);
+  }
+  core::analysis_cache().configure(cache_config);
   if (args.has("jobs")) {
     const long n = std::atol(args.get("jobs").c_str());
     if (n < 1) {

@@ -171,7 +171,7 @@ TEST(Analyzer, GreedyOptionUsesGreedyMapper) {
   Analyzer clara_tool(lnic::netronome_agilio_cx());
   const auto trace = make_trace("packets=2000 pps=60000");
   AnalyzeOptions options;
-  options.use_ilp = false;
+  options.stages = PipelineStages::no_ilp();
   const auto analysis = clara_tool.analyze(nf::build_hh_nf(), trace, options);
   ASSERT_TRUE(analysis.ok());
   EXPECT_TRUE(analysis.value().mapping.greedy);
@@ -182,7 +182,7 @@ TEST(Analyzer, PatternAblationChangesPrediction) {
   const auto trace = make_trace("payload=1000 pps=60000 packets=3000");
   AnalyzeOptions with;
   AnalyzeOptions without;
-  without.pattern_matching = false;
+  without.stages = PipelineStages::no_patterns();
   const auto a = clara_tool.analyze(nf::build_dpi_nf(), trace, with);
   const auto b = clara_tool.analyze(nf::build_dpi_nf(), trace, without);
   ASSERT_TRUE(a.ok()) << a.error().message;
@@ -282,7 +282,7 @@ TEST(Interference, CoResidentAnalysis) {
   const auto trace_a = make_trace("flows=20000 payload=300 pps=100000 packets=10000");
   const auto trace_b = make_trace("payload=1000 pps=100000 packets=10000 seed=9");
   const auto result =
-      analyze_coresident(clara_tool, nf::build_nat_nf(), trace_a, nf::build_dpi_nf(), trace_b);
+      clara_tool.coresident(nf::build_nat_nf(), trace_a, nf::build_dpi_nf(), trace_b);
   ASSERT_TRUE(result.ok()) << result.error().message;
   // Both NFs see a half-NIC: their solo predictions should be no worse.
   const auto solo_a = clara_tool.analyze(nf::build_nat_nf(), trace_a);
