@@ -363,10 +363,71 @@ CacheBenchResult bench_cached_sweep() {
   return r;
 }
 
+// --- incremental mapping repair ----------------------------------------------
+
+struct RepairBenchResult {
+  double cold_remap_ms = 0.0;
+  double repair_ms = 0.0;
+  /// cold_remap_ms / repair_ms — the headline number tracked across PRs.
+  double repair_remap_speedup = 0.0;
+  std::size_t displaced_nodes = 0;
+  bool repaired_flagged = false;
+  bool feasible = false;
+};
+
+/// Solves nat healthy, fails the checksum accelerator, then compares a
+/// cold re-solve of the faulted model against Mapper::repair, which pins
+/// the surviving assignments and re-solves only the displaced nodes.
+RepairBenchResult bench_repair() {
+  RepairBenchResult r;
+  auto fn = nf::build_nat_nf();
+  passes::substitute_framework_apis(fn);
+  passes::CostHints hints;
+  const auto graph = passes::DataflowGraph::build(fn, hints);
+
+  const auto healthy_profile = lnic::netronome_agilio_cx();
+  const mapping::Mapper healthy(healthy_profile);
+  auto previous = healthy.map(graph, hints);
+  if (!previous) return r;
+
+  auto faulted_profile = lnic::netronome_agilio_cx();
+  if (!faulted_profile.graph.mark_offline("csum")) return r;
+  const mapping::Mapper faulted(faulted_profile);
+
+  constexpr int kIters = 20;
+  for (int i = 0; i < 2; ++i) {  // warmup both paths
+    (void)faulted.map(graph, hints);
+    (void)faulted.repair(graph, hints, previous.value());
+  }
+  auto t0 = Clock::now();
+  for (int i = 0; i < kIters; ++i) {
+    volatile bool ok = faulted.map(graph, hints).ok();
+    (void)ok;
+  }
+  r.cold_remap_ms = ms_since(t0) / kIters;
+
+  t0 = Clock::now();
+  for (int i = 0; i < kIters; ++i) {
+    volatile bool ok = faulted.repair(graph, hints, previous.value()).ok();
+    (void)ok;
+  }
+  r.repair_ms = ms_since(t0) / kIters;
+  r.repair_remap_speedup = r.repair_ms > 0 ? r.cold_remap_ms / r.repair_ms : 0.0;
+
+  auto repaired = faulted.repair(graph, hints, previous.value());
+  r.feasible = repaired.ok();
+  if (repaired.ok()) {
+    r.repaired_flagged = repaired.value().repaired;
+    r.displaced_nodes = repaired.value().repair_displaced;
+  }
+  return r;
+}
+
 // --- output ------------------------------------------------------------------
 
 void write_json(const std::string& path, std::size_t jobs, const std::vector<MicroResult>& micros,
-                const std::vector<ParallelResult>& par, const CacheBenchResult& cache) {
+                const std::vector<ParallelResult>& par, const CacheBenchResult& cache,
+                const RepairBenchResult& repair) {
   FILE* f = std::fopen(path.c_str(), "w");
   if (!f) {
     std::fprintf(stderr, "cannot write %s\n", path.c_str());
@@ -407,6 +468,14 @@ void write_json(const std::string& path, std::size_t jobs, const std::vector<Mic
                static_cast<unsigned long long>(cache.misses),
                static_cast<unsigned long long>(cache.warm_ilp_solves),
                cache.identical_results ? "true" : "false");
+  std::fprintf(f, ",\n");
+  std::fprintf(f,
+               "  \"repair\": {\"name\": \"repair_remap\", \"cold_remap_ms\": %.3f, "
+               "\"repair_ms\": %.3f, \"repair_remap_speedup\": %.3f, \"displaced_nodes\": %zu, "
+               "\"repaired_flagged\": %s, \"feasible\": %s}\n",
+               repair.cold_remap_ms, repair.repair_ms, repair.repair_remap_speedup,
+               repair.displaced_nodes, repair.repaired_flagged ? "true" : "false",
+               repair.feasible ? "true" : "false");
   std::fprintf(f, "}\n");
   std::fclose(f);
   std::printf("wrote %s\n", path.c_str());
@@ -451,7 +520,13 @@ int main(int argc, char** argv) {
               static_cast<unsigned long long>(cache.warm_ilp_solves),
               cache.identical_results ? "yes" : "NO");
 
-  if (!json_path.empty()) write_json(json_path, jobs, micros, par, cache);
+  const auto repair = bench_repair();
+  std::printf("\nincremental mapping repair (nat, checksum accelerator failed):\n");
+  std::printf("  cold remap %8.3f ms  repair %8.3f ms  repair_remap_speedup %.2fx  displaced=%zu  flagged=%s\n",
+              repair.cold_remap_ms, repair.repair_ms, repair.repair_remap_speedup,
+              repair.displaced_nodes, repair.repaired_flagged ? "yes" : "NO");
+
+  if (!json_path.empty()) write_json(json_path, jobs, micros, par, cache, repair);
 
   bool ok = true;
   for (const auto& p : par) ok = ok && p.identical_results;
@@ -461,6 +536,10 @@ int main(int argc, char** argv) {
   }
   if (!cache.identical_results || cache.warm_ilp_solves != 0) {
     std::fprintf(stderr, "FAIL: warm cache pass diverged from cold pass\n");
+    return 1;
+  }
+  if (!repair.feasible || !repair.repaired_flagged) {
+    std::fprintf(stderr, "FAIL: incremental repair did not produce a flagged feasible mapping\n");
     return 1;
   }
   return 0;

@@ -10,6 +10,17 @@ namespace clara::cir {
 
 namespace {
 
+// Input hardening bounds (docs/robustness.md): degenerate or hostile
+// inputs are rejected up front with typed kParse errors instead of being
+// allowed to exhaust memory or wander the tokenizer. The limits are far
+// above anything a legitimate NF produces (the largest builtin prints at
+// a few KiB) but small enough that a fuzzer cannot make the parser the
+// allocation bottleneck.
+constexpr std::size_t kMaxInputBytes = 8u << 20;  // 8 MiB of CIR text
+constexpr std::size_t kMaxLines = 1u << 18;
+constexpr std::size_t kMaxLineBytes = 4096;       // bounds every token too
+constexpr int kMaxOperandNesting = 32;            // '[' / '(' depth
+
 struct Cursor {
   std::vector<std::string> lines;
   std::size_t pos = 0;
@@ -59,8 +70,10 @@ std::optional<Value> parse_operand(std::string_view s) {
 }
 
 /// Splits top-level comma-separated operands (no nesting in our grammar
-/// except phi brackets, handled separately).
-std::vector<std::string> split_operands(std::string_view s) {
+/// except phi brackets, handled separately). Returns nullopt when the
+/// brackets are unbalanced or nest past kMaxOperandNesting — hostile
+/// input, never produced by the printer.
+std::optional<std::vector<std::string>> split_operands(std::string_view s) {
   std::vector<std::string> out;
   int depth = 0;
   std::size_t start = 0;
@@ -70,11 +83,12 @@ std::vector<std::string> split_operands(std::string_view s) {
       if (!piece.empty()) out.emplace_back(piece);
       start = i + 1;
     } else if (s[i] == '[' || s[i] == '(') {
-      ++depth;
+      if (++depth > kMaxOperandNesting) return std::nullopt;
     } else if (s[i] == ']' || s[i] == ')') {
-      --depth;
+      if (--depth < 0) return std::nullopt;
     }
   }
+  if (depth != 0) return std::nullopt;
   return out;
 }
 
@@ -138,7 +152,9 @@ class FunctionParser {
   }
 
  private:
-  ParseError err(const std::string& msg) { return make_error(strf("line %zu: %s", cur_.line_no(), msg.c_str())); }
+  ParseError err(const std::string& msg) {
+    return make_error(ErrorCode::kParse, strf("line %zu: %s", cur_.line_no(), msg.c_str()));
+  }
 
   Status parse_state(std::string_view line) {
     StateObject state;
@@ -249,12 +265,13 @@ class FunctionParser {
       instr.op = Opcode::kCondBr;
       instr.type = Type::kVoid;
       const auto ops = split_operands(rest);
-      if (ops.size() != 3) return err("condbr needs cond, then, else");
-      const auto cond = parse_operand(ops[0]);
+      if (!ops || ops->size() != 3) return err("condbr needs cond, then, else");
+      const auto cond = parse_operand((*ops)[0]);
       if (!cond) return err("bad condbr condition");
       instr.args = {*cond};
       track_value(*cond);
-      pending_branches_.push_back({cur_block_, fn_.blocks[cur_block_].instrs.size(), ops[1], ops[2]});
+      pending_branches_.push_back(
+          {cur_block_, fn_.blocks[cur_block_].instrs.size(), (*ops)[1], (*ops)[2]});
     } else if (opcode_tok == "ret") {
       instr.op = Opcode::kRet;
       instr.type = Type::kVoid;
@@ -267,7 +284,9 @@ class FunctionParser {
       if (paren == std::string_view::npos || rest.back() != ')') return err("call needs 'name(args)'");
       instr.callee = std::string(trim(rest.substr(0, paren)));
       if (instr.callee.empty()) return err("call needs a callee");
-      for (const auto& op_text : split_operands(rest.substr(paren + 1, rest.size() - paren - 2))) {
+      const auto ops = split_operands(rest.substr(paren + 1, rest.size() - paren - 2));
+      if (!ops) return err("call arguments unbalanced or nested too deep");
+      for (const auto& op_text : *ops) {
         const auto v = parse_operand(op_text);
         if (!v) return err("bad call operand");
         instr.args.push_back(*v);
@@ -276,23 +295,27 @@ class FunctionParser {
     } else if (opcode_tok == "phi") {
       instr.op = Opcode::kPhi;
       PendingPhi pending{cur_block_, fn_.blocks[cur_block_].instrs.size(), {}};
-      for (const auto& piece : split_operands(rest)) {
+      const auto pieces = split_operands(rest);
+      if (!pieces) return err("phi operands unbalanced or nested too deep");
+      for (const auto& piece : *pieces) {
         if (piece.size() < 2 || piece.front() != '[' || piece.back() != ']') return err("phi operand needs [v, block]");
         const auto inner = split_operands(std::string_view(piece).substr(1, piece.size() - 2));
-        if (inner.size() != 2) return err("phi operand needs [v, block]");
-        const auto v = parse_operand(inner[0]);
+        if (!inner || inner->size() != 2) return err("phi operand needs [v, block]");
+        const auto v = parse_operand((*inner)[0]);
         if (!v) return err("bad phi value");
         instr.args.push_back(*v);
         track_value(*v);
         instr.phi_preds.push_back(~0u);
-        pending.labels.push_back(inner[1]);
+        pending.labels.push_back((*inner)[1]);
       }
       pending_phis_.push_back(std::move(pending));
     } else {
       const auto op = parse_opcode(opcode_tok);
       if (!op) return err(strf("unknown opcode '%.*s'", (int)opcode_tok.size(), opcode_tok.data()));
       instr.op = *op;
-      for (const auto& op_text : split_operands(rest)) {
+      const auto ops = split_operands(rest);
+      if (!ops) return err("operands unbalanced or nested too deep");
+      for (const auto& op_text : *ops) {
         const auto v = parse_operand(op_text);
         if (!v) return err("bad operand");
         instr.args.push_back(*v);
@@ -349,11 +372,15 @@ class FunctionParser {
     for (const auto& pb : pending_branches_) {
       Instr& instr = fn_.blocks[pb.block].instrs[pb.instr];
       const auto it0 = labels_.find(pb.label0);
-      if (it0 == labels_.end()) return make_error("unknown branch target '" + pb.label0 + "'");
+      if (it0 == labels_.end()) {
+        return make_error(ErrorCode::kParse, "unknown branch target '" + pb.label0 + "'");
+      }
       instr.target0 = it0->second;
       if (instr.op == Opcode::kCondBr) {
         const auto it1 = labels_.find(pb.label1);
-        if (it1 == labels_.end()) return make_error("unknown branch target '" + pb.label1 + "'");
+        if (it1 == labels_.end()) {
+          return make_error(ErrorCode::kParse, "unknown branch target '" + pb.label1 + "'");
+        }
         instr.target1 = it1->second;
       }
     }
@@ -361,7 +388,9 @@ class FunctionParser {
       Instr& instr = fn_.blocks[pp.block].instrs[pp.instr];
       for (std::size_t i = 0; i < pp.labels.size(); ++i) {
         const auto it = labels_.find(pp.labels[i]);
-        if (it == labels_.end()) return make_error("unknown phi predecessor '" + pp.labels[i] + "'");
+        if (it == labels_.end()) {
+          return make_error(ErrorCode::kParse, "unknown phi predecessor '" + pp.labels[i] + "'");
+        }
         instr.phi_preds[i] = it->second;
       }
     }
@@ -388,8 +417,24 @@ class FunctionParser {
 }  // namespace
 
 Result<Module> parse_module(const std::string& text) {
+  // Hardening pre-pass: size, line-count, and line-length caps, checked
+  // before any allocation proportional to the content.
+  if (text.size() > kMaxInputBytes) {
+    return make_error(ErrorCode::kParse, strf("input too large: %zu bytes (max %zu)", text.size(),
+                                              kMaxInputBytes));
+  }
   Cursor cur;
   cur.lines = split(text, '\n');
+  if (cur.lines.size() > kMaxLines) {
+    return make_error(ErrorCode::kParse,
+                      strf("too many lines: %zu (max %zu)", cur.lines.size(), kMaxLines));
+  }
+  for (std::size_t i = 0; i < cur.lines.size(); ++i) {
+    if (cur.lines[i].size() > kMaxLineBytes) {
+      return make_error(ErrorCode::kParse, strf("line %zu: too long (%zu bytes, max %zu)", i + 1,
+                                                cur.lines[i].size(), kMaxLineBytes));
+    }
+  }
 
   Module mod;
   bool have_header = false;
@@ -397,20 +442,26 @@ Result<Module> parse_module(const std::string& text) {
     const auto line = cur.next();
     if (line.empty() || line.front() == ';' || line.front() == '#') continue;
     if (starts_with(line, "module ")) {
-      if (have_header) return make_error(strf("line %zu: duplicate module header", cur.line_no()));
+      if (have_header) {
+        return make_error(ErrorCode::kParse, strf("line %zu: duplicate module header", cur.line_no()));
+      }
       mod.name = std::string(trim(line.substr(7)));
       have_header = true;
     } else if (starts_with(line, "func ")) {
-      if (!have_header) return make_error(strf("line %zu: 'module NAME' must come first", cur.line_no()));
+      if (!have_header) {
+        return make_error(ErrorCode::kParse,
+                          strf("line %zu: 'module NAME' must come first", cur.line_no()));
+      }
       FunctionParser fp(cur);
       auto fn = fp.parse(line);
       if (!fn) return fn.error();
       mod.functions.push_back(std::move(fn).value());
     } else {
-      return make_error(strf("line %zu: expected 'module' or 'func'", cur.line_no()));
+      return make_error(ErrorCode::kParse,
+                        strf("line %zu: expected 'module' or 'func'", cur.line_no()));
     }
   }
-  if (!have_header) return make_error("missing 'module NAME' header");
+  if (!have_header) return make_error(ErrorCode::kParse, "missing 'module NAME' header");
   return mod;
 }
 

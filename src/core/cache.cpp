@@ -1,6 +1,7 @@
 #include "core/cache.hpp"
 
 #include "common/hash.hpp"
+#include "fault/fault.hpp"
 #include "obs/metrics.hpp"
 
 namespace clara::core {
@@ -35,6 +36,31 @@ void count_lookup(std::atomic<std::uint64_t>& counter, const char* metric, const
   obs::metrics().counter(metric, std::string("stage=") + stage).inc();
 }
 
+// Poisoned-entry simulation ("cache/poison" site, keyed by the entry's
+// content digest): the digest re-check that a hit performs is forced to
+// mismatch, so the entry is treated as corrupt — dropped and recomputed.
+// Keying on the digest (not lookup order) keeps detection bit-identical
+// at every jobs level, and the recompute produces an identical value, so
+// analysis results are unchanged; only hit accounting and work differ.
+template <typename EntryPtr>
+bool poisoned(const EntryPtr& entry, std::uint64_t key, const char* stage) {
+  if (!entry || !fault::inject("cache/poison", key)) return false;
+  obs::metrics().counter("fault/cache_poison_detected", std::string("stage=") + stage).inc();
+  return true;
+}
+
+// Injected eviction storm ("cache/evict_storm" site, keyed by the insert
+// digest): the whole stage cache is flushed, as if a burst of competing
+// insertions cycled every shard. Purely a performance fault — entries
+// are recomputed on demand with identical content.
+template <typename T>
+std::uint64_t storm(ShardedLru<T>& cache, const char* stage) {
+  const std::uint64_t dropped = cache.size();
+  cache.clear();
+  obs::metrics().counter("fault/cache_evict_storms", std::string("stage=") + stage).inc();
+  return dropped;
+}
+
 }  // namespace
 
 void AnalysisCache::configure(const CacheConfig& config) {
@@ -47,6 +73,7 @@ void AnalysisCache::configure(const CacheConfig& config) {
 std::shared_ptr<const LoweredEntry> AnalysisCache::find_lowered(std::uint64_t key) {
   if (!enabled()) return nullptr;
   auto entry = lowered_.find(key);
+  if (poisoned(entry, key, "lowered")) entry = nullptr;
   count_lookup(entry ? hits_ : misses_, entry ? "cache/hits" : "cache/misses", "lowered");
   return entry;
 }
@@ -54,6 +81,7 @@ std::shared_ptr<const LoweredEntry> AnalysisCache::find_lowered(std::uint64_t ke
 std::shared_ptr<const GraphEntry> AnalysisCache::find_graph(std::uint64_t key) {
   if (!enabled()) return nullptr;
   auto entry = graphs_.find(key);
+  if (poisoned(entry, key, "graph")) entry = nullptr;
   count_lookup(entry ? hits_ : misses_, entry ? "cache/hits" : "cache/misses", "graph");
   return entry;
 }
@@ -61,6 +89,7 @@ std::shared_ptr<const GraphEntry> AnalysisCache::find_graph(std::uint64_t key) {
 std::shared_ptr<const MappingEntry> AnalysisCache::find_mapping(std::uint64_t key) {
   if (!enabled()) return nullptr;
   auto entry = mappings_.find(key);
+  if (poisoned(entry, key, "map")) entry = nullptr;
   count_lookup(entry ? hits_ : misses_, entry ? "cache/hits" : "cache/misses", "map");
   return entry;
 }
@@ -71,6 +100,7 @@ void AnalysisCache::insert_lowered(std::uint64_t key, std::shared_ptr<const Lowe
   std::uint64_t evicted = 0;
   std::uint64_t added = 0;
   lowered_.insert(key, std::move(entry), bytes, &evicted, &added);
+  if (fault::inject("cache/evict_storm", key)) evicted += storm(lowered_, "lowered");
   if (evicted > 0) {
     evictions_.fetch_add(evicted, std::memory_order_relaxed);
     obs::metrics().counter("cache/evictions", "stage=lowered").inc(evicted);
@@ -84,6 +114,7 @@ void AnalysisCache::insert_graph(std::uint64_t key, std::shared_ptr<const GraphE
   std::uint64_t evicted = 0;
   std::uint64_t added = 0;
   graphs_.insert(key, std::move(entry), bytes, &evicted, &added);
+  if (fault::inject("cache/evict_storm", key)) evicted += storm(graphs_, "graph");
   if (evicted > 0) {
     evictions_.fetch_add(evicted, std::memory_order_relaxed);
     obs::metrics().counter("cache/evictions", "stage=graph").inc(evicted);
@@ -102,6 +133,7 @@ void AnalysisCache::insert_mapping(std::uint64_t key, std::uint64_t family_key,
   std::uint64_t evicted = 0;
   std::uint64_t added = 0;
   mappings_.insert(key, std::move(entry), bytes, &evicted, &added);
+  if (fault::inject("cache/evict_storm", key)) evicted += storm(mappings_, "map");
   if (evicted > 0) {
     evictions_.fetch_add(evicted, std::memory_order_relaxed);
     obs::metrics().counter("cache/evictions", "stage=map").inc(evicted);
@@ -161,11 +193,14 @@ std::uint64_t hash_profile(const lnic::NicProfile& profile) {
       h.mix(cu->threads);
       h.mix(cu->pipeline_stage);
       h.mix(cu->match_action);
+      h.mix(cu->offline);
+      h.mix(cu->derate);
     } else if (const auto* mem = node.memory()) {
       h.mix_byte(static_cast<std::uint8_t>(mem->kind));
       h.mix(static_cast<std::uint64_t>(mem->capacity));
       h.mix(mem->island);
       h.mix(static_cast<std::uint64_t>(mem->cache_capacity));
+      h.mix(mem->offline);
     } else if (const auto* hub = node.hub()) {
       h.mix(static_cast<std::uint64_t>(hub->queue_capacity));
       h.mix_byte(static_cast<std::uint8_t>(hub->discipline));

@@ -125,6 +125,102 @@ Result<Analysis> Analyzer::analyze(const cir::Function& nf, const workload::Trac
   return analysis;
 }
 
+Result<Analysis> Analyzer::repair(const cir::Function& nf, const workload::Trace& trace,
+                                  const Analysis& previous, const AnalyzeOptions& options) const {
+  CLARA_TRACE_SCOPE("core/repair");
+  auto& cache = analysis_cache();
+  const bool use_cache = options.use_cache && cache.enabled();
+
+  // Lowering: identical to analyze() — the key depends only on the input
+  // NF and the stage toggles, so when the healthy analysis just ran this
+  // is a warm hit and no work repeats.
+  std::uint64_t lkey = 0;
+  std::shared_ptr<const LoweredEntry> lowered;
+  if (use_cache) {
+    lkey = lowered_key(cir::hash_function(nf), options.stages.patterns(), options.stages.optimize());
+    lowered = cache.find_lowered(lkey);
+  }
+  if (!lowered) {
+    auto entry = std::make_shared<LoweredEntry>();
+    entry->fn = nf;
+    entry->substitution = passes::substitute_framework_apis(entry->fn);
+    if (options.stages.patterns()) {
+      entry->patterns = passes::collapse_packet_loops(entry->fn);
+    }
+    if (options.stages.optimize()) {
+      entry->optimizations = passes::optimize(entry->fn);
+    }
+    if (auto status = cir::verify(entry->fn); !status) {
+      return make_error(ErrorCode::kVerify,
+                        "lowered NF failed verification: " + status.error().message);
+    }
+    entry->lowered_hash = cir::hash_function(entry->fn);
+    if (use_cache) cache.insert_lowered(lkey, entry);
+    lowered = std::move(entry);
+  }
+  if (options.fail_on_unknown_calls && !lowered->substitution.unknown_calls.empty()) {
+    std::ostringstream os;
+    os << "unrecognized calls in '" << nf.name << "':";
+    for (const auto& name : lowered->substitution.unknown_calls) os << " " << name;
+    return make_error(ErrorCode::kUnknownCall, os.str());
+  }
+
+  Analysis analysis;
+  analysis.lowered = lowered->fn;
+  analysis.substitution = lowered->substitution;
+  analysis.patterns = lowered->patterns;
+  analysis.optimizations = lowered->optimizations;
+
+  // Graph: keyed on the faulted profile's hash (offline/derate state is
+  // mixed into hash_profile), so a degraded profile never aliases the
+  // healthy profile's entry.
+  const passes::CostHints hints = hints_from_trace(trace, profile_);
+  std::uint64_t gkey = 0;
+  std::shared_ptr<const GraphEntry> graph_entry;
+  if (use_cache) {
+    gkey = graph_key(lowered->lowered_hash, hash_hints(hints), profile_hash_);
+    graph_entry = cache.find_graph(gkey);
+  }
+  if (!graph_entry) {
+    auto entry = std::make_shared<GraphEntry>();
+    entry->lowered = lowered;
+    entry->graph = passes::DataflowGraph::build(entry->lowered->fn, hints);
+    if (use_cache) cache.insert_graph(gkey, entry);
+    graph_entry = std::move(entry);
+  }
+  const passes::DataflowGraph& graph = graph_entry->graph;
+
+  mapping::MapOptions map_options = options.map;
+  if (map_options.pps == mapping::MapOptions{}.pps && trace.profile.pps > 0.0) {
+    map_options.pps = trace.profile.pps;
+  }
+
+  // Incremental repair instead of a cold solve. The reduced model still
+  // warm-starts from the model family's recorded basis when one exists.
+  // The result is deliberately NOT inserted into the mapping cache.
+  const mapping::Mapper mapper(profile_);
+  mapping::MapOptions solve_options = map_options;
+  if (use_cache && options.stages.ilp() && solve_options.warm_basis.empty()) {
+    std::uint64_t family = 0;
+    (void)mapping_key(gkey, map_options, options.stages.ilp(), &family);
+    solve_options.warm_basis = cache.family_basis(family);
+  }
+  auto repaired = options.stages.ilp() ? mapper.repair(graph, hints, previous.mapping, solve_options)
+                                       : mapper.map_greedy(graph, hints, solve_options);
+  if (!repaired) return repaired.error();
+  analysis.mapping = std::move(repaired).value();
+  if (!options.stages.ilp()) analysis.mapping.repaired = true;  // greedy re-solve is still a repair
+  analysis.degraded = analysis.mapping.degraded;
+  analysis.repaired = analysis.mapping.repaired;
+
+  auto prediction = predict(analysis.lowered, graph, analysis.mapping, mapper, trace, options.predict);
+  if (!prediction) return prediction.error();
+  analysis.prediction = std::move(prediction).value();
+
+  analysis.report = mapping::describe_mapping(analysis.mapping, graph, mapper, analysis.lowered);
+  return analysis;
+}
+
 namespace {
 
 /// EMEM working-set pressure one NF exerts on its neighbours: active

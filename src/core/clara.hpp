@@ -108,6 +108,9 @@ struct Analysis {
   /// Mirrors mapping.degraded: the solver's time budget expired and the
   /// mapping is best-effort, not certified optimal.
   bool degraded = false;
+  /// Mirrors mapping.repaired: this mapping came from incremental repair
+  /// after resource loss (Analyzer::repair), not a cold solve.
+  bool repaired = false;
 };
 
 /// Co-resident interference analysis result (paper §3.5): the two
@@ -125,6 +128,19 @@ class Analyzer {
   /// is taken from the trace's profile unless options.map.pps overrides.
   [[nodiscard]] Result<Analysis> analyze(const cir::Function& nf, const workload::Trace& trace,
                                          const AnalyzeOptions& options = {}) const;
+
+  /// Degraded-mode re-analysis after resource loss. Re-runs the lowering
+  /// and graph stages against this analyzer's — typically faulted —
+  /// profile (cache-warm where keys still match), then incrementally
+  /// repairs `previous`'s mapping via mapping::Mapper::repair instead of
+  /// solving cold: assignments to surviving resources stay pinned and
+  /// only displaced nodes/states are re-solved. The repaired mapping is
+  /// NOT inserted into the analysis cache (it is pinned to the previous
+  /// assignment, not the model's optimum). `previous` should come from
+  /// analyze() on the healthy profile with the same NF and stages.
+  [[nodiscard]] Result<Analysis> repair(const cir::Function& nf, const workload::Trace& trace,
+                                        const Analysis& previous,
+                                        const AnalyzeOptions& options = {}) const;
 
   /// Co-resident interference analysis (paper §3.5): each NF gets half
   /// the NIC's compute parallelism and sees the other's working set as

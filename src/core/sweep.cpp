@@ -1,7 +1,11 @@
 #include "core/sweep.hpp"
 
+#include <chrono>
+#include <thread>
+
 #include "cir/hash.hpp"
 #include "common/parallel.hpp"
+#include "common/strings.hpp"
 #include "core/cache.hpp"
 #include "core/predict.hpp"
 #include "obs/metrics.hpp"
@@ -33,8 +37,25 @@ std::vector<SweepPoint> make_grid(const std::vector<double>& loads_pps,
   return grid;
 }
 
+void SweepFailureSummary::merge(const SweepFailureSummary& other) {
+  shards += other.shards;
+  retried += other.retried;
+  recovered += other.recovered;
+  failed += other.failed;
+  for (const auto& e : other.errors) {
+    if (errors.size() >= kMaxErrors) break;
+    errors.push_back(e);
+  }
+}
+
+std::string SweepFailureSummary::describe() const {
+  return strf("sweep shards: %llu total, %llu retried, %llu recovered, %llu failed",
+              static_cast<unsigned long long>(shards), static_cast<unsigned long long>(retried),
+              static_cast<unsigned long long>(recovered), static_cast<unsigned long long>(failed));
+}
+
 std::vector<SweepResult> run_sweep(const std::vector<SweepPoint>& points, const SweepEval& eval,
-                                   const SweepOptions& options) {
+                                   const SweepOptions& options, SweepFailureSummary* failures) {
   CLARA_TRACE_SCOPE("core/sweep");
   const auto pool_before = parallel::pool().stats();
   std::vector<SweepResult> results(points.size());
@@ -44,12 +65,46 @@ std::vector<SweepResult> run_sweep(const std::vector<SweepPoint>& points, const 
   }
   // Shards are disjoint slots of `results`, so the body is race-free by
   // construction; each shard's RNG stream comes from its point.seed.
-  parallel::parallel_for_jobs(options.jobs, 0, points.size(),
-                              [&](std::size_t i) { eval(points[i], results[i]); });
+  // A failed shard is retried exactly once on a fresh result slot after
+  // a brief backoff (transient faults — injected or real — may clear);
+  // whether a shard retries depends only on its own eval outcome, never
+  // on scheduling, so the output is identical at every jobs level.
+  parallel::parallel_for_jobs(options.jobs, 0, points.size(), [&](std::size_t i) {
+    eval(points[i], results[i]);
+    if (results[i].ok) return;
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    SweepResult retry;
+    retry.point = points[i];
+    retry.histogram = Histogram(options.hist_lo, options.hist_hi, options.hist_buckets);
+    retry.attempts = 2;
+    eval(points[i], retry);
+    results[i] = std::move(retry);
+  });
   obs::publish_pool_stats("sweep", pool_before, parallel::pool().stats());
+
+  // Assemble the failure summary serially, in point-index order, so the
+  // recorded error lines are deterministic regardless of scheduling.
+  SweepFailureSummary summary;
+  summary.shards = points.size();
+  for (const auto& r : results) {
+    if (r.attempts > 1) {
+      ++summary.retried;
+      if (r.ok) ++summary.recovered;
+    }
+    if (!r.ok) {
+      ++summary.failed;
+      if (summary.errors.size() < SweepFailureSummary::kMaxErrors) {
+        summary.errors.push_back(strf("shard %zu: %s", r.point.index, r.error.c_str()));
+      }
+    }
+  }
+
   auto& registry = obs::metrics();
   registry.counter("sweep/runs").inc();
   registry.counter("sweep/points").inc(points.size());
+  if (summary.retried > 0) registry.counter("sweep/shard_retries").inc(summary.retried);
+  if (summary.failed > 0) registry.counter("sweep/shard_failures").inc(summary.failed);
+  if (failures != nullptr) failures->merge(summary);
   return results;
 }
 
@@ -72,7 +127,8 @@ Accumulator merge_stats(const std::vector<SweepResult>& results) {
 std::vector<LoadSweepPoint> predict_load_sweep(const Analyzer& analyzer, const Analysis& analysis,
                                                const workload::WorkloadProfile& profile,
                                                const std::vector<double>& loads_pps,
-                                               const AnalyzeOptions& options, std::size_t jobs) {
+                                               const AnalyzeOptions& options, std::size_t jobs,
+                                               SweepFailureSummary* failures) {
   // The graph the mapping was priced against: rebuilt from the lowered
   // function with hints taken at the base profile (mirrors analyze()).
   // The graph cache is keyed on the lowered function's content, so when
@@ -109,6 +165,7 @@ std::vector<LoadSweepPoint> predict_load_sweep(const Analyzer& analyzer, const A
   run_sweep(grid,
             [&](const SweepPoint& point, SweepResult& result) {
               auto& slot = out[point.index];
+              slot = LoadSweepPoint{};  // retries rewrite the slot from scratch
               slot.pps = point.load_pps;
               slot.seed = point.seed;
               workload::WorkloadProfile shard = profile;
@@ -127,7 +184,7 @@ std::vector<LoadSweepPoint> predict_load_sweep(const Analyzer& analyzer, const A
               result.value = slot.prediction.mean_latency_us;
               result.stats.add(slot.prediction.mean_latency_us);
             },
-            sweep_options);
+            sweep_options, failures);
   return out;
 }
 

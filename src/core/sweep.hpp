@@ -40,6 +40,27 @@ struct SweepResult {
   Histogram histogram{0.0, 0.0, 0};
   bool ok = true;
   std::string error;
+  /// Evaluations this shard took (2 when the driver retried it).
+  std::uint32_t attempts = 1;
+};
+
+/// Per-sweep failure accounting for the retry-once-then-record policy:
+/// a shard whose eval reports ok == false is re-evaluated once after a
+/// short backoff; a second failure is recorded here instead of aborting
+/// the sweep. Mergeable across sweeps like Histograms.
+struct SweepFailureSummary {
+  std::uint64_t shards = 0;     // points driven
+  std::uint64_t retried = 0;    // shards that needed a retry
+  std::uint64_t recovered = 0;  // retries that then succeeded
+  std::uint64_t failed = 0;     // shards still failing after the retry
+  /// "shard N: message" lines in point-index order, capped at kMaxErrors.
+  static constexpr std::size_t kMaxErrors = 16;
+  std::vector<std::string> errors;
+
+  void merge(const SweepFailureSummary& other);
+  [[nodiscard]] bool any_failures() const { return failed > 0; }
+  /// One-line human-readable summary for reports/CLI.
+  [[nodiscard]] std::string describe() const;
 };
 
 struct SweepOptions {
@@ -63,9 +84,14 @@ std::vector<SweepPoint> make_grid(const std::vector<double>& loads_pps,
 /// Runs eval over every point concurrently. The eval must only touch its
 /// own SweepResult (plus caller-provided per-index slots); the driver
 /// guarantees results[i].point == points[i] and index order in the
-/// returned vector regardless of scheduling.
+/// returned vector regardless of scheduling. A shard that reports
+/// ok == false is retried once with a fresh SweepResult after a short
+/// backoff; shards that fail twice stay in the output with ok == false
+/// and are tallied into `failures` (merged in, when non-null) — the
+/// sweep itself never aborts.
 std::vector<SweepResult> run_sweep(const std::vector<SweepPoint>& points, const SweepEval& eval,
-                                   const SweepOptions& options = {});
+                                   const SweepOptions& options = {},
+                                   SweepFailureSummary* failures = nullptr);
 
 /// Merged view of all shard histograms/accumulators (Histogram::merge /
 /// Accumulator::merge). Shards that failed (ok == false) are skipped.
@@ -89,6 +115,7 @@ std::vector<LoadSweepPoint> predict_load_sweep(const Analyzer& analyzer, const A
                                                const workload::WorkloadProfile& profile,
                                                const std::vector<double>& loads_pps,
                                                const AnalyzeOptions& options = {},
-                                               std::size_t jobs = 0);
+                                               std::size_t jobs = 0,
+                                               SweepFailureSummary* failures = nullptr);
 
 }  // namespace clara::core

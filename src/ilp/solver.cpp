@@ -6,6 +6,7 @@
 #include <queue>
 
 #include "common/parallel.hpp"
+#include "fault/fault.hpp"
 #include "ilp/simplex.hpp"
 #include "obs/metrics.hpp"
 #include "obs/pool.hpp"
@@ -93,6 +94,7 @@ Solution solve_milp(const Model& model, const SolveOptions& options) {
   open.push(root);
 
   std::size_t explored = 0;
+  std::uint64_t wave_index = 0;
   bool hit_limit = false;
   bool hit_deadline = false;
   bool stop_search = false;
@@ -104,8 +106,11 @@ Solution solve_milp(const Model& model, const SolveOptions& options) {
     // sequence explored before the stop is always a prefix of the
     // deterministic no-deadline sequence, and a budget short enough to
     // expire before the first wave stops identically at every jobs
-    // level (what the determinism tests rely on).
-    if (options.deadline && std::chrono::steady_clock::now() >= *options.deadline) {
+    // level (what the determinism tests rely on). The fault site rides
+    // the same check, keyed by the wave index — itself deterministic —
+    // so an injected "spurious timeout" reproduces bit-identically.
+    if ((options.deadline && std::chrono::steady_clock::now() >= *options.deadline) ||
+        fault::inject("ilp/wave_timeout", wave_index++)) {
       hit_deadline = true;
       break;
     }

@@ -86,6 +86,47 @@ std::optional<double> Graph::access_weight(NodeId unit, NodeId region) const {
   return std::nullopt;
 }
 
+Result<int> Graph::mark_offline(std::string_view name) {
+  int marked = 0;
+  for (auto& n : nodes_) {
+    if (n.name != name && !starts_with(n.name, name)) continue;
+    if (auto* cu = std::get_if<ComputeUnit>(&n.info)) {
+      cu->offline = true;
+      ++marked;
+    } else if (auto* mr = std::get_if<MemoryRegion>(&n.info)) {
+      mr->offline = true;
+      ++marked;
+    }
+  }
+  if (marked == 0) {
+    return make_error(ErrorCode::kUnknownCall,
+                      strf("no compute unit or memory region matches '%.*s'",
+                           static_cast<int>(name.size()), name.data()));
+  }
+  return marked;
+}
+
+Result<int> Graph::derate_units(std::string_view name, double fraction) {
+  if (!(fraction > 0.0) || fraction > 1.0) {
+    return make_error(ErrorCode::kParse,
+                      strf("derate fraction must be in (0, 1], got %g", fraction));
+  }
+  int marked = 0;
+  for (auto& n : nodes_) {
+    if (n.name != name && !starts_with(n.name, name)) continue;
+    if (auto* cu = std::get_if<ComputeUnit>(&n.info)) {
+      cu->derate = fraction;
+      ++marked;
+    }
+  }
+  if (marked == 0) {
+    return make_error(ErrorCode::kUnknownCall,
+                      strf("no compute unit matches '%.*s'", static_cast<int>(name.size()),
+                           name.data()));
+  }
+  return marked;
+}
+
 bool Graph::pipeline_reachable(NodeId from, NodeId to) const {
   if (from == to) return true;
   std::vector<bool> seen(nodes_.size(), false);

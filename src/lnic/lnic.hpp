@@ -65,6 +65,12 @@ struct ComputeUnit {
   /// arithmetic; false for fixed-function parsers (Netronome's ingress
   /// parser), which only serve vcall_parse.
   bool match_action = false;
+  /// Fault state (docs/robustness.md). An offline unit is excluded from
+  /// mapping pools; derate scales its effective service capacity
+  /// (0 < derate <= 1, 1.0 = nominal). Graph structure and NodeIds are
+  /// unchanged so existing mappings stay addressable for repair.
+  bool offline = false;
+  double derate = 1.0;
 };
 
 struct MemoryRegion {
@@ -76,6 +82,8 @@ struct MemoryRegion {
   /// Size of a cache fronting this region (0 = uncached). The Netronome
   /// EMEM has a 3 MB cache (paper §3.2).
   Bytes cache_capacity = 0;
+  /// Fault state: an offline region is excluded from state placement.
+  bool offline = false;
 };
 
 struct SwitchHub {
@@ -141,6 +149,17 @@ class Graph {
   /// NUMA weight of the access edge unit->region, or nullopt when the
   /// unit cannot reach that region at all.
   [[nodiscard]] std::optional<double> access_weight(NodeId unit, NodeId region) const;
+
+  /// Marks every compute unit / memory region whose name equals `name`
+  /// or starts with it (prefix match, so "npu0_" takes out a whole
+  /// island) offline. Returns the number of nodes marked; kUnknownCall
+  /// when nothing matches.
+  Result<int> mark_offline(std::string_view name);
+
+  /// Scales the effective capacity of matching compute units to
+  /// `fraction` of nominal (0 < fraction <= 1); same matching rules as
+  /// mark_offline. Memory regions cannot be derated, only failed.
+  Result<int> derate_units(std::string_view name, double fraction);
 
   /// True if there is a pipeline/switch path from `from` to `to`
   /// (transitively) using only kPipeline and kSwitchLink edges.

@@ -22,6 +22,7 @@ std::vector<UnitPool> build_pools(const lnic::Graph& graph) {
   std::map<std::tuple<int, int, bool>, UnitPool> grouped;  // (kind, stage, match-action) -> pool
   for (const NodeId id : graph.compute_units()) {
     const auto* cu = graph.node(id).compute();
+    if (cu->offline) continue;  // faulted units never join a pool
     const auto key = std::make_tuple(static_cast<int>(cu->kind), cu->pipeline_stage, cu->match_action);
     auto& pool = grouped[key];
     if (pool.members.empty()) {
@@ -34,7 +35,7 @@ std::vector<UnitPool> build_pools(const lnic::Graph& graph) {
       if (cu->pipeline_stage != 0) pool.name += strf("@%d", cu->pipeline_stage);
     }
     pool.members.push_back(id);
-    pool.parallelism += std::max(1, cu->threads);
+    pool.parallelism += static_cast<double>(std::max(1, cu->threads)) * cu->derate;
   }
   std::vector<UnitPool> pools;
   pools.reserve(grouped.size());
@@ -134,10 +135,23 @@ std::vector<NodeId> Mapper::state_regions() const {
   for (const NodeId id : profile_->graph.memory_regions()) {
     const auto* mem = profile_->graph.node(id).memory();
     if (mem->kind == lnic::MemKind::kLocal) continue;  // per-core, not shareable state
+    if (mem->offline) continue;                        // fault state: no new placements
     out.push_back(id);
   }
   return out;
 }
+
+namespace {
+
+std::vector<PoolSignature> pool_signatures(const std::vector<UnitPool>& pools) {
+  std::vector<PoolSignature> sigs;
+  sigs.reserve(pools.size());
+  for (const auto& p : pools)
+    sigs.push_back(PoolSignature{p.kind, p.pipeline_stage, p.match_action, p.parallelism});
+  return sigs;
+}
+
+}  // namespace
 
 Result<Mapping> Mapper::map(const DataflowGraph& graph, const CostHints& hints, const MapOptions& options) const {
   CLARA_TRACE_SCOPE("mapping/map");
@@ -337,6 +351,7 @@ Result<Mapping> Mapper::map(const DataflowGraph& graph, const CostHints& hints, 
       if (y[s][r] >= 0 && solution.value(y[s][r]) > 0.5) mapping.state_region[s] = regions[r];
     }
   }
+  mapping.pool_sig = pool_signatures(pools_);
   return mapping;
 }
 
@@ -350,6 +365,7 @@ Result<Mapping> Mapper::map_greedy(const DataflowGraph& graph, const CostHints& 
   Mapping mapping;
   mapping.greedy = true;
   mapping.status = ilp::SolveStatus::kOptimal;
+  mapping.pool_sig = pool_signatures(pools_);
   mapping.node_pool.assign(nodes.size(), 0);
   mapping.state_region.assign(fn.state_objects.size(), kInvalidNode);
 
@@ -420,6 +436,361 @@ Result<Mapping> Mapper::map_greedy(const DataflowGraph& graph, const CostHints& 
   return mapping;
 }
 
+Result<Mapping> Mapper::repair(const DataflowGraph& graph, const CostHints& hints, const Mapping& previous,
+                               const MapOptions& options) const {
+  CLARA_TRACE_SCOPE("mapping/repair");
+  const cir::Function& fn = *graph.function();
+  const auto& nodes = graph.nodes();
+  const auto regions = state_regions();
+  const std::size_t n_states = fn.state_objects.size();
+
+  if (previous.pool_sig.empty() || previous.node_pool.size() != nodes.size() ||
+      previous.state_region.size() != n_states) {
+    return make_error(ErrorCode::kInternal, "repair: previous mapping does not match this dataflow graph");
+  }
+  obs::metrics().counter("ilp/repairs").inc();
+
+  // Re-associate the previous mapping's pool indices with this (faulted)
+  // profile's pools by signature; a pool whose every member went offline
+  // has no match and displaces its nodes.
+  std::vector<int> old_to_new(previous.pool_sig.size(), -1);
+  for (std::size_t op = 0; op < previous.pool_sig.size(); ++op) {
+    const auto& sig = previous.pool_sig[op];
+    for (std::size_t p = 0; p < pools_.size(); ++p) {
+      if (pools_[p].kind == sig.kind && pools_[p].pipeline_stage == sig.pipeline_stage &&
+          pools_[p].match_action == sig.match_action) {
+        old_to_new[op] = static_cast<int>(p);
+        break;
+      }
+    }
+  }
+
+  // Displacement, phase 1: a node survives when its pool still exists
+  // and remains feasible for it. pinned_pool[i] >= 0 ⇔ pinned.
+  std::vector<int> pinned_pool(nodes.size(), -1);
+  for (std::size_t i = 0; i < nodes.size(); ++i) {
+    const std::uint32_t op = previous.node_pool[i];
+    if (op >= old_to_new.size()) {
+      return make_error(ErrorCode::kInternal, "repair: previous mapping references an unknown pool");
+    }
+    const int np = old_to_new[op];
+    if (np >= 0 && pool_feasible(nodes[i], pools_[np])) pinned_pool[i] = np;
+  }
+
+  // Displacement, phase 2: a derated pool may no longer carry its pinned
+  // demand under Θ — free every node of an over-committed pool and let
+  // the solve spread them.
+  const double clock = profile_->params.scalar(lnic::keys::kClockHz);
+  const double budget_per_unit = clock / options.pps;
+  for (std::size_t p = 0; p < pools_.size(); ++p) {
+    double demand = 0.0;
+    for (std::size_t i = 0; i < nodes.size(); ++i) {
+      if (pinned_pool[i] != static_cast<int>(p)) continue;
+      demand += nodes[i].weight * node_queueable_cost_on_pool(nodes[i], pools_[p], fn, hints);
+    }
+    if (demand > budget_per_unit * pools_[p].parallelism + 1e-9) {
+      for (std::size_t i = 0; i < nodes.size(); ++i) {
+        if (pinned_pool[i] == static_cast<int>(p)) pinned_pool[i] = -1;
+      }
+    }
+  }
+
+  // States survive when their region is still online (region ids are
+  // stable across faults, so membership in state_regions() decides).
+  std::vector<int> pinned_region(n_states, -1);  // index into `regions`
+  for (std::size_t s = 0; s < n_states; ++s) {
+    for (std::size_t r = 0; r < regions.size(); ++r) {
+      if (regions[r] == previous.state_region[s]) {
+        pinned_region[s] = static_cast<int>(r);
+        break;
+      }
+    }
+  }
+
+  std::vector<std::size_t> free_nodes, free_states;
+  for (std::size_t i = 0; i < nodes.size(); ++i)
+    if (pinned_pool[i] < 0) free_nodes.push_back(i);
+  for (std::size_t s = 0; s < n_states; ++s)
+    if (pinned_region[s] < 0) free_states.push_back(s);
+  const std::size_t displaced = free_nodes.size();
+  obs::metrics().gauge("mapping/repair_displaced_nodes").set(static_cast<double>(displaced));
+
+  // Final objective is evaluated directly from the assembled assignment
+  // (identical to what the full model's objective expresses); the
+  // reduced model only needs the *variable* terms, so pinned-constant
+  // bookkeeping never leaks into the result.
+  auto finalize = [&](Mapping m) {
+    double objective = 0.0;
+    for (std::size_t i = 0; i < nodes.size(); ++i) {
+      const auto& pool = pools_[m.node_pool[i]];
+      objective += nodes[i].weight * node_cost_on_pool(nodes[i], pool, fn, hints);
+      for (std::size_t s = 0; s < n_states; ++s) {
+        if (m.state_region[s] == kInvalidNode) continue;
+        const double accesses = node_state_accesses(nodes[i], pool.kind, static_cast<std::uint32_t>(s), fn);
+        if (accesses > 0.0) objective += nodes[i].weight * accesses * access_cycles(pool, m.state_region[s]);
+      }
+    }
+    m.objective = objective;
+    m.pool_sig = pool_signatures(pools_);
+    m.repaired = true;
+    m.repair_displaced = displaced;
+    obs::metrics().gauge("mapping/objective_cycles").set(m.objective);
+    return m;
+  };
+
+  // Pinning can over-constrain (e.g. the only region a displaced state
+  // fits is crowded by pinned states): fall back to a cold full solve,
+  // still flagged repaired so callers know the fault path ran.
+  auto full_resolve = [&]() -> Result<Mapping> {
+    auto full = map(graph, hints, options);
+    if (!full.ok()) return full.error();
+    return finalize(std::move(full.value()));
+  };
+
+  if (free_nodes.empty() && free_states.empty()) {
+    // The fault missed every assignment: re-index onto the faulted
+    // profile's pools and refresh the objective (pool composition may
+    // have changed NUMA averages).
+    Mapping m = previous;
+    for (std::size_t i = 0; i < nodes.size(); ++i) m.node_pool[i] = static_cast<std::uint32_t>(pinned_pool[i]);
+    return finalize(std::move(m));
+  }
+
+  // Reduced model: variables only for displaced nodes/states; pinned
+  // assignments enter as objective coefficients and RHS reductions.
+  ilp::Model model;
+
+  std::vector<std::vector<int>> x(nodes.size(), std::vector<int>(pools_.size(), -1));
+  for (const std::size_t i : free_nodes) {
+    ilp::LinExpr assign;
+    bool any = false;
+    for (std::size_t p = 0; p < pools_.size(); ++p) {
+      if (!pool_feasible(nodes[i], pools_[p])) continue;
+      // A pool that cannot reach a pinned state this node accesses is a
+      // hard exclusion (the full model forbids the pairing too).
+      bool reachable = true;
+      for (std::size_t s = 0; s < n_states && reachable; ++s) {
+        if (pinned_region[s] < 0) continue;
+        const double accesses = node_state_accesses(nodes[i], pools_[p].kind, static_cast<std::uint32_t>(s), fn);
+        if (accesses > 0.0 && access_cycles(pools_[p], regions[pinned_region[s]]) >= 1e11) reachable = false;
+      }
+      if (!reachable) continue;
+      x[i][p] = model.add_binary(strf("rx_%zu_%zu", i, p));
+      assign.add(x[i][p], 1.0);
+      any = true;
+    }
+    if (!any) return full_resolve();
+    model.add_constraint(std::move(assign), ilp::Sense::kEq, 1.0, strf("rassign_node_%zu", i));
+  }
+
+  std::vector<std::vector<int>> y(n_states, std::vector<int>(regions.size(), -1));
+  for (const std::size_t s : free_states) {
+    ilp::LinExpr assign;
+    bool any = false;
+    for (std::size_t r = 0; r < regions.size(); ++r) {
+      const auto* mem = profile_->graph.node(regions[r]).memory();
+      double usable = static_cast<double>(mem->capacity);
+      if (mem->kind == lnic::MemKind::kCtm) usable *= options.ctm_state_fraction;
+      if (static_cast<double>(fn.state_objects[s].total_bytes()) > usable) continue;
+      // A region some pinned accessor cannot reach is excluded outright.
+      bool reachable = true;
+      for (std::size_t i = 0; i < nodes.size() && reachable; ++i) {
+        if (pinned_pool[i] < 0) continue;
+        const auto& pool = pools_[pinned_pool[i]];
+        const double accesses = node_state_accesses(nodes[i], pool.kind, static_cast<std::uint32_t>(s), fn);
+        if (accesses > 0.0 && access_cycles(pool, regions[r]) >= 1e11) reachable = false;
+      }
+      if (!reachable) continue;
+      y[s][r] = model.add_binary(strf("ry_%zu_%zu", s, r));
+      assign.add(y[s][r], 1.0);
+      any = true;
+    }
+    if (!any) return full_resolve();
+    model.add_constraint(std::move(assign), ilp::Sense::kEq, 1.0, strf("rassign_state_%zu", s));
+  }
+
+  // Γ capacity with pinned bytes folded into the RHS.
+  for (std::size_t r = 0; r < regions.size(); ++r) {
+    const auto* mem = profile_->graph.node(regions[r]).memory();
+    double usable = static_cast<double>(mem->capacity);
+    if (mem->kind == lnic::MemKind::kCtm) usable *= options.ctm_state_fraction;
+    for (std::size_t s = 0; s < n_states; ++s) {
+      if (pinned_region[s] == static_cast<int>(r))
+        usable -= static_cast<double>(fn.state_objects[s].total_bytes());
+    }
+    ilp::LinExpr used;
+    bool any = false;
+    for (const std::size_t s : free_states) {
+      if (y[s][r] < 0) continue;
+      used.add(y[s][r], static_cast<double>(fn.state_objects[s].total_bytes()));
+      any = true;
+    }
+    if (any) model.add_constraint(std::move(used), ilp::Sense::kLe, usable, strf("rcapacity_%zu", r));
+  }
+
+  // Π pipeline order; edges with a pinned endpoint become stage bounds.
+  for (const auto& edge : graph.edges()) {
+    const bool from_free = pinned_pool[edge.from] < 0;
+    const bool to_free = pinned_pool[edge.to] < 0;
+    if (!from_free && !to_free) continue;  // held before the fault, both unchanged
+    ilp::LinExpr diff;
+    double rhs = 0.0;
+    bool nontrivial = false;
+    for (std::size_t p = 0; p < pools_.size(); ++p) {
+      const double stage = pools_[p].pipeline_stage;
+      if (from_free && x[edge.from][p] >= 0) diff.add(x[edge.from][p], stage);
+      if (to_free && x[edge.to][p] >= 0) diff.add(x[edge.to][p], -stage);
+      if (stage != 0.0) nontrivial = true;
+    }
+    if (!from_free) rhs += static_cast<double>(pools_[pinned_pool[edge.from]].pipeline_stage) * -1.0;
+    if (!to_free) rhs += static_cast<double>(pools_[pinned_pool[edge.to]].pipeline_stage);
+    if (nontrivial) {
+      model.add_constraint(std::move(diff), ilp::Sense::kLe, rhs, strf("rorder_%u_%u", edge.from, edge.to));
+    }
+  }
+
+  // Objective over free variables. Displaced-node compute costs plus
+  // their access terms against *pinned* states ride on x directly.
+  ilp::LinExpr objective;
+  for (const std::size_t i : free_nodes) {
+    for (std::size_t p = 0; p < pools_.size(); ++p) {
+      if (x[i][p] < 0) continue;
+      double coeff = nodes[i].weight * node_cost_on_pool(nodes[i], pools_[p], fn, hints);
+      for (std::size_t s = 0; s < n_states; ++s) {
+        if (pinned_region[s] < 0) continue;
+        const double accesses = node_state_accesses(nodes[i], pools_[p].kind, static_cast<std::uint32_t>(s), fn);
+        if (accesses > 0.0) {
+          coeff += nodes[i].weight * accesses * access_cycles(pools_[p], regions[pinned_region[s]]);
+        }
+      }
+      objective.add(x[i][p], coeff);
+    }
+  }
+
+  // Pinned-node access terms against displaced states ride on y.
+  for (const std::size_t s : free_states) {
+    for (std::size_t r = 0; r < regions.size(); ++r) {
+      if (y[s][r] < 0) continue;
+      double coeff = 0.0;
+      for (std::size_t i = 0; i < nodes.size(); ++i) {
+        if (pinned_pool[i] < 0) continue;
+        const auto& pool = pools_[pinned_pool[i]];
+        const double accesses = node_state_accesses(nodes[i], pool.kind, static_cast<std::uint32_t>(s), fn);
+        if (accesses > 0.0) coeff += nodes[i].weight * accesses * access_cycles(pool, regions[r]);
+      }
+      if (coeff != 0.0) objective.add(y[s][r], coeff);
+    }
+  }
+
+  // Displaced × displaced: the full w-linearization, restricted.
+  for (const std::size_t i : free_nodes) {
+    for (const std::size_t s : free_states) {
+      std::map<lnic::UnitKind, std::vector<std::size_t>> by_kind;
+      for (std::size_t p = 0; p < pools_.size(); ++p) {
+        if (x[i][p] >= 0) by_kind[pools_[p].kind].push_back(p);
+      }
+      for (const auto& [kind, pool_idxs] : by_kind) {
+        const double accesses = node_state_accesses(nodes[i], kind, static_cast<std::uint32_t>(s), fn);
+        if (accesses <= 0.0) continue;
+        for (std::size_t r = 0; r < regions.size(); ++r) {
+          if (y[s][r] < 0) continue;
+          const double lat = access_cycles(pools_[pool_idxs.front()], regions[r]);
+          if (lat >= 1e11) {
+            for (const std::size_t p : pool_idxs) {
+              ilp::LinExpr forbid;
+              forbid.add(x[i][p], 1.0).add(y[s][r], 1.0);
+              model.add_constraint(std::move(forbid), ilp::Sense::kLe, 1.0);
+            }
+            continue;
+          }
+          const int w =
+              model.add_continuous(strf("rw_%zu_%zu_%d_%zu", i, s, static_cast<int>(kind), r), 0.0, 1.0);
+          ilp::LinExpr link;
+          for (const std::size_t p : pool_idxs) link.add(x[i][p], 1.0);
+          link.add(y[s][r], 1.0).add(w, -1.0);
+          model.add_constraint(std::move(link), ilp::Sense::kLe, 1.0);
+          objective.add(w, nodes[i].weight * accesses * lat);
+        }
+      }
+    }
+  }
+
+  // Θ with the pinned demand folded into the RHS.
+  for (std::size_t p = 0; p < pools_.size(); ++p) {
+    double pinned_demand = 0.0;
+    for (std::size_t i = 0; i < nodes.size(); ++i) {
+      if (pinned_pool[i] != static_cast<int>(p)) continue;
+      pinned_demand += nodes[i].weight * node_queueable_cost_on_pool(nodes[i], pools_[p], fn, hints);
+    }
+    ilp::LinExpr demand;
+    bool any = false;
+    for (const std::size_t i : free_nodes) {
+      if (x[i][p] < 0) continue;
+      demand.add(x[i][p], nodes[i].weight * node_queueable_cost_on_pool(nodes[i], pools_[p], fn, hints));
+      any = true;
+    }
+    if (any) {
+      model.add_constraint(std::move(demand), ilp::Sense::kLe,
+                           budget_per_unit * pools_[p].parallelism - pinned_demand, strf("rtheta_%zu", p));
+    }
+  }
+
+  model.set_objective(std::move(objective));
+
+  ilp::SolveOptions solve_options;
+  solve_options.max_nodes = options.max_ilp_nodes;
+  solve_options.warm_basis = options.warm_basis;
+  if (options.time_budget_ms > 0.0) {
+    solve_options.deadline = std::chrono::steady_clock::now() +
+                             std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+                                 std::chrono::duration<double, std::milli>(options.time_budget_ms));
+  }
+  obs::metrics().gauge("mapping/repair_variables").set(static_cast<double>(model.num_vars()));
+  const auto solution = ilp::solve_milp(model, solve_options);
+  if (solution.status == ilp::SolveStatus::kInfeasible) return full_resolve();
+  if (solution.status == ilp::SolveStatus::kLimit) {
+    if (solution.degraded) {
+      auto fallback = map_greedy(graph, hints, options);
+      if (!fallback.ok()) return fallback.error();
+      fallback.value().degraded = true;
+      return finalize(std::move(fallback.value()));
+    }
+    return make_error(ErrorCode::kDeadline, "repair: ILP node budget exhausted without an integer solution");
+  }
+  if (solution.status == ilp::SolveStatus::kUnbounded) {
+    return make_error(ErrorCode::kInternal, "repair ILP unbounded (model bug)");
+  }
+
+  Mapping mapping;
+  mapping.status = solution.status;
+  mapping.ilp_nodes_explored = solution.nodes_explored;
+  mapping.ilp_pivots = solution.pivots;
+  mapping.ilp_incumbents = solution.incumbents;
+  mapping.degraded = solution.degraded;
+  mapping.ilp_basis = solution.basis;
+  mapping.node_pool.assign(nodes.size(), 0);
+  for (std::size_t i = 0; i < nodes.size(); ++i) {
+    if (pinned_pool[i] >= 0) {
+      mapping.node_pool[i] = static_cast<std::uint32_t>(pinned_pool[i]);
+      continue;
+    }
+    for (std::size_t p = 0; p < pools_.size(); ++p) {
+      if (x[i][p] >= 0 && solution.value(x[i][p]) > 0.5) mapping.node_pool[i] = static_cast<std::uint32_t>(p);
+    }
+  }
+  mapping.state_region.assign(n_states, kInvalidNode);
+  for (std::size_t s = 0; s < n_states; ++s) {
+    if (pinned_region[s] >= 0) {
+      mapping.state_region[s] = regions[pinned_region[s]];
+      continue;
+    }
+    for (std::size_t r = 0; r < regions.size(); ++r) {
+      if (y[s][r] >= 0 && solution.value(y[s][r]) > 0.5) mapping.state_region[s] = regions[r];
+    }
+  }
+  return finalize(std::move(mapping));
+}
+
 std::string describe_mapping(const Mapping& mapping, const DataflowGraph& graph, const Mapper& mapper,
                              const cir::Function& fn) {
   std::string out;
@@ -427,6 +798,12 @@ std::string describe_mapping(const Mapping& mapping, const DataflowGraph& graph,
               mapper.profile().name.c_str(), mapping.greedy ? "greedy" : "ILP", mapping.objective);
   if (mapping.degraded) {
     out += "  NOTE: solver time budget expired — this plan is the best found, not a certified optimum\n";
+  }
+  if (mapping.repaired) {
+    out += strf(
+        "  NOTE: mapping repaired incrementally after resource loss — %zu node%s re-solved, "
+        "unaffected assignments pinned\n",
+        mapping.repair_displaced, mapping.repair_displaced == 1 ? "" : "s");
   }
   out += "  compute bindings:\n";
   for (std::size_t i = 0; i < graph.nodes().size(); ++i) {

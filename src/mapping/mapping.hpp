@@ -38,7 +38,19 @@ struct UnitPool {
 };
 
 /// Groups the graph's compute units into pools by (kind, stage).
+/// Offline units (fault state) never join a pool; derated units
+/// contribute only their scaled parallelism.
 std::vector<UnitPool> build_pools(const lnic::Graph& graph);
+
+/// Pool identity recorded on a Mapping so a later repair() — against a
+/// faulted profile whose pool list may have shrunk or shifted — can
+/// re-associate pool indices by meaning rather than by position.
+struct PoolSignature {
+  lnic::UnitKind kind = lnic::UnitKind::kNpuCore;
+  int pipeline_stage = 0;
+  bool match_action = false;
+  double parallelism = 0.0;
+};
 
 struct Mapping {
   /// Pool index per dataflow node.
@@ -64,6 +76,16 @@ struct Mapping {
   /// The solution's simplex basis, usable to warm-start a re-solve of
   /// the same model (ilp::SolveOptions::warm_basis). Empty for greedy.
   std::vector<std::size_t> ilp_basis;
+  /// Signatures of the mapper's pools at solve time (indexed like
+  /// node_pool values); consumed by Mapper::repair().
+  std::vector<PoolSignature> pool_sig;
+  /// True when this mapping came out of Mapper::repair(): surviving
+  /// assignments were pinned and only displaced nodes were re-solved.
+  /// Propagates into Analysis and the report text like `degraded`.
+  bool repaired = false;
+  /// Dataflow nodes the repair had to re-solve (0 when not repaired, or
+  /// when the fault missed every assignment).
+  std::size_t repair_displaced = 0;
 };
 
 /// Options shared by the ILP and greedy mappers.
@@ -99,6 +121,18 @@ class Mapper {
   /// quantifies what that costs).
   Result<Mapping> map_greedy(const passes::DataflowGraph& graph, const passes::CostHints& hints,
                              const MapOptions& options = {}) const;
+
+  /// Incremental repair after LNIC resource loss (DESIGN.md §13). This
+  /// mapper is built on the *faulted* profile; `previous` is a mapping
+  /// produced on the healthy twin. Assignments whose pool/region
+  /// survived the fault are pinned — folded into the MILP as constants
+  /// (objective offsets, Θ/Γ right-hand-side reductions) — and only
+  /// displaced nodes and states get variables, so the re-solve is much
+  /// cheaper than a cold map(). Falls back to a full re-solve when
+  /// pinning makes the model infeasible. The result is always flagged
+  /// Mapping::repaired and counted in the `ilp/repairs` metric.
+  Result<Mapping> repair(const passes::DataflowGraph& graph, const passes::CostHints& hints,
+                         const Mapping& previous, const MapOptions& options = {}) const;
 
   [[nodiscard]] const std::vector<UnitPool>& pools() const { return pools_; }
   [[nodiscard]] const lnic::NicProfile& profile() const { return *profile_; }

@@ -5,6 +5,7 @@
 #include <cmath>
 #include <deque>
 
+#include "fault/fault.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
 
@@ -40,7 +41,7 @@ void NicApi::mem_access(MemLevel level, std::uint64_t addr, bool write) {
       charge(obs::Component::kMemImem, cfg.imem_latency);
       break;
     case MemLevel::kEmem: {
-      ++sim_.emem_accesses_;
+      const std::uint64_t access_seq = sim_.emem_accesses_++;
       const bool hit = sim_.emem_cache_.access(addr);
       if (hit) {
         charge(obs::Component::kEmemCacheHit, cfg.emem_cache_hit_latency);
@@ -53,6 +54,13 @@ void NicApi::mem_access(MemLevel level, std::uint64_t addr, bool write) {
         // ones (the deep-banked controller overlaps them in reality).
         sim_.emem_controller_.request(now_, cfg.emem_occupancy);
         charge(obs::Component::kEmemCacheMiss, cfg.emem_latency);
+      }
+      if (fault::inject("nicsim/emem_spike", access_seq)) {
+        // Injected contention spike: the access stalls behind a burst of
+        // competing DRAM traffic for factor× the nominal latency.
+        charge(obs::Component::kEmemCacheMiss,
+               cycles_from_double(static_cast<double>(cfg.emem_latency) *
+                                  fault::site_factor("nicsim/emem_spike", 4.0)));
       }
       break;
     }
@@ -101,8 +109,12 @@ void NicApi::set_hdr(cir::HdrField f, std::uint64_t v) {
 
 std::uint64_t NicApi::csum(std::uint32_t len, bool use_accel) {
   const NicConfig& cfg = sim_.config_;
-  const Cycles service = cycles_from_double(cfg.csum_accel_base + cfg.csum_accel_per_byte * len);
+  Cycles service = cycles_from_double(cfg.csum_accel_base + cfg.csum_accel_per_byte * len);
   if (use_accel) {
+    if (fault::inject("nicsim/unit_throttle", sim_.accel_requests_++)) {
+      service = cycles_from_double(static_cast<double>(service) *
+                                   fault::site_factor("nicsim/unit_throttle", 4.0));
+    }
     // The reservation delta covers queueing behind other packets plus
     // the service itself — the accelerator stall the breakdown reports.
     charge(obs::Component::kCsumAccel, sim_.csum_unit_.request(now_, service) - now_);
@@ -114,8 +126,12 @@ std::uint64_t NicApi::csum(std::uint32_t len, bool use_accel) {
 
 void NicApi::crypto(std::uint32_t len, bool use_accel) {
   const NicConfig& cfg = sim_.config_;
-  const Cycles service = cycles_from_double(cfg.crypto_base + cfg.crypto_per_byte * len);
+  Cycles service = cycles_from_double(cfg.crypto_base + cfg.crypto_per_byte * len);
   if (use_accel) {
+    if (fault::inject("nicsim/unit_throttle", sim_.accel_requests_++)) {
+      service = cycles_from_double(static_cast<double>(service) *
+                                   fault::site_factor("nicsim/unit_throttle", 4.0));
+    }
     charge(obs::Component::kCryptoAccel, sim_.crypto_unit_.request(now_, service) - now_);
   } else {
     compute(cycles_from_double(static_cast<double>(service) * cfg.crypto_sw_factor));
@@ -149,7 +165,12 @@ bool NicApi::lpm_lookup(LpmTable& table, std::uint64_t key, bool use_flow_cache)
   // serially-reusable stage; a miss then walks the DRAM match-action
   // tables, which is memory-latency-bound and overlaps across threads,
   // so it is charged as wait time rather than unit occupancy.
-  charge(obs::Component::kLpmEngine, sim_.lpm_unit_.request(now_, cfg.flow_cache_hit) - now_);
+  Cycles front_end = cfg.flow_cache_hit;
+  if (fault::inject("nicsim/unit_throttle", sim_.accel_requests_++)) {
+    front_end = cycles_from_double(static_cast<double>(front_end) *
+                                   fault::site_factor("nicsim/unit_throttle", 4.0));
+  }
+  charge(obs::Component::kLpmEngine, sim_.lpm_unit_.request(now_, front_end) - now_);
   if (!outcome.flow_cache_hit) {
     charge(obs::Component::kLpmEngine,
            cycles_from_double((cfg.lpm_dram_base +
@@ -250,6 +271,7 @@ void NicSim::reset_timeline() {
   std::fill(thread_free_.begin(), thread_free_.end(), Cycles{0});
   flow_cache_lookups_ = flow_cache_hits_ = 0;
   ctm_accesses_ = imem_accesses_ = local_accesses_ = emem_accesses_ = dma_bytes_ = 0;
+  arrivals_ = accel_requests_ = 0;
 }
 
 RunStats NicSim::run(NicProgram& program, const workload::Trace& trace) {
@@ -287,6 +309,14 @@ RunStats NicSim::run(NicProgram& program, const workload::Trace& trace) {
     const Cycles arrival = cycles_from_double(static_cast<double>(pkt.arrival_ns) * cycles_per_ns);
     first_arrival = std::min(first_arrival, arrival);
 
+    // Injected wire-level loss: the packet vanishes at ingress, before
+    // DMA or queue accounting. Keyed by the arrival ordinal.
+    const std::uint64_t arrival_seq = arrivals_++;
+    if (fault::inject("nicsim/drop", arrival_seq)) {
+      ++stats.drops;
+      continue;
+    }
+
     // Ingress hub + DMA into CTM (with EMEM spill for big packets).
     const Cycles hub_done = ingress_hub_.request(arrival, config_.hub_service);
     const std::uint32_t frame = pkt.frame_len();
@@ -301,7 +331,8 @@ RunStats NicSim::run(NicProgram& program, const workload::Trace& trace) {
     // Queue occupancy check: packets not yet dispatched when this one
     // becomes ready.
     while (!in_flight_starts.empty() && in_flight_starts.front() <= ready) in_flight_starts.pop_front();
-    if (in_flight_starts.size() >= config_.ingress_queue_capacity) {
+    if (in_flight_starts.size() >= config_.ingress_queue_capacity ||
+        fault::inject("nicsim/queue_overflow", arrival_seq)) {
       ++stats.drops;
       continue;
     }

@@ -210,6 +210,11 @@ class NicSim {
   std::vector<std::unique_ptr<LpmTable>> lpm_tables_;
   std::uint64_t next_base_per_level_[4] = {0, 0, 0, 0};
   std::uint64_t pkt_counter_ = 0;
+  // Sim-local invocation counters used as deterministic fault-injection
+  // keys (a NicSim instance is single-threaded, so these are exact
+  // arrival/request ordinals independent of --jobs).
+  std::uint64_t arrivals_ = 0;
+  std::uint64_t accel_requests_ = 0;
   std::uint64_t flow_cache_lookups_ = 0;
   std::uint64_t flow_cache_hits_ = 0;
   // Energy accounting.

@@ -42,6 +42,7 @@
 #include "core/energy.hpp"
 #include "core/partial.hpp"
 #include "core/sweep.hpp"
+#include "fault/fault.hpp"
 #include "frontend/p4lite.hpp"
 #include "microbench/microbench.hpp"
 #include "nf/nf_cir.hpp"
@@ -77,10 +78,11 @@ struct Args {
 /// the run would quietly do less than asked.
 const std::vector<std::string>& known_option_keys() {
   static const std::vector<std::string> kKeys = {
-      "breakdown", "cache", "cache-entries", "csum-sw", "energy", "greedy",
-      "jobs", "lowered", "metrics-out", "nf", "nf-file", "nf-p4", "nic",
-      "no-flow-cache", "no-optimize", "no-patterns", "out", "partial", "paths",
-      "sweep-pps", "time-budget-ms", "trace", "trace-out", "workload"};
+      "breakdown", "cache", "cache-entries", "csum-sw", "derate-unit", "energy",
+      "fail-unit", "fault-plan", "greedy", "jobs", "lowered", "metrics-out",
+      "nf", "nf-file", "nf-p4", "nic", "no-flow-cache", "no-optimize",
+      "no-patterns", "out", "partial", "paths", "sweep-pps", "time-budget-ms",
+      "trace", "trace-out", "workload"};
   return kKeys;
 }
 
@@ -131,6 +133,48 @@ Args parse_args(int argc, char** argv) {
     }
   }
   return args;
+}
+
+/// Builds the process-wide fault plan from --fault-plan / --fail-unit /
+/// --derate-unit and installs it before any command runs. Returns false
+/// after reporting the error on stderr.
+bool install_fault_plan(const Args& args) {
+  fault::FaultPlan plan;
+  if (args.has("fault-plan")) {
+    std::ifstream in(args.get("fault-plan"));
+    if (!in) {
+      std::fprintf(stderr, "cannot open %s\n", args.get("fault-plan").c_str());
+      return false;
+    }
+    std::ostringstream buffer;
+    buffer << in.rdbuf();
+    auto parsed = fault::FaultPlan::parse(buffer.str());
+    if (!parsed) {
+      std::fprintf(stderr, "fault-plan error: %s\n", parsed.error().message.c_str());
+      return false;
+    }
+    plan = std::move(parsed).value();
+  }
+  for (const auto& item : split(args.get("fail-unit"), ',')) {
+    const auto name = trim(item);
+    if (!name.empty()) plan.failed_units.emplace_back(name);
+  }
+  for (const auto& item : split(args.get("derate-unit"), ',')) {
+    const auto spec = trim(item);
+    if (spec.empty()) continue;
+    const auto colon = spec.find(':');
+    const auto pct = colon == std::string_view::npos
+                         ? std::nullopt
+                         : parse_double(spec.substr(colon + 1));
+    if (!pct || *pct <= 0.0 || *pct > 100.0) {
+      std::fprintf(stderr, "--derate-unit expects name:pct with pct in (0,100], got '%s'\n",
+                   std::string(spec).c_str());
+      return false;
+    }
+    plan.derated_units.emplace_back(std::string(spec.substr(0, colon)), *pct);
+  }
+  if (!plan.empty()) fault::set_plan(std::move(plan));
+  return true;
 }
 
 // --- NF registry -------------------------------------------------------------
@@ -319,6 +363,38 @@ int cmd_analyze(const Args& args) {
                 obs::render_breakdown(a.prediction.breakdown).c_str());
   }
 
+  // Degraded mode: when the installed fault plan (--fail-unit /
+  // --derate-unit / --fault-plan) names unit faults, re-analyze on the
+  // faulted profile via incremental repair and report the delta against
+  // the healthy run above.
+  const auto& fplan = fault::plan();
+  if (!fplan.failed_units.empty() || !fplan.derated_units.empty()) {
+    auto faulted_nic = load_nic(args);
+    if (!faulted_nic) return 1;
+    if (auto applied = fault::apply_to_profile(fplan, *faulted_nic); !applied) {
+      std::fprintf(stderr, "fault plan: %s\n", applied.error().message.c_str());
+      return 1;
+    }
+    core::Analyzer degraded_analyzer(std::move(*faulted_nic));
+    auto repaired = degraded_analyzer.repair(*fn, *trace, a, options);
+    if (!repaired) {
+      std::fprintf(stderr, "repair failed [%s]: %s\n", to_string(repaired.error().code),
+                   repaired.error().message.c_str());
+      return 1;
+    }
+    const auto& r = repaired.value();
+    std::printf("\ndegraded mode (unit faults applied to %s):\n", analyzer.profile().name.c_str());
+    std::printf("repair                 : %zu node(s) re-solved, %zu pinned%s\n",
+                r.mapping.repair_displaced, a.mapping.node_pool.size() - r.mapping.repair_displaced,
+                r.degraded ? " (best-effort: solver budget expired)" : "");
+    std::printf("predicted mean latency : %.0f cycles (%.2f us, healthy %.2f us)\n",
+                r.prediction.mean_latency_cycles, r.prediction.mean_latency_us,
+                a.prediction.mean_latency_us);
+    std::printf("idealized throughput   : %.0f pps (bottleneck: %s)\n", r.prediction.throughput_pps,
+                r.prediction.bottleneck.c_str());
+    std::printf("\n%s", r.report.c_str());
+  }
+
   // Re-derive the graph/mapping context for the optional extras.
   const auto hints = core::hints_from_trace(*trace, analyzer.profile());
   const auto graph = passes::DataflowGraph::build(a.lowered, hints);
@@ -502,6 +578,11 @@ void usage() {
       "           [--sweep-pps <a,b,c>]  predictor sensitivity sweep over offered loads\n"
       "           [--time-budget-ms=<N>] ILP deadline; on expiry the best mapping found\n"
       "                                  so far is returned, flagged degraded\n"
+      "           [--fail-unit=<a,b>]    mark LNIC units/regions offline, then repair\n"
+      "                                  the healthy mapping incrementally\n"
+      "           [--derate-unit=<name:pct,...>]  derate units to pct%% of nominal\n"
+      "           [--fault-plan=<f>]     load a fault plan (docs/robustness.md):\n"
+      "                                  armed injection sites + unit faults\n"
       "  simulate --nf <name> [--workload \"<spec>\"] [--csum-sw] [--no-flow-cache]\n"
       "  adversarial --nf <name> [--nic <profile>] [--workload \"<spec>\"]\n"
       "  microbench\n"
@@ -572,6 +653,7 @@ int main(int argc, char** argv) {
     cache_config.max_entries = static_cast<std::size_t>(n);
   }
   core::analysis_cache().configure(cache_config);
+  if (!install_fault_plan(args)) return 2;
   if (args.has("jobs")) {
     const long n = std::atol(args.get("jobs").c_str());
     if (n < 1) {
