@@ -27,6 +27,8 @@
 #include "core/clara.hpp"
 #include "core/sweep.hpp"
 #include "obs/metrics.hpp"
+#include "obs/recorder.hpp"
+#include "ilp/instances.hpp"
 #include "ilp/simplex.hpp"
 #include "ilp/solver.hpp"
 #include "nf/nf_cir.hpp"
@@ -50,7 +52,9 @@ struct MicroResult {
   std::string name;
   double ns_per_iter = 0.0;
   std::size_t iterations = 0;
-  double items_per_sec = 0.0;  // 0 when the case has no item notion
+  /// Real rate: items/s when the case declares items_per_iter, otherwise
+  /// iterations/s (1e9 / ns_per_iter). Never 0 (docs/performance.md).
+  double items_per_sec = 0.0;
 };
 
 /// Runs body() repeatedly: a short warmup, then enough iterations to
@@ -69,9 +73,9 @@ MicroResult run_micro(const std::string& name, F&& body, std::size_t items_per_i
   r.name = name;
   r.iterations = iters;
   r.ns_per_iter = total_ms * 1e6 / static_cast<double>(iters);
-  if (items_per_iter > 0) {
-    r.items_per_sec = static_cast<double>(items_per_iter * iters) / (total_ms / 1e3);
-  }
+  r.items_per_sec = items_per_iter > 0
+                        ? static_cast<double>(items_per_iter * iters) / (total_ms / 1e3)
+                        : 1e9 / std::max(1e-9, r.ns_per_iter);
   std::printf("  %-28s %12.0f ns/iter  (%zu iters)\n", name.c_str(), r.ns_per_iter, iters);
   return r;
 }
@@ -161,6 +165,48 @@ std::vector<MicroResult> run_micros() {
       volatile auto c = sim.measure_one(program, trace.packets[i++ % trace.size()]);
       (void)c;
     }, 1));
+    // The always-on overhead check: identical body, recorder enabled vs
+    // disabled, in alternating blocks with min-of-blocks per arm so the
+    // comparison survives scheduler noise. The built-in instrumentation
+    // records nothing per packet (events come from the pool, solver
+    // waves, cache, and faults), so this is what production pays here.
+    {
+      const auto block = [&](bool enabled, std::size_t iters) {
+        obs::recorder().set_enabled(enabled);
+        const auto t0 = Clock::now();
+        for (std::size_t k = 0; k < iters; ++k) {
+          volatile auto c = sim.measure_one(program, trace.packets[i++ % trace.size()]);
+          (void)c;
+        }
+        obs::recorder().set_enabled(true);
+        return ms_since(t0) * 1e6 / static_cast<double>(iters);
+      };
+      constexpr std::size_t kBlock = 20'000;
+      (void)block(true, kBlock);  // warmup
+      (void)block(false, kBlock);
+      double on_ns = 1e300;
+      double off_ns = 1e300;
+      for (int rep = 0; rep < 7; ++rep) {
+        on_ns = std::min(on_ns, block(true, kBlock));
+        off_ns = std::min(off_ns, block(false, kBlock));
+      }
+      std::printf("  recorder overhead on simulate_nat_packet: %+.2f%% (enabled vs disabled)\n",
+                  off_ns > 0 ? 100.0 * (on_ns - off_ns) / off_ns : 0.0);
+    }
+    // Worst case: one synthetic event per packet — bounds what adding a
+    // per-packet record() would cost, NOT what the recorder costs today.
+    out.push_back(run_micro("simulate_nat_packet_recorded", [&] {
+      obs::record(obs::FlightEventKind::kMark, i);
+      volatile auto c = sim.measure_one(program, trace.packets[i++ % trace.size()]);
+      (void)c;
+    }, 1));
+  }
+  {
+    // Raw cost of one record() call into the calling thread's ring.
+    std::uint64_t n = 0;
+    out.push_back(run_micro("recorder_record", [&] {
+      obs::record(obs::FlightEventKind::kMark, n++);
+    }, 1));
   }
   {
     nicsim::SetAssocCache cache(3_MiB, 64, 8);
@@ -195,47 +241,19 @@ struct ParallelResult {
   double packets_per_sec_serial = 0.0;    // sweep case
   double packets_per_sec_parallel = 0.0;  // sweep case
   bool identical_results = false;
+  /// jobs > hardware_concurrency: the speedup is not a fair measure of
+  /// the substrate (threads time-slice), so regression gating skips it.
+  bool oversubscribed = false;
 };
-
-/// A MILP hard enough to keep many branch-and-bound waves busy: a small
-/// market-split instance (Cornuéjols–Dawande). The LP bound is 0 while
-/// the integer optimum rarely is, so the tree genuinely branches.
-ilp::Model hard_milp(int n, int m) {
-  ilp::Model model;
-  std::uint64_t state = 12345;
-  const auto next = [&state] {
-    state = state * 6364136223846793005ULL + 1442695040888963407ULL;
-    return static_cast<double>((state >> 33) % 100);
-  };
-  std::vector<int> x;
-  for (int j = 0; j < n; ++j) x.push_back(model.add_binary("x"));
-  ilp::LinExpr objective;
-  for (int i = 0; i < m; ++i) {
-    ilp::LinExpr row;
-    double sum = 0.0;
-    for (int j = 0; j < n; ++j) {
-      const double a = next();
-      row.add(x[j], a);
-      sum += a;
-    }
-    // a·x + s - t = floor(sum/2); minimize Σ(s + t).
-    const int s = model.add_continuous("s");
-    const int t = model.add_continuous("t");
-    row.add(s, 1.0);
-    row.add(t, -1.0);
-    model.add_constraint(std::move(row), ilp::Sense::kEq, std::floor(sum / 2.0));
-    objective.add(s, 1.0);
-    objective.add(t, 1.0);
-  }
-  model.set_objective(std::move(objective));
-  return model;
-}
 
 ParallelResult bench_branch_and_bound(std::size_t jobs) {
   ParallelResult r;
   r.name = "milp_branch_and_bound";
   r.jobs = jobs;
-  const auto model = hard_milp(20, 3);
+  // Market-split (Cornuéjols–Dawande): hard enough to keep many waves
+  // busy. Shared with `clara bench milp_branch_and_bound` so the CLI and
+  // this harness time the same model (ilp/instances.hpp).
+  const auto model = ilp::make_market_split(20, 3);
   ilp::SolveOptions options;
   options.max_nodes = 10'000;
 
@@ -452,11 +470,12 @@ void write_json(const std::string& path, std::size_t jobs, const std::vector<Mic
                  "    {\"name\": \"%s\", \"jobs\": %zu, \"serial_ms\": %.2f, \"parallel_ms\": %.2f, "
                  "\"speedup\": %.3f, \"pivots\": %llu, \"nodes\": %llu, "
                  "\"packets_per_sec_serial\": %.1f, \"packets_per_sec_parallel\": %.1f, "
-                 "\"identical_results\": %s}%s\n",
+                 "\"identical_results\": %s, \"oversubscribed\": %s}%s\n",
                  p.name.c_str(), p.jobs, p.serial_ms, p.parallel_ms, p.speedup,
                  static_cast<unsigned long long>(p.pivots), static_cast<unsigned long long>(p.nodes),
                  p.packets_per_sec_serial, p.packets_per_sec_parallel,
-                 p.identical_results ? "true" : "false", i + 1 < par.size() ? "," : "");
+                 p.identical_results ? "true" : "false", p.oversubscribed ? "true" : "false",
+                 i + 1 < par.size() ? "," : "");
   }
   std::fprintf(f, "  ],\n");
   std::fprintf(f,
@@ -507,10 +526,13 @@ int main(int argc, char** argv) {
   std::vector<ParallelResult> par;
   par.push_back(bench_branch_and_bound(jobs));
   par.push_back(bench_sweep(jobs));
-  for (const auto& p : par) {
-    std::printf("  %-24s serial %8.2f ms  parallel %8.2f ms  speedup %.2fx  identical=%s\n",
+  const bool oversubscribed = jobs > std::max(1u, std::thread::hardware_concurrency());
+  for (auto& p : par) {
+    p.oversubscribed = oversubscribed;
+    std::printf("  %-24s serial %8.2f ms  parallel %8.2f ms  speedup %.2fx  identical=%s%s\n",
                 p.name.c_str(), p.serial_ms, p.parallel_ms, p.speedup,
-                p.identical_results ? "yes" : "NO");
+                p.identical_results ? "yes" : "NO",
+                p.oversubscribed ? "  (oversubscribed)" : "");
   }
 
   const auto cache = bench_cached_sweep();

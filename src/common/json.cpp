@@ -1,0 +1,220 @@
+#include "common/json.hpp"
+
+#include <cctype>
+#include <cstdlib>
+
+#include "common/strings.hpp"
+
+namespace clara {
+
+const Json* Json::get(const std::string& key) const {
+  if (!is_object()) return nullptr;
+  const auto it = object_.find(key);
+  return it == object_.end() ? nullptr : &it->second;
+}
+
+double Json::number_at(const std::string& key, double fallback) const {
+  const Json* member = get(key);
+  return member ? member->as_double(fallback) : fallback;
+}
+
+std::string Json::string_at(const std::string& key, const std::string& fallback) const {
+  const Json* member = get(key);
+  return member && member->is_string() ? member->as_string() : fallback;
+}
+
+bool Json::bool_at(const std::string& key, bool fallback) const {
+  const Json* member = get(key);
+  return member ? member->as_bool(fallback) : fallback;
+}
+
+/// Recursive-descent parser over the input view. Depth-limited so a
+/// pathological file cannot overflow the stack.
+class JsonParser {
+ public:
+  explicit JsonParser(std::string_view text) : text_(text) {}
+
+  Result<Json, Error> run() {
+    Json value;
+    if (auto status = parse_value(value, 0); !status) return status.error();
+    skip_ws();
+    if (pos_ != text_.size()) return fail("trailing characters after JSON document");
+    return value;
+  }
+
+ private:
+  static constexpr int kMaxDepth = 64;
+
+  [[nodiscard]] Error fail(const std::string& what) const {
+    return make_error(ErrorCode::kParse, strf("json: %s at offset %zu", what.c_str(), pos_));
+  }
+
+  void skip_ws() {
+    while (pos_ < text_.size() &&
+           (text_[pos_] == ' ' || text_[pos_] == '\t' || text_[pos_] == '\n' ||
+            text_[pos_] == '\r')) {
+      ++pos_;
+    }
+  }
+
+  bool consume(char c) {
+    if (pos_ < text_.size() && text_[pos_] == c) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+
+  bool consume_word(std::string_view word) {
+    if (text_.substr(pos_, word.size()) != word) return false;
+    pos_ += word.size();
+    return true;
+  }
+
+  Status parse_value(Json& out, int depth) {  // NOLINT(misc-no-recursion)
+    if (depth > kMaxDepth) return fail("nesting too deep");
+    skip_ws();
+    if (pos_ >= text_.size()) return fail("unexpected end of input");
+    const char c = text_[pos_];
+    if (c == '{') return parse_object(out, depth);
+    if (c == '[') return parse_array(out, depth);
+    if (c == '"') {
+      out.kind_ = Json::Kind::kString;
+      return parse_string(out.string_);
+    }
+    if (consume_word("true")) {
+      out.kind_ = Json::Kind::kBool;
+      out.bool_ = true;
+      return {};
+    }
+    if (consume_word("false")) {
+      out.kind_ = Json::Kind::kBool;
+      out.bool_ = false;
+      return {};
+    }
+    if (consume_word("null")) {
+      out.kind_ = Json::Kind::kNull;
+      return {};
+    }
+    return parse_number(out);
+  }
+
+  Status parse_object(Json& out, int depth) {  // NOLINT(misc-no-recursion)
+    consume('{');
+    out.kind_ = Json::Kind::kObject;
+    skip_ws();
+    if (consume('}')) return {};
+    while (true) {
+      skip_ws();
+      std::string key;
+      if (pos_ >= text_.size() || text_[pos_] != '"') return fail("expected object key");
+      if (auto status = parse_string(key); !status) return status;
+      skip_ws();
+      if (!consume(':')) return fail("expected ':' after object key");
+      Json value;
+      if (auto status = parse_value(value, depth + 1); !status) return status;
+      out.object_[std::move(key)] = std::move(value);
+      skip_ws();
+      if (consume('}')) return {};
+      if (!consume(',')) return fail("expected ',' or '}' in object");
+    }
+  }
+
+  Status parse_array(Json& out, int depth) {  // NOLINT(misc-no-recursion)
+    consume('[');
+    out.kind_ = Json::Kind::kArray;
+    skip_ws();
+    if (consume(']')) return {};
+    while (true) {
+      Json value;
+      if (auto status = parse_value(value, depth + 1); !status) return status;
+      out.array_.push_back(std::move(value));
+      skip_ws();
+      if (consume(']')) return {};
+      if (!consume(',')) return fail("expected ',' or ']' in array");
+    }
+  }
+
+  Status parse_string(std::string& out) {
+    consume('"');
+    out.clear();
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_++];
+      if (c == '"') return {};
+      if (static_cast<unsigned char>(c) < 0x20) return fail("unescaped control character");
+      if (c != '\\') {
+        out += c;
+        continue;
+      }
+      if (pos_ >= text_.size()) break;
+      const char esc = text_[pos_++];
+      switch (esc) {
+        case '"': out += '"'; break;
+        case '\\': out += '\\'; break;
+        case '/': out += '/'; break;
+        case 'b': out += '\b'; break;
+        case 'f': out += '\f'; break;
+        case 'n': out += '\n'; break;
+        case 'r': out += '\r'; break;
+        case 't': out += '\t'; break;
+        case 'u': {
+          if (pos_ + 4 > text_.size()) return fail("truncated \\u escape");
+          unsigned code = 0;
+          for (int i = 0; i < 4; ++i) {
+            const char h = text_[pos_++];
+            code <<= 4;
+            if (h >= '0' && h <= '9') code |= static_cast<unsigned>(h - '0');
+            else if (h >= 'a' && h <= 'f') code |= static_cast<unsigned>(h - 'a' + 10);
+            else if (h >= 'A' && h <= 'F') code |= static_cast<unsigned>(h - 'A' + 10);
+            else return fail("bad \\u escape digit");
+          }
+          // UTF-8 encode the BMP code point (surrogate pairs are rare in
+          // our own output; a lone surrogate encodes as-is).
+          if (code < 0x80) {
+            out += static_cast<char>(code);
+          } else if (code < 0x800) {
+            out += static_cast<char>(0xC0 | (code >> 6));
+            out += static_cast<char>(0x80 | (code & 0x3F));
+          } else {
+            out += static_cast<char>(0xE0 | (code >> 12));
+            out += static_cast<char>(0x80 | ((code >> 6) & 0x3F));
+            out += static_cast<char>(0x80 | (code & 0x3F));
+          }
+          break;
+        }
+        default: return fail("unknown escape");
+      }
+    }
+    return fail("unterminated string");
+  }
+
+  Status parse_number(Json& out) {
+    const std::size_t start = pos_;
+    if (consume('-')) {
+    }
+    while (pos_ < text_.size() && std::isdigit(static_cast<unsigned char>(text_[pos_]))) ++pos_;
+    if (consume('.')) {
+      while (pos_ < text_.size() && std::isdigit(static_cast<unsigned char>(text_[pos_]))) ++pos_;
+    }
+    if (pos_ < text_.size() && (text_[pos_] == 'e' || text_[pos_] == 'E')) {
+      ++pos_;
+      if (pos_ < text_.size() && (text_[pos_] == '+' || text_[pos_] == '-')) ++pos_;
+      while (pos_ < text_.size() && std::isdigit(static_cast<unsigned char>(text_[pos_]))) ++pos_;
+    }
+    if (pos_ == start) return fail("expected a value");
+    const std::string token(text_.substr(start, pos_ - start));
+    char* end = nullptr;
+    const double value = std::strtod(token.c_str(), &end);
+    if (end != token.c_str() + token.size()) return fail("malformed number");
+    out.kind_ = Json::Kind::kNumber;
+    out.number_ = value;
+    return {};
+  }
+
+  std::string_view text_;
+  std::size_t pos_ = 0;
+};
+
+Result<Json, Error> Json::parse(std::string_view text) { return JsonParser(text).run(); }
+
+}  // namespace clara

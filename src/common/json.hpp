@@ -1,0 +1,70 @@
+// Minimal JSON reader (RFC 8259 subset, no external dependency).
+//
+// Clara writes JSON in several places (BENCH_perf.json, Chrome traces,
+// metrics dumps); this is the matching reader, used by `clara bench
+// diff` to compare benchmark runs and by the tests to validate every
+// exporter's output actually parses. Numbers are stored as double —
+// fine for benchmark figures and trace timestamps, which are doubles to
+// begin with.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/result.hpp"
+
+namespace clara {
+
+/// One parsed JSON value. Object members keep source order-independent
+/// access via a std::map; duplicate keys keep the last occurrence.
+class Json {
+ public:
+  enum class Kind : std::uint8_t { kNull, kBool, kNumber, kString, kArray, kObject };
+
+  using Array = std::vector<Json>;
+  using Object = std::map<std::string, Json>;
+
+  Json() = default;
+
+  [[nodiscard]] Kind kind() const { return kind_; }
+  [[nodiscard]] bool is_null() const { return kind_ == Kind::kNull; }
+  [[nodiscard]] bool is_bool() const { return kind_ == Kind::kBool; }
+  [[nodiscard]] bool is_number() const { return kind_ == Kind::kNumber; }
+  [[nodiscard]] bool is_string() const { return kind_ == Kind::kString; }
+  [[nodiscard]] bool is_array() const { return kind_ == Kind::kArray; }
+  [[nodiscard]] bool is_object() const { return kind_ == Kind::kObject; }
+
+  [[nodiscard]] bool as_bool(bool fallback = false) const { return is_bool() ? bool_ : fallback; }
+  [[nodiscard]] double as_double(double fallback = 0.0) const {
+    return is_number() ? number_ : fallback;
+  }
+  [[nodiscard]] const std::string& as_string() const { return string_; }
+  [[nodiscard]] const Array& as_array() const { return array_; }
+  [[nodiscard]] const Object& as_object() const { return object_; }
+
+  /// Object member lookup; nullptr when absent or not an object.
+  [[nodiscard]] const Json* get(const std::string& key) const;
+  /// get(key)->as_double(fallback), tolerating a missing member.
+  [[nodiscard]] double number_at(const std::string& key, double fallback = 0.0) const;
+  [[nodiscard]] std::string string_at(const std::string& key,
+                                      const std::string& fallback = {}) const;
+  [[nodiscard]] bool bool_at(const std::string& key, bool fallback = false) const;
+
+  /// Parses a complete JSON document (trailing garbage is an error).
+  static Result<Json, Error> parse(std::string_view text);
+
+ private:
+  friend class JsonParser;
+  Kind kind_ = Kind::kNull;
+  bool bool_ = false;
+  double number_ = 0.0;
+  std::string string_;
+  Array array_;
+  Object object_;
+};
+
+}  // namespace clara

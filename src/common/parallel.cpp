@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <array>
+#include <bit>
 #include <chrono>
 #include <condition_variable>
 #include <cstdlib>
@@ -75,11 +76,36 @@ class WorkDeque {
 struct WorkerState {
   WorkDeque deque;
   std::atomic<std::uint64_t> busy_ns{0};
+  std::atomic<std::uint64_t> sched_ns{0};
+  std::atomic<std::uint64_t> idle_ns{0};
+  std::atomic<std::uint64_t> tasks{0};
+  std::atomic<std::uint64_t> steals{0};
 };
 
 std::atomic<std::size_t> g_jobs{0};  // 0 = uninitialized, use default
 
+std::atomic<PoolEventHook> g_pool_hook{nullptr};
+
+inline void fire_hook(PoolEvent event, std::uint64_t lane, std::uint64_t arg) {
+  if (PoolEventHook hook = g_pool_hook.load(std::memory_order_relaxed)) hook(event, lane, arg);
+}
+
+inline std::uint64_t elapsed_ns(std::chrono::steady_clock::time_point t0,
+                                std::chrono::steady_clock::time_point t1) {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(t1 - t0).count());
+}
+
+/// log2 bucket for the task-duration histogram: [2^(i-1), 2^i) ns.
+inline std::size_t task_hist_bucket(std::uint64_t ns) {
+  return std::min<std::size_t>(std::bit_width(ns), PoolStats::kTaskHistBuckets - 1);
+}
+
 }  // namespace
+
+void set_pool_event_hook(PoolEventHook hook) {
+  g_pool_hook.store(hook, std::memory_order_relaxed);
+}
 
 struct ThreadPool::Impl {
   std::vector<std::unique_ptr<WorkerState>> states;
@@ -94,6 +120,14 @@ struct ThreadPool::Impl {
   std::atomic<std::uint64_t> tasks_inline{0};
   std::atomic<std::uint64_t> steals{0};
   std::atomic<std::uint64_t> injected{0};
+
+  // The "caller lane": aggregate attribution across every external
+  // thread that enqueues or helps execute tasks (TaskGroup::run/wait).
+  std::atomic<std::uint64_t> inline_run_ns{0};
+  std::atomic<std::uint64_t> inline_sched_ns{0};
+  std::atomic<std::uint64_t> inline_idle_ns{0};
+  std::atomic<std::uint64_t> inline_steals{0};
+  std::array<std::atomic<std::uint64_t>, PoolStats::kTaskHistBuckets> task_hist{};
 
   ~Impl() { shutdown(); }
 
@@ -120,7 +154,7 @@ struct ThreadPool::Impl {
     for (;;) {
       Task* task = pop_injector();
       if (!task) break;
-      execute(task, nullptr);
+      execute(task, kInlineLane);
     }
     states.clear();
   }
@@ -133,13 +167,19 @@ struct ThreadPool::Impl {
     return task;
   }
 
-  Task* try_steal(std::size_t self) {
+  Task* try_steal(std::size_t self, std::uint64_t lane) {
     const std::size_t n = states.size();
     for (std::size_t k = 1; k <= n; ++k) {
       const std::size_t victim = (self + k) % n;
       if (victim == self) continue;
       if (Task* task = states[victim]->deque.steal()) {
         steals.fetch_add(1, std::memory_order_relaxed);
+        if (lane < states.size()) {
+          states[lane]->steals.fetch_add(1, std::memory_order_relaxed);
+        } else {
+          inline_steals.fetch_add(1, std::memory_order_relaxed);
+        }
+        fire_hook(PoolEvent::kSteal, lane, victim);
         return task;
       }
     }
@@ -154,14 +194,20 @@ struct ThreadPool::Impl {
     if (Task* task = pop_injector()) return task;
     if (!states.empty()) {
       const std::size_t start = worker_id < states.size() ? worker_id : 0;
-      if (Task* task = try_steal(start)) return task;
+      const std::uint64_t lane = worker_id < states.size() ? worker_id : kInlineLane;
+      if (Task* task = try_steal(start, lane)) return task;
     }
     return nullptr;
   }
 
-  void execute(Task* task, WorkerState* state) {
+  /// Runs a task on `lane` (a worker index, or kInlineLane for external
+  /// threads), timing the body and attributing it to the lane's counters
+  /// and the shared task-duration histogram.
+  void execute(Task* task, std::uint64_t lane) {
+    fire_hook(PoolEvent::kTaskStart, lane, 0);
     const auto t0 = std::chrono::steady_clock::now();
     task->fn();
+    const std::uint64_t dur = elapsed_ns(t0, std::chrono::steady_clock::now());
     TaskGroup* group = task->group;
     // Decrement before deleting the task: a detached group (submit())
     // lives inside the task's own captures, and its destructor waits for
@@ -170,12 +216,15 @@ struct ThreadPool::Impl {
     // so an owner destroying the group the moment wait() returns is safe.
     if (group) group->pending_.fetch_sub(1, std::memory_order_release);
     delete task;
-    if (state) {
-      const auto dt = std::chrono::steady_clock::now() - t0;
-      state->busy_ns.fetch_add(
-          static_cast<std::uint64_t>(std::chrono::duration_cast<std::chrono::nanoseconds>(dt).count()),
-          std::memory_order_relaxed);
+    if (lane < states.size()) {
+      WorkerState& state = *states[lane];
+      state.busy_ns.fetch_add(dur, std::memory_order_relaxed);
+      state.tasks.fetch_add(1, std::memory_order_relaxed);
+    } else {
+      inline_run_ns.fetch_add(dur, std::memory_order_relaxed);
     }
+    task_hist[task_hist_bucket(dur)].fetch_add(1, std::memory_order_relaxed);
+    fire_hook(PoolEvent::kTaskStop, lane, dur);
   }
 
   void worker_loop(std::size_t id);
@@ -192,28 +241,47 @@ thread_local const void* t_worker_pool = nullptr;
 void ThreadPool::Impl::worker_loop(std::size_t id) {
   t_worker_id = id;
   t_worker_pool = this;
+  WorkerState& self = *states[id];
   while (!stop.load(std::memory_order_seq_cst)) {
+    const auto t0 = std::chrono::steady_clock::now();
     Task* task = acquire(id);
     if (task) {
+      // Acquisition cost (deque pop, injector lock, steal scan) is the
+      // lane's scheduling overhead; the body is timed inside execute().
+      self.sched_ns.fetch_add(elapsed_ns(t0, std::chrono::steady_clock::now()),
+                              std::memory_order_relaxed);
       tasks_run.fetch_add(1, std::memory_order_relaxed);
-      execute(task, states[id].get());
+      execute(task, id);
       continue;
     }
-    std::unique_lock<std::mutex> lock(injector_mu);
-    if (!injector.empty() || stop.load(std::memory_order_relaxed)) continue;
-    // Bounded nap: submissions notify, the timeout covers the lost-wakeup
-    // window between the lock-free deque check and the sleep.
-    wake.wait_for(lock, std::chrono::microseconds(500));
+    {
+      std::unique_lock<std::mutex> lock(injector_mu);
+      if (injector.empty() && !stop.load(std::memory_order_relaxed)) {
+        // Bounded nap: submissions notify, the timeout covers the
+        // lost-wakeup window between the lock-free deque check and the
+        // sleep.
+        wake.wait_for(lock, std::chrono::microseconds(500));
+      }
+    }
+    // A fruitless scan plus any nap is idle time — what a profiler reads
+    // as barrier wait / starvation.
+    self.idle_ns.fetch_add(elapsed_ns(t0, std::chrono::steady_clock::now()),
+                           std::memory_order_relaxed);
   }
   t_worker_id = kNotWorker;
   t_worker_pool = nullptr;
 }
 
 void ThreadPool::Impl::enqueue(Task* task, std::size_t worker_id) {
-  if (worker_id != kNotWorker && t_worker_pool == this && worker_id < states.size() &&
-      states[worker_id]->deque.push(task)) {
-    wake.notify_one();  // siblings may steal it
-    return;
+  const bool own_deque = worker_id != kNotWorker && t_worker_pool == this && worker_id < states.size();
+  if (own_deque) {
+    if (states[worker_id]->deque.push(task)) {
+      wake.notify_one();  // siblings may steal it
+      return;
+    }
+    // Deque full: fall back to the injector. Rare, but worth a flight
+    // event — a run that overflows is momentarily less parallel.
+    fire_hook(PoolEvent::kQueueOverflow, worker_id, WorkDeque::kCapacity);
   }
   {
     std::lock_guard<std::mutex> lock(injector_mu);
@@ -249,6 +317,21 @@ PoolStats ThreadPool::stats() const {
     const auto ns = state->busy_ns.load(std::memory_order_relaxed);
     out.per_worker_busy_ns.push_back(ns);
     out.worker_busy_ns += ns;
+    LaneStats lane;
+    lane.run_ns = ns;
+    lane.sched_ns = state->sched_ns.load(std::memory_order_relaxed);
+    lane.idle_ns = state->idle_ns.load(std::memory_order_relaxed);
+    lane.tasks = state->tasks.load(std::memory_order_relaxed);
+    lane.steals = state->steals.load(std::memory_order_relaxed);
+    out.worker_lanes.push_back(lane);
+  }
+  out.inline_lane.run_ns = impl_->inline_run_ns.load(std::memory_order_relaxed);
+  out.inline_lane.sched_ns = impl_->inline_sched_ns.load(std::memory_order_relaxed);
+  out.inline_lane.idle_ns = impl_->inline_idle_ns.load(std::memory_order_relaxed);
+  out.inline_lane.tasks = out.tasks_inline;
+  out.inline_lane.steals = impl_->inline_steals.load(std::memory_order_relaxed);
+  for (std::size_t i = 0; i < PoolStats::kTaskHistBuckets; ++i) {
+    out.task_ns_hist[i] = impl_->task_hist[i].load(std::memory_order_relaxed);
   }
   return out;
 }
@@ -266,20 +349,44 @@ void TaskGroup::run(std::function<void()> fn) {
     fn();  // no workers: serial execution
     return;
   }
+  auto* impl = pool_->impl_.get();
   pending_.fetch_add(1, std::memory_order_relaxed);
   auto* task = new Task{std::move(fn), this};
-  pool_->impl_->enqueue(task, t_worker_id);
+  const auto t0 = std::chrono::steady_clock::now();
+  impl->enqueue(task, t_worker_id);
+  const std::uint64_t dt = elapsed_ns(t0, std::chrono::steady_clock::now());
+  if (t_worker_pool == impl && t_worker_id < impl->states.size()) {
+    impl->states[t_worker_id]->sched_ns.fetch_add(dt, std::memory_order_relaxed);
+  } else {
+    impl->inline_sched_ns.fetch_add(dt, std::memory_order_relaxed);
+  }
 }
 
 void TaskGroup::wait() {
   auto* impl = pool_->impl_.get();
+  const bool is_worker = t_worker_pool == impl && t_worker_id < impl->states.size();
   while (pending_.load(std::memory_order_acquire) > 0) {
-    Task* task = impl->acquire(t_worker_pool == impl ? t_worker_id : kNotWorker);
+    const auto t0 = std::chrono::steady_clock::now();
+    Task* task = impl->acquire(is_worker ? t_worker_id : kNotWorker);
     if (task) {
+      const std::uint64_t dt = elapsed_ns(t0, std::chrono::steady_clock::now());
+      if (is_worker) {
+        impl->states[t_worker_id]->sched_ns.fetch_add(dt, std::memory_order_relaxed);
+      } else {
+        impl->inline_sched_ns.fetch_add(dt, std::memory_order_relaxed);
+      }
       impl->tasks_inline.fetch_add(1, std::memory_order_relaxed);
-      impl->execute(task, nullptr);
+      // A worker helping inside a nested wait still charges its own lane,
+      // so per-lane run+sched+idle keeps covering its wall clock.
+      impl->execute(task, is_worker ? t_worker_id : kInlineLane);
     } else {
       std::this_thread::yield();
+      const std::uint64_t dt = elapsed_ns(t0, std::chrono::steady_clock::now());
+      if (is_worker) {
+        impl->states[t_worker_id]->idle_ns.fetch_add(dt, std::memory_order_relaxed);
+      } else {
+        impl->inline_idle_ns.fetch_add(dt, std::memory_order_relaxed);
+      }
     }
   }
 }

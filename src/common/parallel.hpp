@@ -23,6 +23,7 @@
 // are identical at every jobs level; the pool only changes wall time.
 #pragma once
 
+#include <array>
 #include <atomic>
 #include <cstddef>
 #include <cstdint>
@@ -46,10 +47,26 @@ void set_jobs(std::size_t n);
 /// else hardware_concurrency (min 1).
 std::size_t default_jobs();
 
+/// Per-lane execution-time attribution (a lane is one pool worker, or
+/// the aggregate of every external thread that executes tasks inline
+/// while waiting). All values are monotonic nanosecond/event counters;
+/// profilers snapshot before/after a region and diff.
+struct LaneStats {
+  std::uint64_t run_ns = 0;    // wall time inside task bodies
+  std::uint64_t sched_ns = 0;  // task acquisition + enqueue overhead
+  std::uint64_t idle_ns = 0;   // waiting with no runnable work (barrier/starvation)
+  std::uint64_t tasks = 0;     // tasks executed on this lane
+  std::uint64_t steals = 0;    // successful deque steals by this lane
+};
+
 /// Monotonic pool counters for observability. Consumers snapshot before
 /// and after a parallel region and publish the delta to obs::metrics()
 /// (common/ stays free of an obs dependency).
 struct PoolStats {
+  /// Log2-bucketed per-task duration histogram: bucket i counts tasks
+  /// whose body ran for [2^(i-1), 2^i) ns (bucket 0: sub-nanosecond).
+  static constexpr std::size_t kTaskHistBuckets = 40;
+
   std::uint64_t tasks_run = 0;       // tasks executed by pool workers
   std::uint64_t tasks_inline = 0;    // tasks executed by waiting callers
   std::uint64_t steals = 0;          // successful deque steals
@@ -57,7 +74,29 @@ struct PoolStats {
   std::uint64_t worker_busy_ns = 0;  // summed task wall time on workers
   std::size_t queue_depth = 0;       // injector backlog at snapshot time
   std::vector<std::uint64_t> per_worker_busy_ns;
+  /// Full attribution per worker lane (run+sched+idle covers nearly the
+  /// whole worker wall clock; the remainder is loop bookkeeping).
+  std::vector<LaneStats> worker_lanes;
+  /// Aggregate attribution for external threads helping via
+  /// TaskGroup::wait()/run() — the "caller lane".
+  LaneStats inline_lane;
+  std::array<std::uint64_t, kTaskHistBuckets> task_ns_hist{};
 };
+
+/// Scheduling events surfaced to an optional process-wide hook (the
+/// obs flight recorder installs one). `lane` is the worker index, or
+/// kInlineLane for external threads; kTaskStop carries the task body
+/// duration in ns as `arg`.
+enum class PoolEvent : std::uint8_t { kTaskStart, kTaskStop, kSteal, kQueueOverflow };
+
+inline constexpr std::uint64_t kInlineLane = ~std::uint64_t{0};
+
+using PoolEventHook = void (*)(PoolEvent event, std::uint64_t lane, std::uint64_t arg);
+
+/// Installs (or clears, with nullptr) the pool event hook. The hook must
+/// be thread-safe and cheap; it fires on task start/stop, successful
+/// steals, and deque-overflow fallbacks. One hook at a time.
+void set_pool_event_hook(PoolEventHook hook);
 
 class ThreadPool;
 

@@ -3,6 +3,7 @@
 #include "common/hash.hpp"
 #include "fault/fault.hpp"
 #include "obs/metrics.hpp"
+#include "obs/recorder.hpp"
 
 namespace clara::core {
 
@@ -31,9 +32,12 @@ std::uint64_t approx_bytes(const MappingEntry& entry) {
          entry.mapping.ilp_basis.size() * sizeof(std::size_t);
 }
 
-void count_lookup(std::atomic<std::uint64_t>& counter, const char* metric, const char* stage) {
+void count_lookup(std::atomic<std::uint64_t>& counter, bool hit, const char* stage,
+                  std::uint64_t stage_ordinal, std::uint64_t key) {
   counter.fetch_add(1, std::memory_order_relaxed);
-  obs::metrics().counter(metric, std::string("stage=") + stage).inc();
+  obs::metrics().counter(hit ? "cache/hits" : "cache/misses", std::string("stage=") + stage).inc();
+  obs::record(hit ? obs::FlightEventKind::kCacheHit : obs::FlightEventKind::kCacheMiss,
+              stage_ordinal, key);
 }
 
 // Poisoned-entry simulation ("cache/poison" site, keyed by the entry's
@@ -74,7 +78,7 @@ std::shared_ptr<const LoweredEntry> AnalysisCache::find_lowered(std::uint64_t ke
   if (!enabled()) return nullptr;
   auto entry = lowered_.find(key);
   if (poisoned(entry, key, "lowered")) entry = nullptr;
-  count_lookup(entry ? hits_ : misses_, entry ? "cache/hits" : "cache/misses", "lowered");
+  count_lookup(entry ? hits_ : misses_, entry != nullptr, "lowered", 0, key);
   return entry;
 }
 
@@ -82,7 +86,7 @@ std::shared_ptr<const GraphEntry> AnalysisCache::find_graph(std::uint64_t key) {
   if (!enabled()) return nullptr;
   auto entry = graphs_.find(key);
   if (poisoned(entry, key, "graph")) entry = nullptr;
-  count_lookup(entry ? hits_ : misses_, entry ? "cache/hits" : "cache/misses", "graph");
+  count_lookup(entry ? hits_ : misses_, entry != nullptr, "graph", 1, key);
   return entry;
 }
 
@@ -90,7 +94,7 @@ std::shared_ptr<const MappingEntry> AnalysisCache::find_mapping(std::uint64_t ke
   if (!enabled()) return nullptr;
   auto entry = mappings_.find(key);
   if (poisoned(entry, key, "map")) entry = nullptr;
-  count_lookup(entry ? hits_ : misses_, entry ? "cache/hits" : "cache/misses", "map");
+  count_lookup(entry ? hits_ : misses_, entry != nullptr, "map", 2, key);
   return entry;
 }
 

@@ -6,10 +6,24 @@
 #include "cir/verify.hpp"
 #include "common/strings.hpp"
 #include "core/cache.hpp"
+#include "obs/recorder.hpp"
 #include "obs/trace.hpp"
 #include "passes/dataflow.hpp"
 
 namespace clara::core {
+
+namespace {
+
+/// Every analysis failure exits through here so the flight recorder's
+/// last few thousand events (cache lookups, solver waves, pool activity)
+/// land on disk next to the error message. auto_dump throttles itself to
+/// once per process.
+Error dump_on_failure(Error error) {
+  obs::recorder().auto_dump(std::string("analysis_") + to_string(error.code));
+  return error;
+}
+
+}  // namespace
 
 Analyzer::Analyzer(lnic::NicProfile profile)
     : profile_(std::move(profile)), profile_hash_(hash_profile(profile_)) {}
@@ -43,8 +57,8 @@ Result<Analysis> Analyzer::analyze(const cir::Function& nf, const workload::Trac
     {
       CLARA_TRACE_SCOPE("cir/verify");
       if (auto status = cir::verify(entry->fn); !status) {
-        return make_error(ErrorCode::kVerify,
-                          "lowered NF failed verification: " + status.error().message);
+        return dump_on_failure(make_error(
+            ErrorCode::kVerify, "lowered NF failed verification: " + status.error().message));
       }
     }
     entry->lowered_hash = cir::hash_function(entry->fn);
@@ -56,7 +70,7 @@ Result<Analysis> Analyzer::analyze(const cir::Function& nf, const workload::Trac
     std::ostringstream os;
     os << "unrecognized calls in '" << nf.name << "':";
     for (const auto& name : lowered->substitution.unknown_calls) os << " " << name;
-    return make_error(ErrorCode::kUnknownCall, os.str());
+    return dump_on_failure(make_error(ErrorCode::kUnknownCall, os.str()));
   }
 
   Analysis analysis;
@@ -108,7 +122,7 @@ Result<Analysis> Analyzer::analyze(const cir::Function& nf, const workload::Trac
     }
     auto mapped = options.stages.ilp() ? mapper.map(graph, hints, solve_options)
                                        : mapper.map_greedy(graph, hints, solve_options);
-    if (!mapped) return mapped.error();
+    if (!mapped) return dump_on_failure(mapped.error());
     auto entry = std::make_shared<MappingEntry>();
     entry->mapping = std::move(mapped).value();
     if (use_cache) cache.insert_mapping(mkey, family, entry);
@@ -118,7 +132,7 @@ Result<Analysis> Analyzer::analyze(const cir::Function& nf, const workload::Trac
   analysis.degraded = analysis.mapping.degraded;
 
   auto prediction = predict(analysis.lowered, graph, analysis.mapping, mapper, trace, options.predict);
-  if (!prediction) return prediction.error();
+  if (!prediction) return dump_on_failure(prediction.error());
   analysis.prediction = std::move(prediction).value();
 
   analysis.report = mapping::describe_mapping(analysis.mapping, graph, mapper, analysis.lowered);
@@ -151,8 +165,8 @@ Result<Analysis> Analyzer::repair(const cir::Function& nf, const workload::Trace
       entry->optimizations = passes::optimize(entry->fn);
     }
     if (auto status = cir::verify(entry->fn); !status) {
-      return make_error(ErrorCode::kVerify,
-                        "lowered NF failed verification: " + status.error().message);
+      return dump_on_failure(make_error(
+          ErrorCode::kVerify, "lowered NF failed verification: " + status.error().message));
     }
     entry->lowered_hash = cir::hash_function(entry->fn);
     if (use_cache) cache.insert_lowered(lkey, entry);
@@ -162,7 +176,7 @@ Result<Analysis> Analyzer::repair(const cir::Function& nf, const workload::Trace
     std::ostringstream os;
     os << "unrecognized calls in '" << nf.name << "':";
     for (const auto& name : lowered->substitution.unknown_calls) os << " " << name;
-    return make_error(ErrorCode::kUnknownCall, os.str());
+    return dump_on_failure(make_error(ErrorCode::kUnknownCall, os.str()));
   }
 
   Analysis analysis;
@@ -207,14 +221,14 @@ Result<Analysis> Analyzer::repair(const cir::Function& nf, const workload::Trace
   }
   auto repaired = options.stages.ilp() ? mapper.repair(graph, hints, previous.mapping, solve_options)
                                        : mapper.map_greedy(graph, hints, solve_options);
-  if (!repaired) return repaired.error();
+  if (!repaired) return dump_on_failure(repaired.error());
   analysis.mapping = std::move(repaired).value();
   if (!options.stages.ilp()) analysis.mapping.repaired = true;  // greedy re-solve is still a repair
   analysis.degraded = analysis.mapping.degraded;
   analysis.repaired = analysis.mapping.repaired;
 
   auto prediction = predict(analysis.lowered, graph, analysis.mapping, mapper, trace, options.predict);
-  if (!prediction) return prediction.error();
+  if (!prediction) return dump_on_failure(prediction.error());
   analysis.prediction = std::move(prediction).value();
 
   analysis.report = mapping::describe_mapping(analysis.mapping, graph, mapper, analysis.lowered);

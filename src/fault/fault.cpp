@@ -9,6 +9,7 @@
 #include "common/parallel.hpp"
 #include "common/strings.hpp"
 #include "obs/metrics.hpp"
+#include "obs/recorder.hpp"
 
 namespace clara::fault {
 namespace {
@@ -187,6 +188,11 @@ bool inject(std::string_view site, std::uint64_t key) {
   if (!active()) return false;
   if (!plan().should_fire(site, key)) return false;
   obs::metrics().counter("fault/injected", "site=" + std::string(site)).inc();
+  // A firing site is exactly the "something just went wrong" moment the
+  // flight recorder exists for: record the fire, then dump the rings
+  // (auto_dump throttles itself to once per process).
+  obs::record(obs::FlightEventKind::kFaultFire, Fnv1a().mix(site).digest(), key);
+  obs::recorder().auto_dump("fault_" + std::string(site));
   return true;
 }
 

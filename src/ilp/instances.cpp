@@ -1,0 +1,39 @@
+#include "ilp/instances.hpp"
+
+#include <cmath>
+#include <vector>
+
+namespace clara::ilp {
+
+Model make_market_split(int n, int m, std::uint64_t seed) {
+  Model model;
+  std::uint64_t state = seed;
+  const auto next = [&state] {
+    state = state * 6364136223846793005ULL + 1442695040888963407ULL;
+    return static_cast<double>((state >> 33) % 100);
+  };
+  std::vector<int> x;
+  for (int j = 0; j < n; ++j) x.push_back(model.add_binary("x"));
+  LinExpr objective;
+  for (int i = 0; i < m; ++i) {
+    LinExpr row;
+    double sum = 0.0;
+    for (int j = 0; j < n; ++j) {
+      const double a = next();
+      row.add(x[j], a);
+      sum += a;
+    }
+    // a·x + s - t = floor(sum/2); minimize Σ(s + t).
+    const int s = model.add_continuous("s");
+    const int t = model.add_continuous("t");
+    row.add(s, 1.0);
+    row.add(t, -1.0);
+    model.add_constraint(std::move(row), Sense::kEq, std::floor(sum / 2.0));
+    objective.add(s, 1.0);
+    objective.add(t, 1.0);
+  }
+  model.set_objective(std::move(objective));
+  return model;
+}
+
+}  // namespace clara::ilp

@@ -1,0 +1,21 @@
+// Synthetic MILP instances shared by benchmarks and the CLI.
+//
+// bench/perf_micro and `clara bench milp_branch_and_bound` must time the
+// *same* model for their numbers to be comparable, so the instance
+// generator lives here rather than in either binary.
+#pragma once
+
+#include <cstdint>
+
+#include "ilp/model.hpp"
+
+namespace clara::ilp {
+
+/// A market-split instance (Cornuéjols–Dawande): n binaries, m equality
+/// rows a·x + s - t = floor(sum/2) with uniform coefficients in [0,100),
+/// minimizing Σ(s + t). The LP bound is 0 while the integer optimum
+/// rarely is, so branch-and-bound genuinely branches — hard enough to
+/// keep many waves busy at small sizes. Deterministic in (n, m, seed).
+Model make_market_split(int n, int m, std::uint64_t seed = 12345);
+
+}  // namespace clara::ilp

@@ -10,6 +10,7 @@
 #include "ilp/simplex.hpp"
 #include "obs/metrics.hpp"
 #include "obs/pool.hpp"
+#include "obs/recorder.hpp"
 #include "obs/trace.hpp"
 
 namespace clara::ilp {
@@ -109,9 +110,17 @@ Solution solve_milp(const Model& model, const SolveOptions& options) {
     // level (what the determinism tests rely on). The fault site rides
     // the same check, keyed by the wave index — itself deterministic —
     // so an injected "spurious timeout" reproduces bit-identically.
-    if ((options.deadline && std::chrono::steady_clock::now() >= *options.deadline) ||
-        fault::inject("ilp/wave_timeout", wave_index++)) {
+    const std::uint64_t this_wave = wave_index;
+    if (options.deadline && std::chrono::steady_clock::now() >= *options.deadline) {
       hit_deadline = true;
+      // Deadline expiry is a failure-adjacent event: the mapping that
+      // comes back is best-effort. Preserve the run-up for diagnosis
+      // (auto_dump throttles itself to once per process).
+      obs::recorder().auto_dump("ilp_deadline");
+      break;
+    }
+    if (fault::inject("ilp/wave_timeout", wave_index++)) {
+      hit_deadline = true;  // the fault site dumps the recorder itself
       break;
     }
     // Form a wave of the globally best open nodes. Wave composition
@@ -133,6 +142,8 @@ Solution solve_milp(const Model& model, const SolveOptions& options) {
     // discarded below: wasted work, never wrong results.)
     const double wave_incumbent = incumbent.objective;
     results.assign(wave.size(), WaveResult{});
+    obs::record(obs::FlightEventKind::kWaveEnter, this_wave, wave.size());
+    const auto wave_t0 = std::chrono::steady_clock::now();
     parallel::parallel_for_jobs(options.jobs, 0, wave.size(), [&](std::size_t i) {
       const auto& node = wave[i];
       if (node->bound >= wave_incumbent - 1e-12) return;
@@ -143,6 +154,15 @@ Solution solve_milp(const Model& model, const SolveOptions& options) {
       results[i].relax = solve_lp(model, lp_options);
       results[i].solved = true;
     });
+    // The wave barrier just completed: every relaxation is done and the
+    // caller waited for the slowest one. Per-wave wall time is the
+    // barrier-wait figure `clara profile` and the wave histogram report.
+    const auto wave_ns = std::chrono::duration_cast<std::chrono::nanoseconds>(
+                             std::chrono::steady_clock::now() - wave_t0)
+                             .count();
+    obs::record(obs::FlightEventKind::kWaveExit, this_wave,
+                static_cast<std::uint64_t>(wave_ns));
+    obs::metrics().histogram("ilp/wave_ns").observe(static_cast<double>(wave_ns));
 
     // Apply results strictly in pop order. Everything below is serial
     // and a pure function of (model, options, wave, results), so the

@@ -1,0 +1,71 @@
+// Benchmark regression gating: `clara bench diff <old.json> <new.json>`.
+//
+// Compares two BENCH_perf.json runs (schema clara-bench-perf/1, written
+// by bench/perf_micro — see docs/performance.md) metric by metric and
+// flags regressions beyond a configurable relative threshold. The CLI
+// exits nonzero when any metric regressed, which is what makes the perf
+// trajectory *gateable* instead of merely visible: CI runs
+//
+//   perf_micro --json=new.json && clara bench diff BENCH_perf.json new.json
+//
+// Gating rules:
+//   * lower-is-better metrics (ns_per_iter, *_ms): regressed when
+//     new > old * (1 + threshold);
+//   * higher-is-better metrics (speedup): regressed when
+//     new < old * (1 - threshold); parallel speedups are not gated when
+//     either run was oversubscribed (jobs > hardware threads) — wall
+//     times still are;
+//   * micros faster than `min_micro_ns` are reported but not gated
+//     (timer noise dominates);
+//   * scenarios present in only one run are reported, never gated.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/json.hpp"
+#include "common/result.hpp"
+
+namespace clara::obs {
+
+struct BenchDiffOptions {
+  /// Relative change that counts as a regression (0.10 = 10%).
+  double threshold = 0.10;
+  /// Micros with an old ns_per_iter below this are not gated.
+  double min_micro_ns = 100.0;
+};
+
+struct BenchDiffRow {
+  enum class Status : std::uint8_t { kOk, kRegressed, kImproved, kSkipped };
+
+  std::string scenario;  // "micro/simplex_solve", "parallel/sweep_replay", ...
+  std::string metric;    // "ns_per_iter", "parallel_ms", "speedup", ...
+  double old_value = 0.0;
+  double new_value = 0.0;
+  /// Signed relative change, (new - old) / old; 0 when old == 0.
+  double change = 0.0;
+  bool higher_is_better = false;
+  Status status = Status::kOk;
+  std::string note;
+};
+
+struct BenchDiffReport {
+  std::vector<BenchDiffRow> rows;
+
+  [[nodiscard]] bool has_regression() const;
+  [[nodiscard]] std::size_t regressions() const;
+  /// The comparison table plus a PASS/FAIL summary line.
+  [[nodiscard]] std::string render(double threshold) const;
+};
+
+/// Compares two parsed BENCH_perf.json documents.
+Result<BenchDiffReport, Error> diff_bench_json(const Json& old_run, const Json& new_run,
+                                               const BenchDiffOptions& options = {});
+
+/// Loads and compares two BENCH_perf.json files.
+Result<BenchDiffReport, Error> diff_bench_files(const std::string& old_path,
+                                                const std::string& new_path,
+                                                const BenchDiffOptions& options = {});
+
+}  // namespace clara::obs

@@ -28,6 +28,35 @@ std::string instrument_label(const std::pair<std::string, std::string>& key) {
   return key.second.empty() ? key.first : key.first + "{" + key.second + "}";
 }
 
+/// "ilp/solves" -> "clara_ilp_solves": Prometheus metric names admit
+/// only [a-zA-Z0-9_:].
+std::string prom_name(const std::string& name, const char* suffix = "") {
+  std::string out = "clara_";
+  for (const char c : name) {
+    const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || (c >= '0' && c <= '9') ||
+                    c == '_' || c == ':';
+    out += ok ? c : '_';
+  }
+  return out + suffix;
+}
+
+/// Our "k=v,k2=v2" label string -> Prometheus {k="v",k2="v2"}. An extra
+/// label ("le" for histogram buckets) is appended when provided.
+std::string prom_labels(const std::string& labels, const std::string& extra = {}) {
+  std::string body;
+  for (const auto& item : split(labels, ',')) {
+    const auto eq = item.find('=');
+    if (eq == std::string::npos || eq == 0) continue;
+    if (!body.empty()) body += ",";
+    body += item.substr(0, eq) + "=\"" + item.substr(eq + 1) + "\"";
+  }
+  if (!extra.empty()) {
+    if (!body.empty()) body += ",";
+    body += extra;
+  }
+  return body.empty() ? std::string{} : "{" + body + "}";
+}
+
 }  // namespace
 
 void LatencyHistogram::observe(double x) {
@@ -149,6 +178,60 @@ std::string MetricsRegistry::to_json() const {
        << strf(",\"p99\":%.17g", h->percentile(0.99)) << strf(",\"max\":%.17g", m.max()) << "}";
   }
   os << "}}";
+  return os.str();
+}
+
+std::string MetricsRegistry::to_prometheus() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::ostringstream os;
+  // Instruments sharing a name differ only in labels; emit HELP/TYPE
+  // once per name (the maps are key-sorted, so same-name runs are
+  // contiguous).
+  std::string last_name;
+  for (const auto& [key, c] : counters_) {
+    const std::string name = prom_name(key.first, "_total");
+    if (name != last_name) {
+      os << "# TYPE " << name << " counter\n";
+      last_name = name;
+    }
+    os << name << prom_labels(key.second) << " " << c->value() << "\n";
+  }
+  last_name.clear();
+  for (const auto& [key, g] : gauges_) {
+    const std::string name = prom_name(key.first);
+    if (name != last_name) {
+      os << "# TYPE " << name << " gauge\n";
+      last_name = name;
+    }
+    os << name << prom_labels(key.second) << " " << strf("%.17g", g->value()) << "\n";
+  }
+  last_name.clear();
+  for (const auto& [key, h] : histograms_) {
+    const std::string name = prom_name(key.first);
+    if (name != last_name) {
+      os << "# TYPE " << name << " histogram\n";
+      last_name = name;
+    }
+    const auto buckets = h->buckets();
+    const Accumulator m = h->moments();
+    // Cumulative le-buckets at the log2 upper bounds, up to the last
+    // populated bucket (the +Inf bucket always closes the series).
+    std::size_t top = 0;
+    for (std::size_t i = 0; i < buckets.size(); ++i) {
+      if (buckets[i] > 0) top = i;
+    }
+    std::uint64_t cumulative = 0;
+    for (std::size_t i = 0; i <= top; ++i) {
+      cumulative += buckets[i];
+      os << name << "_bucket"
+         << prom_labels(key.second, strf("le=\"%.17g\"", std::exp2(static_cast<double>(i))))
+         << " " << cumulative << "\n";
+    }
+    os << name << "_bucket" << prom_labels(key.second, "le=\"+Inf\"") << " " << m.count() << "\n";
+    os << name << "_sum" << prom_labels(key.second) << " "
+       << strf("%.17g", m.mean() * static_cast<double>(m.count())) << "\n";
+    os << name << "_count" << prom_labels(key.second) << " " << m.count() << "\n";
+  }
   return os.str();
 }
 

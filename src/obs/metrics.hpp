@@ -94,6 +94,11 @@ class MetricsRegistry {
   [[nodiscard]] std::string render_text() const;
   /// JSON object {"counters": {...}, "gauges": {...}, "histograms": {...}}.
   [[nodiscard]] std::string to_json() const;
+  /// Prometheus text exposition format (--metrics-format=prom): names
+  /// prefixed "clara_" and sanitized ("ilp/solves" -> clara_ilp_solves),
+  /// counters suffixed _total, histograms as cumulative le-buckets at
+  /// the log2 bucket bounds plus _sum/_count.
+  [[nodiscard]] std::string to_prometheus() const;
 
   /// Zeroes every instrument's value. References handed out earlier stay
   /// valid (instruments are never destroyed while the registry lives).

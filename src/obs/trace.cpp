@@ -98,23 +98,44 @@ void Tracer::clear() {
   epoch_ = std::chrono::steady_clock::now();
 }
 
-std::string Tracer::to_chrome_json() const {
-  const auto spans = snapshot();
+std::string chrome_trace_json(const std::vector<ChromeEvent>& events,
+                              const std::string& extra_json) {
   std::ostringstream os;
   os << "{\"traceEvents\":[";
   bool first = true;
-  for (const auto& span : spans) {
-    if (span.dur_ns < 0) continue;  // still open — not exportable
+  for (const auto& event : events) {
     if (!first) os << ",";
     first = false;
-    os << "{\"name\":\"" << json_escape(span.name) << "\",\"ph\":\"X\",\"cat\":\"clara\""
-       << ",\"pid\":1,\"tid\":" << span.tid
-       << strf(",\"ts\":%.3f", static_cast<double>(span.start_ns) / 1e3)
-       << strf(",\"dur\":%.3f", static_cast<double>(span.dur_ns) / 1e3)
-       << ",\"args\":{\"depth\":" << span.depth << "}}";
+    os << "{\"name\":\"" << json_escape(event.name) << "\",\"ph\":\"" << event.ph
+       << "\",\"cat\":\"clara\",\"pid\":1,\"tid\":" << event.tid
+       << strf(",\"ts\":%.3f", std::max(0.0, event.ts_us));
+    if (event.ph == 'X') os << strf(",\"dur\":%.3f", std::max(0.0, event.dur_us));
+    if (event.ph == 'i') os << ",\"s\":\"t\"";  // thread-scoped instant
+    if (!event.args_json.empty()) os << ",\"args\":{" << event.args_json << "}";
+    os << "}";
   }
-  os << "],\"displayTimeUnit\":\"ms\"}";
+  os << "]";
+  if (!extra_json.empty()) os << "," << extra_json;
+  os << ",\"displayTimeUnit\":\"ms\"}";
   return os.str();
+}
+
+std::string Tracer::to_chrome_json() const {
+  const auto spans = snapshot();
+  std::vector<ChromeEvent> events;
+  events.reserve(spans.size());
+  for (const auto& span : spans) {
+    if (span.dur_ns < 0) continue;  // still open — not exportable
+    ChromeEvent event;
+    event.name = span.name;
+    event.ph = 'X';
+    event.tid = span.tid;
+    event.ts_us = static_cast<double>(span.start_ns) / 1e3;
+    event.dur_us = static_cast<double>(span.dur_ns) / 1e3;
+    event.args_json = strf("\"depth\":%u", span.depth);
+    events.push_back(std::move(event));
+  }
+  return chrome_trace_json(events);
 }
 
 std::string Tracer::flame_summary(std::size_t max_rows) const {

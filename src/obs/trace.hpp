@@ -97,6 +97,26 @@ class TraceScope {
 /// the trace and metrics exporters).
 std::string json_escape(const std::string& s);
 
+/// One Chrome trace-event record. Shared by the span tracer and the
+/// flight recorder so both layers export through the exact same
+/// serializer (and the same schema guarantees: ts/dur in non-negative
+/// microseconds, pid fixed at 1, dense tids).
+struct ChromeEvent {
+  std::string name;
+  char ph = 'X';             // 'X' complete, 'i' instant
+  std::uint32_t tid = 0;
+  double ts_us = 0.0;
+  double dur_us = 0.0;       // 'X' only
+  std::string args_json;     // raw body of the args object ("\"k\":1"), may be empty
+};
+
+/// Serializes events into the Chrome trace-event JSON envelope
+/// ({"traceEvents": [...], "displayTimeUnit": "ms"}). `extra_json`, when
+/// non-empty, is spliced into the top-level object verbatim (used by the
+/// flight recorder to stamp the dump reason).
+std::string chrome_trace_json(const std::vector<ChromeEvent>& events,
+                              const std::string& extra_json = {});
+
 #define CLARA_OBS_CONCAT_IMPL(a, b) a##b
 #define CLARA_OBS_CONCAT(a, b) CLARA_OBS_CONCAT_IMPL(a, b)
 #define CLARA_TRACE_SCOPE(name) \

@@ -17,6 +17,7 @@
 // Workload spec syntax: "tcp=0.8 flows=10000 payload=300 pps=60000
 // packets=50000 zipf=1.0 arrivals=deterministic seed=42".
 #include <algorithm>
+#include <chrono>
 #include <cstdio>
 #include <cstring>
 #include <fstream>
@@ -33,9 +34,14 @@
 #include "common/strings.hpp"
 #include "common/table.hpp"
 #include "common/version.hpp"
+#include "obs/benchdiff.hpp"
 #include "obs/breakdown.hpp"
 #include "obs/metrics.hpp"
+#include "obs/profile.hpp"
+#include "obs/recorder.hpp"
 #include "obs/trace.hpp"
+#include "ilp/instances.hpp"
+#include "ilp/solver.hpp"
 #include "core/cache.hpp"
 #include "core/clara.hpp"
 #include "core/adversarial.hpp"
@@ -79,10 +85,10 @@ struct Args {
 const std::vector<std::string>& known_option_keys() {
   static const std::vector<std::string> kKeys = {
       "breakdown", "cache", "cache-entries", "csum-sw", "derate-unit", "energy",
-      "fail-unit", "fault-plan", "greedy", "jobs", "lowered", "metrics-out",
-      "nf", "nf-file", "nf-p4", "nic", "no-flow-cache", "no-optimize",
-      "no-patterns", "out", "partial", "paths", "sweep-pps", "time-budget-ms",
-      "trace", "trace-out", "workload"};
+      "fail-unit", "fault-plan", "flight-out", "greedy", "jobs", "lowered",
+      "metrics-format", "metrics-out", "nf", "nf-file", "nf-p4", "nic",
+      "no-flow-cache", "no-optimize", "no-patterns", "out", "partial", "paths",
+      "sweep-pps", "threshold", "time-budget-ms", "trace", "trace-out", "workload"};
   return kKeys;
 }
 
@@ -565,6 +571,109 @@ int cmd_trace_info(const Args& args) {
   return 0;
 }
 
+int run_command(const Args& args);  // forward: profile re-enters the dispatcher
+
+/// clara bench <scenario> — runs one benchmark scenario in-process (the
+/// same models bench/perf_micro times), so `clara profile bench ...`
+/// can attribute a known parallel workload. clara bench diff compares
+/// two BENCH_perf.json runs and exits nonzero on regression.
+int cmd_bench(const Args& args) {
+  if (args.positional.empty()) {
+    std::fprintf(stderr,
+                 "usage: clara bench diff <old.json> <new.json> [--threshold=0.10]\n"
+                 "       clara bench milp_branch_and_bound | sweep_replay\n");
+    return 1;
+  }
+  const std::string scenario = args.positional[0];
+
+  if (scenario == "diff") {
+    if (args.positional.size() != 3) {
+      std::fprintf(stderr, "usage: clara bench diff <old.json> <new.json> [--threshold=0.10]\n");
+      return 2;
+    }
+    obs::BenchDiffOptions options;
+    if (args.has("threshold")) {
+      const auto t = parse_double(args.get("threshold"));
+      if (!t || *t <= 0.0) {
+        std::fprintf(stderr, "--threshold must be a positive fraction (e.g. 0.10)\n");
+        return 2;
+      }
+      options.threshold = *t;
+    }
+    const auto report = obs::diff_bench_files(args.positional[1], args.positional[2], options);
+    if (!report) {
+      std::fprintf(stderr, "bench diff: %s\n", report.error().message.c_str());
+      return 2;
+    }
+    std::printf("%s", report.value().render(options.threshold).c_str());
+    return report.value().has_regression() ? 1 : 0;
+  }
+
+  const auto t0 = std::chrono::steady_clock::now();
+  const auto wall_ms = [&t0] {
+    return std::chrono::duration<double, std::milli>(std::chrono::steady_clock::now() - t0)
+        .count();
+  };
+  if (scenario == "milp_branch_and_bound") {
+    // The market-split instance perf_micro times (see docs/performance.md).
+    const auto model = ilp::make_market_split(20, 3);
+    ilp::SolveOptions options;
+    options.max_nodes = 10'000;
+    options.jobs = parallel::jobs();
+    const auto solution = ilp::solve_milp(model, options);
+    std::printf("milp_branch_and_bound: objective %.3f, %zu nodes, %zu pivots, %.2f ms (jobs=%zu)\n",
+                solution.objective, solution.nodes_explored, solution.pivots, wall_ms(),
+                parallel::jobs());
+    return 0;
+  }
+  if (scenario == "sweep_replay") {
+    const auto eval = [](const core::SweepPoint& point, core::SweepResult& result) {
+      auto profile = workload::parse_profile("tcp=0.8 flows=2000 payload=300 packets=4000").value();
+      profile.pps = point.load_pps;
+      profile.seed = point.seed;
+      const auto trace = workload::generate_trace(profile);
+      nicsim::NicSim sim;
+      auto& table = sim.create_table("flow_table", 131072, 64, nicsim::MemLevel::kEmem);
+      nf::NatProgram program(table, true);
+      const auto stats = sim.run(program, trace);
+      result.value = stats.mean_latency();
+    };
+    std::vector<double> loads;
+    for (std::size_t i = 0; i < 8; ++i) loads.push_back(20'000.0 + 20'000.0 * static_cast<double>(i));
+    core::SweepOptions options;
+    options.jobs = parallel::jobs();
+    const auto points = core::run_sweep(core::make_grid(loads, {}, 42), eval, options);
+    std::printf("sweep_replay: %zu points, %.2f ms (jobs=%zu)\n", points.size(), wall_ms(),
+                parallel::jobs());
+    return 0;
+  }
+  std::fprintf(stderr, "unknown bench scenario '%s' (diff, milp_branch_and_bound, sweep_replay)\n",
+               scenario.c_str());
+  return 2;
+}
+
+/// clara profile <command...> — runs any other command and prints the
+/// pool self-profile table for its whole run: per-lane task-body /
+/// scheduling / barrier-wait attribution (docs/observability.md).
+int cmd_profile(const Args& args) {
+  if (args.positional.empty()) {
+    std::fprintf(stderr, "usage: clara profile <command> [args...]\n");
+    return 1;
+  }
+  Args inner = args;
+  inner.command = args.positional.front();
+  inner.positional.assign(args.positional.begin() + 1, args.positional.end());
+  if (inner.command == "profile") {
+    std::fprintf(stderr, "clara profile does not nest\n");
+    return 1;
+  }
+  obs::ProfileScope scope;
+  const int rc = run_command(inner);
+  std::printf("\nself-profile (clara %s):\n%s", inner.command.c_str(),
+              scope.finish().render().c_str());
+  return rc;
+}
+
 void usage() {
   std::printf(
       "clara — performance clarity for SmartNIC offloading\n\n"
@@ -587,7 +696,14 @@ void usage() {
       "  adversarial --nf <name> [--nic <profile>] [--workload \"<spec>\"]\n"
       "  microbench\n"
       "  trace-gen  --workload \"<spec>\" --out <f.cltr>\n"
-      "  trace-info <f.cltr>\n\n"
+      "  trace-info <f.cltr>\n"
+      "  profile  <command> [args...]   run any command, then print the pool\n"
+      "                                 self-profile (task body / scheduling /\n"
+      "                                 barrier-wait per lane)\n"
+      "  bench    milp_branch_and_bound | sweep_replay   run one benchmark scenario\n"
+      "  bench    diff <old.json> <new.json> [--threshold=0.10]\n"
+      "                                 compare two BENCH_perf.json runs; exit 1 on\n"
+      "                                 regression beyond the threshold, 2 on error\n\n"
       "global:\n"
       "  --jobs=<N>              concurrency level for parallel phases (default:\n"
       "                          CLARA_JOBS or hardware threads; 1 = fully serial)\n"
@@ -599,6 +715,10 @@ void usage() {
       "  --trace-out=<f.json>    record pipeline spans; write Chrome trace-event JSON\n"
       "                          (open at chrome://tracing) + flame summary on stderr\n"
       "  --metrics-out=<f>       dump the metrics registry (.json -> JSON, else text)\n"
+      "  --metrics-format=<fmt>  json | text | prom (Prometheus text exposition);\n"
+      "                          overrides the extension; prom with no --metrics-out\n"
+      "                          prints to stdout\n"
+      "  --flight-out=<f.json>   dump the flight recorder (Chrome trace JSON) at exit\n"
       "  --breakdown             per-packet latency attribution (analyze: predicted;\n"
       "                          simulate: measured; components sum to the mean)\n");
 }
@@ -613,6 +733,8 @@ int run_command(const Args& args) {
   if (args.command == "microbench") return cmd_microbench();
   if (args.command == "trace-gen") return cmd_trace_gen(args);
   if (args.command == "trace-info") return cmd_trace_info(args);
+  if (args.command == "bench") return cmd_bench(args);
+  if (args.command == "profile") return cmd_profile(args);
   usage();
   return args.command.empty() || args.command == "help" || args.command == "--help" ? 0 : 1;
 }
@@ -680,10 +802,33 @@ int main(int argc, char** argv) {
     std::fprintf(stderr, "%s", obs::tracer().flame_summary().c_str());
   }
   const std::string metrics_out = args.get("metrics-out");
-  if (!metrics_out.empty()) {
-    const bool json = ends_with(metrics_out, ".json");
-    if (write_file(metrics_out, json ? obs::metrics().to_json() : obs::metrics().render_text())) {
-      std::fprintf(stderr, "wrote metrics to %s\n", metrics_out.c_str());
+  std::string metrics_format = args.get("metrics-format");
+  if (!metrics_format.empty() && metrics_format != "json" && metrics_format != "text" &&
+      metrics_format != "prom") {
+    std::fprintf(stderr, "--metrics-format must be json, text, or prom (got '%s')\n",
+                 metrics_format.c_str());
+    return 2;
+  }
+  if (metrics_format.empty() && !metrics_out.empty()) {
+    metrics_format = ends_with(metrics_out, ".json") ? "json" : "text";
+  }
+  if (!metrics_format.empty()) {
+    const std::string rendered = metrics_format == "json"   ? obs::metrics().to_json()
+                                 : metrics_format == "prom" ? obs::metrics().to_prometheus()
+                                                            : obs::metrics().render_text();
+    if (metrics_out.empty()) {
+      std::printf("%s", rendered.c_str());
+    } else if (write_file(metrics_out, rendered)) {
+      std::fprintf(stderr, "wrote metrics (%s) to %s\n", metrics_format.c_str(),
+                   metrics_out.c_str());
+    }
+  }
+  const std::string flight_out = args.get("flight-out");
+  if (!flight_out.empty()) {
+    if (obs::recorder().dump_to_file(flight_out, "flight_out")) {
+      std::fprintf(stderr, "wrote flight recorder to %s\n", flight_out.c_str());
+    } else {
+      std::fprintf(stderr, "cannot write %s\n", flight_out.c_str());
     }
   }
   return rc;

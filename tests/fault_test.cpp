@@ -12,6 +12,7 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <cstdio>
 #include <fstream>
 #include <sstream>
 #include <string>
@@ -30,8 +31,10 @@
 #include "mapping/mapping.hpp"
 #include "nf/nf_cir.hpp"
 #include "nf/nf_ported.hpp"
+#include "common/json.hpp"
 #include "nicsim/sim.hpp"
 #include "obs/metrics.hpp"
+#include "obs/recorder.hpp"
 #include "passes/api_subst.hpp"
 #include "passes/dataflow.hpp"
 #include "workload/tracegen.hpp"
@@ -159,6 +162,36 @@ TEST(FaultPlanTest, InjectRequiresInstalledPlanAndCounts) {
   EXPECT_EQ(counter.value(), before + 1);
   EXPECT_DOUBLE_EQ(fault::site_factor("t/at", 1.0), 3.5);
   EXPECT_DOUBLE_EQ(fault::site_factor("t/other", 1.0), 1.0);
+}
+
+TEST(FaultPlanTest, FiringSiteDumpsFlightRecorder) {
+  // Any fault/ site firing must auto-dump the flight recorder once
+  // (docs/observability.md): the dump is Chrome trace JSON containing
+  // the fault_fire event that triggered it.
+  auto& rec = obs::recorder();
+  rec.reset_auto_dump();
+  rec.set_dump_dir(testing::TempDir());
+  fault::FaultPlan plan;
+  plan.add_site({"t/dump", 0.0, 0, 7, 1.0});
+  fault::ScopedPlan scoped(plan);
+  ASSERT_TRUE(fault::inject("t/dump", 7));
+  const std::string path = rec.last_dump_path();
+  ASSERT_FALSE(path.empty()) << "fault fire must trigger an automatic recorder dump";
+  EXPECT_NE(path.find("clara_flight_fault_t_dump.json"), std::string::npos) << path;
+  const auto doc = Json::parse(read_file(path));
+  ASSERT_TRUE(doc.ok()) << doc.error().message;
+  // The filename is sanitized; the JSON keeps the raw reason.
+  EXPECT_EQ(doc.value().get("clara_flight")->string_at("reason"), "fault_t/dump");
+  bool saw_fault_fire = false;
+  for (const auto& e : doc.value().get("traceEvents")->as_array()) {
+    if (e.string_at("name") == "flight/fault_fire") saw_fault_fire = true;
+  }
+  EXPECT_TRUE(saw_fault_fire);
+  // Later failures in the same process reuse the throttle: no dump storm.
+  EXPECT_TRUE(rec.auto_dump("another").empty());
+  rec.reset_auto_dump();
+  rec.set_dump_dir("");
+  std::remove(path.c_str());
 }
 
 // --- simulator injection sites -----------------------------------------------
