@@ -1,91 +1,80 @@
 // §4 accuracy summary — the paper's headline validation numbers:
 // "For LPM, VNF, and NAT, we have observed a prediction inaccuracy of
-// 12%, 3%, and 7%, respectively." This bench computes the same
-// aggregate (mean relative error over each NF's sweep) on the simulator
-// substrate.
-#include <algorithm>
-#include <cmath>
-#include <vector>
+// 12%, 3%, and 7%, respectively." This bench drives the obs accuracy
+// ledger over the full NF×variant×workload validation matrix on the
+// simulator substrate and, with --json=<path>, writes the tracked
+// BENCH_accuracy.json (schema clara-bench-accuracy/1 — see
+// docs/observability.md) that `clara bench diff` gates.
+//
+//   accuracy_summary [--json=BENCH_accuracy.json] [--jobs=N]
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
 
 #include "bench_util.hpp"
+#include "common/parallel.hpp"
+#include "obs/accuracy.hpp"
 
-namespace clara::bench {
-namespace {
-
-double mean_of(const std::vector<double>& v) {
-  double total = 0.0;
-  for (const double x : v) total += x;
-  return v.empty() ? 0.0 : total / static_cast<double>(v.size());
-}
-
-}  // namespace
-}  // namespace clara::bench
-
-int main() {
+int main(int argc, char** argv) {
   using namespace clara;
   using namespace clara::bench;
+
+  std::string json_path;
+  obs::AccuracyOptions options;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg.rfind("--json=", 0) == 0) {
+      json_path = arg.substr(7);
+    } else if (arg.rfind("--jobs=", 0) == 0) {
+      options.jobs = std::strtoul(arg.c_str() + 7, nullptr, 10);
+      parallel::set_jobs(options.jobs ? options.jobs : 1);
+    } else {
+      std::fprintf(stderr, "usage: accuracy_summary [--json=<path>] [--jobs=N]\n");
+      return 1;
+    }
+  }
 
   header("Section 4: prediction inaccuracy summary (LPM / VNF / NAT)",
          "paper reports 12% / 3% / 7% mean inaccuracy");
 
-  core::Analyzer analyzer(lnic::netronome_agilio_cx());
+  const obs::AccuracyLedger ledger(options);
+  const auto report = ledger.run();
 
-  // LPM over table sizes.
-  std::vector<double> lpm_errors;
-  {
-    const auto trace = make_trace("tcp=0.8 flows=5000 payload=300 pps=60000 packets=20000");
-    for (std::uint64_t entries = 5000; entries <= 30000; entries += 5000) {
-      const auto analysis =
-          analyze_or_die(analyzer, nf::build_lpm_nf({.rules = entries, .use_flow_cache = false}), trace);
-      nicsim::NicSim sim;
-      auto& lpm = sim.create_lpm("routes", entries, 0);
-      nf::LpmProgram ported(lpm, false);
-      const auto stats = sim.run(ported, trace);
-      lpm_errors.push_back(std::abs(analysis.prediction.mean_latency_cycles - stats.mean_latency()) /
-                           stats.mean_latency());
+  // The paper-comparison table first (the §4 headline), then the full
+  // ledger with per-component attribution.
+  const auto find_nf = [&](const char* name) -> const obs::NfAccuracy* {
+    for (const auto& nf : report.per_nf) {
+      if (nf.nf == name) return &nf;
     }
+    return nullptr;
+  };
+  TextTable paper({"NF", "paper inaccuracy", "measured inaccuracy (mean)", "worst point"});
+  const struct {
+    const char* nf;
+    const char* paper_err;
+  } kPaperRows[] = {{"lpm", "12%"}, {"vnf-chain", "3%"}, {"nat", "7%"}};
+  for (const auto& row : kPaperRows) {
+    const auto* nf = find_nf(row.nf);
+    paper.add_row({row.nf, row.paper_err, nf ? pct(nf->mean_rel_err) : "n/a",
+                   nf ? pct(nf->max_rel_err) : "n/a"});
   }
+  std::printf("%s\n", paper.render().c_str());
 
-  // VNF over payload sizes.
-  std::vector<double> vnf_errors;
-  {
-    const auto vnf = nf::build_vnf_chain();
-    for (int payload = 200; payload <= 1400; payload += 300) {
-      const auto trace = make_trace(strf("tcp=0.8 flows=4000 payload=%d pps=60000 packets=15000", payload));
-      const auto analysis = analyze_or_die(analyzer, vnf, trace);
-      nicsim::NicSim sim;
-      auto& meters =
-          sim.create_table("meters", 4096, 32, level_of(analyzer.profile(), analysis.mapping.state_region[0]));
-      auto& stats_table = sim.create_table("flow_stats", 16384, 32,
-                                           level_of(analyzer.profile(), analysis.mapping.state_region[1]));
-      nf::VnfProgram ported(meters, stats_table);
-      const auto stats = sim.run(ported, trace);
-      vnf_errors.push_back(std::abs(analysis.prediction.mean_latency_cycles - stats.mean_latency()) /
-                           stats.mean_latency());
+  std::printf("full validation matrix (seed %llu):\n%s",
+              (unsigned long long)report.seed, report.render().c_str());
+  report.publish_metrics();
+
+  if (!json_path.empty()) {
+    FILE* f = std::fopen(json_path.c_str(), "w");
+    if (!f) {
+      std::fprintf(stderr, "cannot write %s\n", json_path.c_str());
+      return 1;
     }
+    const std::string json = report.to_json();
+    std::fwrite(json.data(), 1, json.size(), f);
+    std::fclose(f);
+    std::printf("wrote %s\n", json_path.c_str());
   }
-
-  // NAT over payload sizes.
-  std::vector<double> nat_errors;
-  {
-    const auto nat = nf::build_nat_nf();
-    for (int payload = 200; payload <= 1400; payload += 300) {
-      const auto trace = make_trace(strf("tcp=0.8 flows=10000 payload=%d pps=60000 packets=15000", payload));
-      const auto analysis = analyze_or_die(analyzer, nat, trace);
-      nicsim::NicSim sim;
-      auto& table = sim.create_table("flow_table", 131072, 64,
-                                     level_of(analyzer.profile(), analysis.mapping.state_region[0]));
-      nf::NatProgram ported(table, true);
-      const auto stats = sim.run(ported, trace);
-      nat_errors.push_back(std::abs(analysis.prediction.mean_latency_cycles - stats.mean_latency()) /
-                           stats.mean_latency());
-    }
-  }
-
-  TextTable table({"NF", "paper inaccuracy", "measured inaccuracy (mean)", "worst point"});
-  table.add_row({"LPM", "12%", pct(mean_of(lpm_errors)), pct(*std::max_element(lpm_errors.begin(), lpm_errors.end()))});
-  table.add_row({"VNF", "3%", pct(mean_of(vnf_errors)), pct(*std::max_element(vnf_errors.begin(), vnf_errors.end()))});
-  table.add_row({"NAT", "7%", pct(mean_of(nat_errors)), pct(*std::max_element(nat_errors.begin(), nat_errors.end()))});
-  std::printf("%s", table.render().c_str());
-  return 0;
+  return report.failures > 0 ? 1 : 0;
 }

@@ -481,13 +481,12 @@ void write_json(const std::string& path, std::size_t jobs, const std::vector<Mic
   std::fprintf(f,
                "  \"cache\": {\"name\": \"cached_sweep\", \"cold_ms\": %.2f, \"warm_ms\": %.2f, "
                "\"cache_warm_speedup\": %.3f, \"hits\": %llu, \"misses\": %llu, "
-               "\"warm_ilp_solves\": %llu, \"identical_results\": %s}\n",
+               "\"warm_ilp_solves\": %llu, \"identical_results\": %s},\n",
                cache.cold_ms, cache.warm_ms, cache.cache_warm_speedup,
                static_cast<unsigned long long>(cache.hits),
                static_cast<unsigned long long>(cache.misses),
                static_cast<unsigned long long>(cache.warm_ilp_solves),
                cache.identical_results ? "true" : "false");
-  std::fprintf(f, ",\n");
   std::fprintf(f,
                "  \"repair\": {\"name\": \"repair_remap\", \"cold_remap_ms\": %.3f, "
                "\"repair_ms\": %.3f, \"repair_remap_speedup\": %.3f, \"displaced_nodes\": %zu, "

@@ -13,6 +13,7 @@ namespace clara::obs {
 namespace {
 
 constexpr const char* kSchema = "clara-bench-perf/1";
+constexpr const char* kAccuracySchema = "clara-bench-accuracy/1";
 
 const char* to_string(BenchDiffRow::Status status) {
   switch (status) {
@@ -46,6 +47,30 @@ BenchDiffRow make_row(std::string scenario, std::string metric, double old_value
   if (worse > options.threshold) {
     row.status = BenchDiffRow::Status::kRegressed;
   } else if (worse < -options.threshold) {
+    row.status = BenchDiffRow::Status::kImproved;
+  } else {
+    row.status = BenchDiffRow::Status::kOk;
+  }
+  return row;
+}
+
+/// Classifies an accuracy metric pair under an absolute tolerance band
+/// (lower is better; change carries the drift in error points).
+BenchDiffRow make_band_row(std::string scenario, std::string metric, double old_value,
+                           double new_value, bool gated, double band, std::string note) {
+  BenchDiffRow row;
+  row.scenario = std::move(scenario);
+  row.metric = std::move(metric);
+  row.old_value = old_value;
+  row.new_value = new_value;
+  row.higher_is_better = false;
+  row.note = std::move(note);
+  row.change = new_value - old_value;
+  if (!gated) {
+    row.status = BenchDiffRow::Status::kSkipped;
+  } else if (row.change > band) {
+    row.status = BenchDiffRow::Status::kRegressed;
+  } else if (row.change < -band) {
     row.status = BenchDiffRow::Status::kImproved;
   } else {
     row.status = BenchDiffRow::Status::kOk;
@@ -204,9 +229,57 @@ Result<BenchDiffReport, Error> diff_bench_json(const Json& old_run, const Json& 
   return report;
 }
 
+Result<BenchDiffReport, Error> diff_accuracy_json(const Json& old_run, const Json& new_run,
+                                                  const AccuracyDiffOptions& options) {
+  for (const auto* run : {&old_run, &new_run}) {
+    const std::string schema = run->string_at("schema");
+    if (schema != kAccuracySchema) {
+      return make_error(ErrorCode::kParse, strf("expected schema \"%s\", got \"%s\"",
+                                                kAccuracySchema, schema.c_str()));
+    }
+  }
+
+  BenchDiffReport report;
+  const auto old_nfs = index_by_name(old_run.get("nfs"));
+  const auto new_nfs = index_by_name(new_run.get("nfs"));
+  for (const auto& [name, old_entry] : old_nfs) {
+    const std::string scenario = "accuracy/" + name;
+    const auto it = new_nfs.find(name);
+    if (it == new_nfs.end()) {
+      add_only_in(report, scenario, "old");
+      continue;
+    }
+    const Json& new_entry = *it->second;
+    report.rows.push_back(make_band_row(
+        scenario, "mean_rel_err", old_entry->number_at("mean_rel_err"),
+        new_entry.number_at("mean_rel_err"), true, options.mean_band,
+        strf("band %.1f points", options.mean_band * 100.0)));
+    report.rows.push_back(make_band_row(
+        scenario, "p95_rel_err", old_entry->number_at("p95_rel_err"),
+        new_entry.number_at("p95_rel_err"), true, options.p95_band,
+        strf("band %.1f points", options.p95_band * 100.0)));
+    // A single worst point is too noisy to gate; visibility only.
+    report.rows.push_back(make_band_row(scenario, "max_rel_err",
+                                        old_entry->number_at("max_rel_err"),
+                                        new_entry.number_at("max_rel_err"), false, 0.0,
+                                        "worst point; reported only"));
+  }
+  for (const auto& [name, entry] : new_nfs) {
+    (void)entry;
+    if (!old_nfs.count(name)) add_only_in(report, "accuracy/" + name, "new");
+  }
+  // A validation scenario starting to fail is itself a regression even
+  // if the surviving aggregates look fine.
+  report.rows.push_back(make_band_row("accuracy", "failures", old_run.number_at("failures"),
+                                      new_run.number_at("failures"), true, 0.0,
+                                      "failed scenarios"));
+  return report;
+}
+
 Result<BenchDiffReport, Error> diff_bench_files(const std::string& old_path,
                                                 const std::string& new_path,
-                                                const BenchDiffOptions& options) {
+                                                const BenchDiffOptions& options,
+                                                const AccuracyDiffOptions& accuracy_options) {
   const auto load = [](const std::string& path) -> Result<Json, Error> {
     std::ifstream in(path, std::ios::binary);
     if (!in) return make_error(strf("cannot open %s", path.c_str()));
@@ -223,6 +296,16 @@ Result<BenchDiffReport, Error> diff_bench_files(const std::string& old_path,
   if (!old_run) return old_run.error();
   auto new_run = load(new_path);
   if (!new_run) return new_run.error();
+  const std::string old_schema = old_run.value().string_at("schema");
+  const std::string new_schema = new_run.value().string_at("schema");
+  if (old_schema != new_schema) {
+    return make_error(ErrorCode::kParse, strf("schema mismatch: %s is \"%s\", %s is \"%s\"",
+                                              old_path.c_str(), old_schema.c_str(),
+                                              new_path.c_str(), new_schema.c_str()));
+  }
+  if (old_schema == kAccuracySchema) {
+    return diff_accuracy_json(old_run.value(), new_run.value(), accuracy_options);
+  }
   return diff_bench_json(old_run.value(), new_run.value(), options);
 }
 

@@ -1,23 +1,29 @@
 // Benchmark regression gating: `clara bench diff <old.json> <new.json>`.
 //
-// Compares two BENCH_perf.json runs (schema clara-bench-perf/1, written
-// by bench/perf_micro — see docs/performance.md) metric by metric and
-// flags regressions beyond a configurable relative threshold. The CLI
-// exits nonzero when any metric regressed, which is what makes the perf
-// trajectory *gateable* instead of merely visible: CI runs
+// Compares two tracked benchmark runs metric by metric and flags
+// regressions, which is what makes the perf *and accuracy* trajectories
+// gateable instead of merely visible. Two schemas are understood, and
+// diff_bench_files dispatches on the files' "schema" field:
 //
-//   perf_micro --json=new.json && clara bench diff BENCH_perf.json new.json
+//   * clara-bench-perf/1 (bench/perf_micro, docs/performance.md):
+//     relative thresholds. Lower-is-better metrics (ns_per_iter, *_ms)
+//     regress when new > old * (1 + threshold); higher-is-better
+//     metrics (speedup) when new < old * (1 - threshold); parallel
+//     speedups are not gated when either run was oversubscribed (wall
+//     times still are); micros faster than `min_micro_ns` are reported
+//     but not gated (timer noise dominates); scenarios present in only
+//     one run are reported, never gated.
 //
-// Gating rules:
-//   * lower-is-better metrics (ns_per_iter, *_ms): regressed when
-//     new > old * (1 + threshold);
-//   * higher-is-better metrics (speedup): regressed when
-//     new < old * (1 - threshold); parallel speedups are not gated when
-//     either run was oversubscribed (jobs > hardware threads) — wall
-//     times still are;
-//   * micros faster than `min_micro_ns` are reported but not gated
-//     (timer noise dominates);
-//   * scenarios present in only one run are reported, never gated.
+//   * clara-bench-accuracy/1 (bench/accuracy_summary via the obs
+//     accuracy ledger, docs/observability.md): absolute tolerance
+//     bands. Per-NF mean/p95 relative error regress when new exceeds
+//     old by more than the metric's band in error points (errors are
+//     small fractions, so relative thresholds on them would gate
+//     noise); max_rel_err (a single worst point) is reported, not
+//     gated. CI runs
+//
+//   accuracy_summary --json=new.json &&
+//     clara bench diff BENCH_accuracy.json new.json
 #pragma once
 
 #include <cstdint>
@@ -34,6 +40,13 @@ struct BenchDiffOptions {
   double threshold = 0.10;
   /// Micros with an old ns_per_iter below this are not gated.
   double min_micro_ns = 100.0;
+};
+
+/// Tolerance bands for accuracy gating, in absolute error points
+/// (0.02 = a per-NF error may drift up by 2 points before failing).
+struct AccuracyDiffOptions {
+  double mean_band = 0.02;
+  double p95_band = 0.04;
 };
 
 struct BenchDiffRow {
@@ -63,9 +76,18 @@ struct BenchDiffReport {
 Result<BenchDiffReport, Error> diff_bench_json(const Json& old_run, const Json& new_run,
                                                const BenchDiffOptions& options = {});
 
-/// Loads and compares two BENCH_perf.json files.
+/// Compares two parsed BENCH_accuracy.json documents under the
+/// tolerance bands. Rows carry change = new - old in error points (the
+/// render's percentage column reads as points, not relative change).
+Result<BenchDiffReport, Error> diff_accuracy_json(const Json& old_run, const Json& new_run,
+                                                  const AccuracyDiffOptions& options = {});
+
+/// Loads two tracked benchmark files and dispatches on their "schema"
+/// field (both files must agree). Perf runs use `options`, accuracy
+/// runs use `accuracy_options`.
 Result<BenchDiffReport, Error> diff_bench_files(const std::string& old_path,
                                                 const std::string& new_path,
-                                                const BenchDiffOptions& options = {});
+                                                const BenchDiffOptions& options = {},
+                                                const AccuracyDiffOptions& accuracy_options = {});
 
 }  // namespace clara::obs

@@ -34,6 +34,7 @@
 #include "common/strings.hpp"
 #include "common/table.hpp"
 #include "common/version.hpp"
+#include "obs/accuracy.hpp"
 #include "obs/benchdiff.hpp"
 #include "obs/breakdown.hpp"
 #include "obs/metrics.hpp"
@@ -84,11 +85,11 @@ struct Args {
 /// the run would quietly do less than asked.
 const std::vector<std::string>& known_option_keys() {
   static const std::vector<std::string> kKeys = {
-      "breakdown", "cache", "cache-entries", "csum-sw", "derate-unit", "energy",
+      "band", "breakdown", "cache", "cache-entries", "csum-sw", "derate-unit", "energy",
       "fail-unit", "fault-plan", "flight-out", "greedy", "jobs", "lowered",
-      "metrics-format", "metrics-out", "nf", "nf-file", "nf-p4", "nic",
+      "max-rel-err", "metrics-format", "metrics-out", "nf", "nf-file", "nf-p4", "nic",
       "no-flow-cache", "no-optimize", "no-patterns", "out", "partial", "paths",
-      "sweep-pps", "threshold", "time-budget-ms", "trace", "trace-out", "workload"};
+      "sweep-pps", "threshold", "time-budget-ms", "trace", "trace-out", "validate", "workload"};
   return kKeys;
 }
 
@@ -96,7 +97,7 @@ const std::vector<std::string>& known_option_keys() {
 bool is_bare_flag(const std::string& key) {
   return key == "lowered" || key == "greedy" || key == "no-patterns" || key == "no-optimize" ||
          key == "paths" || key == "energy" || key == "partial" || key == "csum-sw" ||
-         key == "no-flow-cache" || key == "breakdown";
+         key == "no-flow-cache" || key == "breakdown" || key == "validate";
 }
 
 Args parse_args(int argc, char** argv) {
@@ -369,6 +370,51 @@ int cmd_analyze(const Args& args) {
                 obs::render_breakdown(a.prediction.breakdown).c_str());
   }
 
+  // --validate: run the simulator alongside the predictor on the same
+  // trace and print the per-component error attribution (the accuracy
+  // ledger's single-NF view). With --max-rel-err, an error beyond the
+  // threshold dumps the flight recorder and fails the run.
+  if (args.has("validate")) {
+    obs::ValidationScenario scenario;
+    scenario.nf = args.get("nf");
+    scenario.variant = "cli";
+    scenario.workload = trace->profile.serialize();
+    // The registry's lpm variants carry their knobs in the name; mirror
+    // them so the ported program matches what load_nf built.
+    if (scenario.nf == "lpm") {
+      scenario.lpm_rules = 10'000;
+      scenario.lpm_flow_cache = true;
+    } else if (scenario.nf == "lpm-nocache") {
+      scenario.nf = "lpm";
+      scenario.lpm_rules = 10'000;
+      scenario.lpm_flow_cache = false;
+    }
+    auto validated = obs::validate_prediction(analyzer, scenario, a, *trace);
+    if (!validated) {
+      std::fprintf(stderr, "validate: %s\n", validated.error().message.c_str());
+      return 1;
+    }
+    const auto& v = validated.value();
+    std::printf("\npredicted-vs-simulated validation (workload seed %llu):\n%s",
+                (unsigned long long)trace->profile.seed, obs::render_validation(v).c_str());
+    if (args.has("max-rel-err")) {
+      const auto limit = parse_double(args.get("max-rel-err"));
+      if (!limit || *limit <= 0.0) {
+        std::fprintf(stderr, "--max-rel-err must be a positive fraction (e.g. 0.15)\n");
+        return 2;
+      }
+      if (v.rel_err > *limit) {
+        const std::string dump = obs::recorder().auto_dump("accuracy");
+        std::fprintf(stderr, "FAIL: relative error %.2f%% exceeds --max-rel-err=%.2f%%%s%s\n",
+                     v.rel_err * 100.0, *limit * 100.0,
+                     dump.empty() ? "" : "; flight recorder dumped to ", dump.c_str());
+        return 1;
+      }
+      std::printf("validation PASS: relative error %.2f%% within --max-rel-err=%.2f%%\n",
+                  v.rel_err * 100.0, *limit * 100.0);
+    }
+  }
+
   // Degraded mode: when the installed fault plan (--fail-unit /
   // --derate-unit / --fault-plan) names unit faults, re-analyze on the
   // faulted profile via incremental repair and report the delta against
@@ -580,7 +626,7 @@ int run_command(const Args& args);  // forward: profile re-enters the dispatcher
 int cmd_bench(const Args& args) {
   if (args.positional.empty()) {
     std::fprintf(stderr,
-                 "usage: clara bench diff <old.json> <new.json> [--threshold=0.10]\n"
+                 "usage: clara bench diff <old.json> <new.json> [--threshold=0.10] [--band=0.02]\n"
                  "       clara bench milp_branch_and_bound | sweep_replay\n");
     return 1;
   }
@@ -588,7 +634,8 @@ int cmd_bench(const Args& args) {
 
   if (scenario == "diff") {
     if (args.positional.size() != 3) {
-      std::fprintf(stderr, "usage: clara bench diff <old.json> <new.json> [--threshold=0.10]\n");
+      std::fprintf(stderr,
+                   "usage: clara bench diff <old.json> <new.json> [--threshold=0.10] [--band=0.02]\n");
       return 2;
     }
     obs::BenchDiffOptions options;
@@ -600,7 +647,18 @@ int cmd_bench(const Args& args) {
       }
       options.threshold = *t;
     }
-    const auto report = obs::diff_bench_files(args.positional[1], args.positional[2], options);
+    obs::AccuracyDiffOptions accuracy_options;
+    if (args.has("band")) {
+      const auto b = parse_double(args.get("band"));
+      if (!b || *b <= 0.0) {
+        std::fprintf(stderr, "--band must be a positive fraction of error points (e.g. 0.02)\n");
+        return 2;
+      }
+      accuracy_options.mean_band = *b;
+      accuracy_options.p95_band = 2.0 * *b;
+    }
+    const auto report =
+        obs::diff_bench_files(args.positional[1], args.positional[2], options, accuracy_options);
     if (!report) {
       std::fprintf(stderr, "bench diff: %s\n", report.error().message.c_str());
       return 2;
@@ -684,6 +742,10 @@ void usage() {
       "           [--workload \"<spec>\"]\n"
       "           [--trace <f.cltr>] [--greedy] [--no-patterns] [--no-optimize]\n"
       "           [--paths] [--energy] [--partial]\n"
+      "           [--validate]           run the simulator alongside the predictor and\n"
+      "                                  print the per-component error attribution\n"
+      "           [--max-rel-err=<x>]    with --validate: fail (and dump the flight\n"
+      "                                  recorder) when relative error exceeds x\n"
       "           [--sweep-pps <a,b,c>]  predictor sensitivity sweep over offered loads\n"
       "           [--time-budget-ms=<N>] ILP deadline; on expiry the best mapping found\n"
       "                                  so far is returned, flagged degraded\n"
@@ -701,9 +763,10 @@ void usage() {
       "                                 self-profile (task body / scheduling /\n"
       "                                 barrier-wait per lane)\n"
       "  bench    milp_branch_and_bound | sweep_replay   run one benchmark scenario\n"
-      "  bench    diff <old.json> <new.json> [--threshold=0.10]\n"
-      "                                 compare two BENCH_perf.json runs; exit 1 on\n"
-      "                                 regression beyond the threshold, 2 on error\n\n"
+      "  bench    diff <old.json> <new.json> [--threshold=0.10] [--band=0.02]\n"
+      "                                 compare two tracked benchmark runs (perf or\n"
+      "                                 accuracy schema, auto-detected); exit 1 on\n"
+      "                                 regression beyond the threshold/band, 2 on error\n\n"
       "global:\n"
       "  --jobs=<N>              concurrency level for parallel phases (default:\n"
       "                          CLARA_JOBS or hardware threads; 1 = fully serial)\n"

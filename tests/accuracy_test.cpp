@@ -1,0 +1,219 @@
+// Accuracy-ledger tests: determinism of the validation matrix across
+// job counts, coherence of the per-component attribution, and the
+// tolerance-band gating that `clara bench diff` applies to
+// BENCH_accuracy.json (synthetic-drift matrix: regression, clean,
+// improvement).
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "common/json.hpp"
+#include "obs/accuracy.hpp"
+#include "obs/benchdiff.hpp"
+
+namespace clara {
+namespace {
+
+/// Reduced matrix keeps the jobs sweep cheap; the full matrix runs in
+/// the bench fixture (ctest -L accuracy) and the property suite.
+std::vector<obs::ValidationScenario> small_matrix() {
+  std::vector<obs::ValidationScenario> matrix;
+  matrix.push_back({"nat", "small", "tcp=0.8 flows=2000 payload=400 pps=60000 packets=4000"});
+  matrix.push_back({"lpm", "small", "tcp=0.8 flows=2000 payload=300 pps=60000 packets=4000",
+                    5'000, true});
+  matrix.push_back({"firewall", "small", "tcp=1.0 flows=2000 payload=400 pps=60000 packets=4000"});
+  matrix.push_back({"vnf-chain", "small", "tcp=0.8 flows=2000 payload=400 pps=60000 packets=4000"});
+  return matrix;
+}
+
+std::string run_json(std::size_t jobs) {
+  obs::AccuracyOptions options;
+  options.jobs = jobs;
+  options.max_packets = 2'000;
+  const obs::AccuracyLedger ledger(options);
+  return ledger.run(small_matrix(), lnic::netronome_agilio_cx()).to_json();
+}
+
+TEST(AccuracyLedger, BitIdenticalAcrossJobCounts) {
+  const std::string j1 = run_json(1);
+  EXPECT_EQ(j1, run_json(2));
+  EXPECT_EQ(j1, run_json(8));
+}
+
+TEST(AccuracyLedger, ReportIsCoherent) {
+  obs::AccuracyOptions options;
+  options.max_packets = 2'000;
+  const obs::AccuracyLedger ledger(options);
+  const auto report = ledger.run(small_matrix(), lnic::netronome_agilio_cx());
+  ASSERT_EQ(report.failures, 0u);
+  ASSERT_EQ(report.scenarios.size(), 4u);
+  ASSERT_EQ(report.per_nf.size(), 4u);
+  for (const auto& s : report.scenarios) {
+    ASSERT_TRUE(s.ok) << s.error;
+    EXPECT_GT(s.predicted_cycles, 0.0);
+    EXPECT_GT(s.simulated_cycles, 0.0);
+    EXPECT_LT(s.rel_err, 0.5) << s.scenario.name();
+    // Attribution identity: the shares are |pred_c - sim_c| scaled by
+    // the simulated total, so their sum bounds the headline error from
+    // above (opposite-sign component gaps cancel in the total only).
+    double share_sum = 0.0;
+    for (const auto& c : s.components) share_sum += c.error_share;
+    EXPECT_GE(share_sum + 1e-9, s.rel_err) << s.scenario.name();
+  }
+  for (const auto& nf : report.per_nf) {
+    EXPECT_GE(nf.p95_rel_err, 0.0);
+    EXPECT_GE(nf.max_rel_err, nf.mean_rel_err - 1e-12) << nf.nf;
+    EXPECT_FALSE(nf.worst_component.empty());
+  }
+}
+
+TEST(AccuracyLedger, JsonParsesAndEchoesSeed) {
+  obs::AccuracyOptions options;
+  options.seed = 1234;
+  options.max_packets = 1'000;
+  const obs::AccuracyLedger ledger(options);
+  const auto report = ledger.run(small_matrix(), lnic::netronome_agilio_cx());
+  const auto doc = Json::parse(report.to_json());
+  ASSERT_TRUE(doc.ok()) << doc.error().message;
+  EXPECT_EQ(doc.value().string_at("schema"), "clara-bench-accuracy/1");
+  EXPECT_DOUBLE_EQ(doc.value().number_at("seed"), 1234.0);
+  ASSERT_NE(doc.value().get("scenarios"), nullptr);
+  EXPECT_EQ(doc.value().get("scenarios")->as_array().size(), 4u);
+  ASSERT_NE(doc.value().get("nfs"), nullptr);
+  EXPECT_EQ(doc.value().get("nfs")->as_array().size(), 4u);
+}
+
+TEST(AccuracyLedger, UnknownNfFailsScenarioNotRun) {
+  obs::AccuracyOptions options;
+  options.max_packets = 500;
+  const obs::AccuracyLedger ledger(options);
+  std::vector<obs::ValidationScenario> matrix;
+  matrix.push_back({"no-such-nf", "x", "payload=300 pps=60000 packets=500"});
+  const auto report = ledger.run(matrix, lnic::netronome_agilio_cx());
+  ASSERT_EQ(report.scenarios.size(), 1u);
+  EXPECT_FALSE(report.scenarios[0].ok);
+  EXPECT_EQ(report.failures, 1u);
+  EXPECT_TRUE(report.per_nf.empty());
+}
+
+// ---------------------------------------------------------------------
+// Gating matrix: synthetic drift against a fixed baseline document.
+
+constexpr char kBaseline[] = R"({
+  "schema": "clara-bench-accuracy/1",
+  "seed": 42,
+  "failures": 0,
+  "scenarios": [],
+  "nfs": [
+    {"name": "nat", "scenarios": 3, "mean_rel_err": 0.060, "p95_rel_err": 0.100,
+     "max_rel_err": 0.100, "worst_component": "emem-cache-miss",
+     "worst_component_share": 0.050, "components": []},
+    {"name": "lpm", "scenarios": 4, "mean_rel_err": 0.030, "p95_rel_err": 0.120,
+     "max_rel_err": 0.120, "worst_component": "lpm-engine",
+     "worst_component_share": 0.030, "components": []}
+  ]
+})";
+
+std::string drifted(double nat_mean, double nat_p95, int failures = 0) {
+  std::string out = R"({
+  "schema": "clara-bench-accuracy/1",
+  "seed": 42,
+  "failures": )";
+  out += std::to_string(failures);
+  out += R"(,
+  "scenarios": [],
+  "nfs": [
+    {"name": "nat", "scenarios": 3, "mean_rel_err": )";
+  out += std::to_string(nat_mean);
+  out += R"(, "p95_rel_err": )";
+  out += std::to_string(nat_p95);
+  out += R"(, "max_rel_err": 0.100, "worst_component": "emem-cache-miss",
+     "worst_component_share": 0.050, "components": []},
+    {"name": "lpm", "scenarios": 4, "mean_rel_err": 0.030, "p95_rel_err": 0.120,
+     "max_rel_err": 0.120, "worst_component": "lpm-engine",
+     "worst_component_share": 0.030, "components": []}
+  ]
+})";
+  return out;
+}
+
+obs::BenchDiffReport diff(const std::string& old_text, const std::string& new_text) {
+  const auto old_doc = Json::parse(old_text);
+  const auto new_doc = Json::parse(new_text);
+  EXPECT_TRUE(old_doc.ok() && new_doc.ok());
+  const auto report = obs::diff_accuracy_json(old_doc.value(), new_doc.value(), {});
+  EXPECT_TRUE(report.ok()) << (report.ok() ? "" : report.error().message);
+  return report.value();
+}
+
+TEST(AccuracyDiff, SelfComparisonIsClean) {
+  const auto report = diff(kBaseline, kBaseline);
+  EXPECT_FALSE(report.has_regression());
+  EXPECT_EQ(report.regressions(), 0u);
+}
+
+TEST(AccuracyDiff, DriftWithinBandPasses) {
+  // +1.5 points mean, +3 points p95: inside the 2/4-point bands.
+  const auto report = diff(kBaseline, drifted(0.075, 0.130));
+  EXPECT_FALSE(report.has_regression());
+}
+
+TEST(AccuracyDiff, MeanDriftBeyondBandFails) {
+  // +3 points mean exceeds the 2-point band.
+  const auto report = diff(kBaseline, drifted(0.090, 0.100));
+  EXPECT_TRUE(report.has_regression());
+  bool found = false;
+  for (const auto& row : report.rows) {
+    if (row.scenario == "accuracy/nat" && row.metric == "mean_rel_err") {
+      EXPECT_EQ(row.status, obs::BenchDiffRow::Status::kRegressed);
+      found = true;
+    }
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST(AccuracyDiff, P95DriftBeyondBandFails) {
+  // +5 points p95 exceeds the 4-point band while the mean stays put.
+  const auto report = diff(kBaseline, drifted(0.060, 0.150));
+  EXPECT_TRUE(report.has_regression());
+}
+
+TEST(AccuracyDiff, ImprovementIsReportedNotGated) {
+  const auto report = diff(kBaseline, drifted(0.020, 0.050));
+  EXPECT_FALSE(report.has_regression());
+  bool improved = false;
+  for (const auto& row : report.rows) {
+    if (row.scenario == "accuracy/nat" && row.status == obs::BenchDiffRow::Status::kImproved) {
+      improved = true;
+    }
+  }
+  EXPECT_TRUE(improved);
+}
+
+TEST(AccuracyDiff, NewScenarioFailureGates) {
+  const auto report = diff(kBaseline, drifted(0.060, 0.100, /*failures=*/1));
+  EXPECT_TRUE(report.has_regression());
+}
+
+TEST(AccuracyDiff, SchemaMismatchRejected) {
+  const auto perf = Json::parse(R"({"schema": "clara-bench-perf/1", "micro": []})");
+  const auto acc = Json::parse(kBaseline);
+  ASSERT_TRUE(perf.ok() && acc.ok());
+  const auto report = obs::diff_accuracy_json(perf.value(), acc.value(), {});
+  EXPECT_FALSE(report.ok());
+}
+
+TEST(AccuracyDiff, WiderBandsTolerateTheSameDrift) {
+  const auto old_doc = Json::parse(kBaseline);
+  const auto new_doc = Json::parse(drifted(0.090, 0.150));
+  ASSERT_TRUE(old_doc.ok() && new_doc.ok());
+  obs::AccuracyDiffOptions wide;
+  wide.mean_band = 0.05;
+  wide.p95_band = 0.10;
+  const auto report = obs::diff_accuracy_json(old_doc.value(), new_doc.value(), wide);
+  ASSERT_TRUE(report.ok());
+  EXPECT_FALSE(report.value().has_regression());
+}
+
+}  // namespace
+}  // namespace clara

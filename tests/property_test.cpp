@@ -13,6 +13,7 @@
 #include "common/rng.hpp"
 #include "common/strings.hpp"
 #include "nf/nf_cir.hpp"
+#include "obs/accuracy.hpp"
 #include "passes/api_subst.hpp"
 #include "passes/optimize.hpp"
 #include "passes/patterns.hpp"
@@ -192,6 +193,35 @@ TEST_P(PathCoverageTest, EveryConcreteRunMatchesAnEnumeratedPath) {
 }
 
 INSTANTIATE_TEST_SUITE_P(Corpus, PathCoverageTest, ::testing::Range(0, 6));
+
+// The breakdown invariant that makes per-component error attribution
+// sound, checked across the whole NF library: for every scenario in the
+// accuracy ledger's validation matrix, the predictor's and the
+// simulator's per-component charges each sum to that side's mean
+// latency. If either side booked cycles outside the shared component
+// taxonomy (or double-booked), the ledger's error shares would lie.
+TEST(BreakdownInvariant, ComponentChargesSumToMeanLatencyAcrossNfLibrary) {
+  obs::AccuracyOptions options;
+  options.max_packets = 1'500;
+  const obs::AccuracyLedger ledger(options);
+  const auto report =
+      ledger.run(obs::AccuracyLedger::default_matrix(), lnic::netronome_agilio_cx());
+  ASSERT_GT(report.scenarios.size(), 10u);
+  ASSERT_EQ(report.failures, 0u);
+  for (const auto& s : report.scenarios) {
+    ASSERT_TRUE(s.ok) << s.scenario.name() << ": " << s.error;
+    double pred_sum = 0.0;
+    double sim_sum = 0.0;
+    for (std::size_t i = 0; i < obs::kComponentCount; ++i) {
+      pred_sum += s.predicted.cycles[i];
+      sim_sum += s.simulated.cycles[i];
+    }
+    EXPECT_NEAR(pred_sum, s.predicted_cycles, s.predicted_cycles * 1e-6 + 1e-6)
+        << s.scenario.name() << ": predictor charges leak outside the breakdown";
+    EXPECT_NEAR(sim_sum, s.simulated_cycles, s.simulated_cycles * 1e-6 + 1e-6)
+        << s.scenario.name() << ": simulator charges leak outside the breakdown";
+  }
+}
 
 }  // namespace
 }  // namespace clara
