@@ -36,4 +36,64 @@ Model make_market_split(int n, int m, std::uint64_t seed) {
   return model;
 }
 
+Model make_knapsack(int n, int m, std::uint64_t seed) {
+  Model model;
+  std::uint64_t state = seed;
+  const auto next = [&state](double span, double base) {
+    state = state * 6364136223846793005ULL + 1442695040888963407ULL;
+    return base + static_cast<double>((state >> 33) % static_cast<std::uint64_t>(span));
+  };
+  std::vector<int> x;
+  LinExpr objective;
+  for (int j = 0; j < n; ++j) {
+    x.push_back(model.add_binary("x"));
+    // Maximize value == minimize its negation.
+    objective.add(x[static_cast<std::size_t>(j)], -next(99.0, 1.0));
+  }
+  for (int i = 0; i < m; ++i) {
+    LinExpr row;
+    double total = 0.0;
+    for (int j = 0; j < n; ++j) {
+      const double w = next(49.0, 1.0);
+      row.add(x[static_cast<std::size_t>(j)], w);
+      total += w;
+    }
+    model.add_constraint(std::move(row), Sense::kLe, std::floor(0.4 * total));
+  }
+  model.set_objective(std::move(objective));
+  return model;
+}
+
+Model make_assignment(int n, std::uint64_t seed) {
+  Model model;
+  std::uint64_t state = seed;
+  const auto next = [&state] {
+    state = state * 6364136223846793005ULL + 1442695040888963407ULL;
+    return static_cast<double>((state >> 33) % 100);
+  };
+  std::vector<std::vector<int>> x(static_cast<std::size_t>(n));
+  LinExpr objective;
+  for (int i = 0; i < n; ++i) {
+    for (int j = 0; j < n; ++j) {
+      const int v = model.add_binary("a");
+      x[static_cast<std::size_t>(i)].push_back(v);
+      // The (i*j)/n tilt breaks cost ties so the optimal vertex is
+      // unique and both engines land on it without degenerate wander.
+      objective.add(v, next() + static_cast<double>(i * j) / static_cast<double>(n));
+    }
+  }
+  for (int i = 0; i < n; ++i) {
+    LinExpr row;
+    for (int j = 0; j < n; ++j) row.add(x[static_cast<std::size_t>(i)][static_cast<std::size_t>(j)], 1.0);
+    model.add_constraint(std::move(row), Sense::kEq, 1.0);
+  }
+  for (int j = 0; j < n; ++j) {
+    LinExpr col;
+    for (int i = 0; i < n; ++i) col.add(x[static_cast<std::size_t>(i)][static_cast<std::size_t>(j)], 1.0);
+    model.add_constraint(std::move(col), Sense::kEq, 1.0);
+  }
+  model.set_objective(std::move(objective));
+  return model;
+}
+
 }  // namespace clara::ilp

@@ -18,4 +18,19 @@ namespace clara::ilp {
 /// keep many waves busy at small sizes. Deterministic in (n, m, seed).
 Model make_market_split(int n, int m, std::uint64_t seed = 12345);
 
+/// A 0/1 knapsack with m side capacities: n binaries with values in
+/// [1,100) and per-dimension weights in [1,50), each dimension capped at
+/// 40% of its total weight. Dense kLe rows (every slack can start
+/// basic), the structural opposite of market-split's equality rows —
+/// exercises the phase-1-free cold-start path. Deterministic in
+/// (n, m, seed).
+Model make_knapsack(int n, int m, std::uint64_t seed = 6789);
+
+/// An n×n assignment problem with integer-valued costs in [0,100) and a
+/// light quadratic tilt that makes the LP optimum non-degenerate. Pure
+/// equality structure where the LP relaxation is already integral, so
+/// branch-and-bound usually finishes at the root — exercises phase 1
+/// with many artificials. Deterministic in (n, seed).
+Model make_assignment(int n, std::uint64_t seed = 4242);
+
 }  // namespace clara::ilp

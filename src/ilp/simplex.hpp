@@ -1,9 +1,19 @@
-// Dense two-phase primal simplex for LP relaxations.
+// Simplex solvers for LP relaxations.
 //
 // The solver works on a Model, ignoring integrality (branch-and-bound
 // enforces it by tightening variable bounds). Bland's rule guards
-// against cycling; a dense tableau is appropriate at Clara's problem
-// sizes (hundreds of variables).
+// against cycling. Two interchangeable engines share one sparse
+// standard form and produce bit-identical Solutions:
+//
+//  - kRevised (default): revised simplex. The constraint matrix stays
+//    in compressed sparse column form; the basis inverse is an eta
+//    file (product form), pricing works on BTRAN dual vectors dotted
+//    against pristine sparse columns, and only the entering column is
+//    ever materialized — a pivot costs O(m + eta file) instead of the
+//    whole O(rows × cols) tableau.
+//  - kDense: the original explicit-tableau engine, kept as the
+//    reference implementation the equivalence suite checks the
+//    revised engine against.
 #pragma once
 
 #include <vector>
@@ -11,6 +21,12 @@
 #include "ilp/model.hpp"
 
 namespace clara::ilp {
+
+/// Which simplex engine solve_lp runs. Both produce bit-identical
+/// Solutions (asserted by the dense-vs-revised equivalence suite);
+/// kDense exists as the reference implementation and costs
+/// O(rows × cols) per pivot.
+enum class LpAlgorithm { kRevised, kDense };
 
 struct LpOptions {
   /// Per-variable bound overrides used by branch-and-bound; empty means
@@ -25,6 +41,7 @@ struct LpOptions {
   /// repairs primal feasibility with dual simplex, and skips phase 1.
   /// Ignored (cold solve) when structurally incompatible.
   std::vector<std::size_t> warm_basis;
+  LpAlgorithm algorithm = LpAlgorithm::kRevised;
 };
 
 /// Solves the LP relaxation. Solution::values has one entry per model

@@ -70,7 +70,12 @@ int pick_branch_var(const Model& model, const std::vector<double>& values, doubl
 
 Solution solve_milp(const Model& model, const SolveOptions& options) {
   CLARA_TRACE_SCOPE("ilp/branch_and_bound");
-  if (!model.has_integers()) return solve_lp(model);
+  if (!model.has_integers()) {
+    LpOptions lp_options;
+    lp_options.warm_basis = options.warm_basis;
+    lp_options.algorithm = options.algorithm;
+    return solve_lp(model, lp_options);
+  }
 
   const auto pool_before = parallel::pool().stats();
 
@@ -144,16 +149,20 @@ Solution solve_milp(const Model& model, const SolveOptions& options) {
     results.assign(wave.size(), WaveResult{});
     obs::record(obs::FlightEventKind::kWaveEnter, this_wave, wave.size());
     const auto wave_t0 = std::chrono::steady_clock::now();
-    parallel::parallel_for_jobs(options.jobs, 0, wave.size(), [&](std::size_t i) {
-      const auto& node = wave[i];
-      if (node->bound >= wave_incumbent - 1e-12) return;
-      LpOptions lp_options;
-      lp_options.lo_override = node->lo;
-      lp_options.hi_override = node->hi;
-      lp_options.warm_basis = node->warm_basis;
-      results[i].relax = solve_lp(model, lp_options);
-      results[i].solved = true;
-    });
+    parallel::parallel_for_jobs(
+        options.jobs, 0, wave.size(),
+        [&](std::size_t i) {
+          const auto& node = wave[i];
+          if (node->bound >= wave_incumbent - 1e-12) return;
+          LpOptions lp_options;
+          lp_options.lo_override = node->lo;
+          lp_options.hi_override = node->hi;
+          lp_options.warm_basis = node->warm_basis;
+          lp_options.algorithm = options.algorithm;
+          results[i].relax = solve_lp(model, lp_options);
+          results[i].solved = true;
+        },
+        std::max<std::size_t>(1, options.wave_grain));
     // The wave barrier just completed: every relaxation is done and the
     // caller waited for the slowest one. Per-wave wall time is the
     // barrier-wait figure `clara profile` and the wave histogram report.

@@ -301,6 +301,7 @@ Result<Mapping> Mapper::map(const DataflowGraph& graph, const CostHints& hints, 
   ilp::SolveOptions solve_options;
   solve_options.max_nodes = options.max_ilp_nodes;
   solve_options.warm_basis = options.warm_basis;
+  solve_options.algorithm = options.ilp_algorithm;
   if (options.time_budget_ms > 0.0) {
     solve_options.deadline = std::chrono::steady_clock::now() +
                              std::chrono::duration_cast<std::chrono::steady_clock::duration>(
@@ -740,6 +741,7 @@ Result<Mapping> Mapper::repair(const DataflowGraph& graph, const CostHints& hint
   ilp::SolveOptions solve_options;
   solve_options.max_nodes = options.max_ilp_nodes;
   solve_options.warm_basis = options.warm_basis;
+  solve_options.algorithm = options.ilp_algorithm;
   if (options.time_budget_ms > 0.0) {
     solve_options.deadline = std::chrono::steady_clock::now() +
                              std::chrono::duration_cast<std::chrono::steady_clock::duration>(

@@ -20,6 +20,7 @@
 
 #include "common/result.hpp"
 #include "ilp/model.hpp"
+#include "ilp/simplex.hpp"
 #include "lnic/profiles.hpp"
 #include "passes/dataflow.hpp"
 
@@ -103,6 +104,9 @@ struct MapOptions {
   /// Basis from a previous solve of the *same* model (Mapping::ilp_basis)
   /// to warm-start the root relaxation with.
   std::vector<std::size_t> warm_basis;
+  /// Simplex engine for the placement ILP (kRevised unless a test pins
+  /// the dense reference engine; both yield bit-identical mappings).
+  ilp::LpAlgorithm ilp_algorithm = ilp::LpAlgorithm::kRevised;
 };
 
 class Mapper {

@@ -28,8 +28,10 @@
 #pragma once
 
 #include <algorithm>
+#include <cstdint>
 #include <memory>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "cir/vcalls.hpp"
@@ -179,8 +181,19 @@ class NicSim {
   LpmTable& create_lpm(std::string name, std::uint64_t rule_entries, std::uint32_t flow_cache_capacity);
 
   /// Runs a trace through the program; packets arrive at their trace
-  /// timestamps (converted to cycles at the device clock).
+  /// timestamps (converted to cycles at the device clock). Packets move
+  /// through the datapath in batched structure-of-arrays form: the
+  /// arrival stage (wire faults, ingress hub, DMA) fills per-block
+  /// arrays, the processing stage binds and runs each admitted packet
+  /// in arrival order, and the statistics stage folds the block —
+  /// bit-identical to per-packet processing because every piece of
+  /// mutable simulator state is still touched in arrival order
+  /// (asserted against run_scalar by the SoA equivalence suite).
   RunStats run(NicProgram& program, const workload::Trace& trace);
+
+  /// The original one-packet-at-a-time loop, kept as the reference
+  /// implementation the equivalence suite checks run() against.
+  RunStats run_scalar(NicProgram& program, const workload::Trace& trace);
 
   /// Latency of a single packet on an otherwise idle NIC (microbenchmark
   /// path; does not disturb steady-state statistics).
@@ -196,6 +209,19 @@ class NicSim {
  private:
   friend class NicApi;
 
+  /// Counter snapshot taken at run entry; cache/energy rates are
+  /// reported as deltas against it (counters accumulate across runs on
+  /// the same simulator instance).
+  struct RunSnapshot {
+    std::uint64_t cache_hits = 0, cache_misses = 0;
+    std::uint64_t ctm = 0, imem = 0, emem = 0, local = 0, dma = 0;
+    Cycles core_busy = 0, accel_busy = 0;
+  };
+  [[nodiscard]] RunSnapshot snapshot_counters() const;
+  /// Rates, energy, and metrics shared by run() and run_scalar().
+  void finalize_stats(RunStats& stats, const RunSnapshot& before, Cycles first_arrival,
+                      Cycles last_completion);
+
   NicConfig config_;
   SetAssocCache emem_cache_;
   ServiceUnit csum_unit_;
@@ -206,6 +232,30 @@ class NicSim {
   ServiceUnit egress_hub_;
   std::vector<Cycles> core_busy_;
   std::vector<Cycles> thread_free_;
+  /// Reused structure-of-arrays block for run(): one entry per packet
+  /// of the current batch, refilled stage by stage. Lives on the sim
+  /// (not the stack) so capacity survives across runs — the arena
+  /// allocation the batched loop never repeats.
+  struct Batch {
+    std::vector<Cycles> arrival;
+    std::vector<Cycles> ready;
+    std::vector<Cycles> onramp;  // (hub_done - arrival) + dma, for attribution
+    std::vector<Cycles> finish;
+    std::vector<std::uint8_t> dropped;
+    /// Min-heap of (free_at, thread) with lazy invalidation — replaces
+    /// a linear scan over every hardware thread per packet.
+    std::vector<std::pair<Cycles, std::uint32_t>> thread_heap;
+    /// Ring buffer of dispatch times of queued packets (the deque the
+    /// scalar loop uses, without its allocation).
+    std::vector<Cycles> inflight;
+    std::size_t inflight_head = 0;
+    std::size_t inflight_size = 0;
+  };
+  Batch batch_;
+  /// True when run() has dirtied thread availability; lets measure_one
+  /// skip re-zeroing hundreds of per-thread timestamps on the (hot)
+  /// microbenchmark path when there is nothing to clear.
+  bool timeline_dirty_ = false;
   std::vector<std::unique_ptr<ExactTable>> tables_;
   std::vector<std::unique_ptr<LpmTable>> lpm_tables_;
   std::uint64_t next_base_per_level_[4] = {0, 0, 0, 0};

@@ -40,6 +40,11 @@ struct BenchDiffOptions {
   double threshold = 0.10;
   /// Micros with an old ns_per_iter below this are not gated.
   double min_micro_ns = 100.0;
+  /// Tighter gate for the solver_pivot_ns micro: a per-pivot cost is
+  /// averaged over thousands of deterministic pivots per iteration, so
+  /// it is far less noisy than a wall-clock micro and a small drift is
+  /// already a real engine regression.
+  double pivot_threshold = 0.05;
 };
 
 /// Tolerance bands for accuracy gating, in absolute error points

@@ -88,7 +88,7 @@ const std::vector<std::string>& known_option_keys() {
       "band", "breakdown", "cache", "cache-entries", "csum-sw", "derate-unit", "energy",
       "fail-unit", "fault-plan", "flight-out", "greedy", "jobs", "lowered",
       "max-rel-err", "metrics-format", "metrics-out", "nf", "nf-file", "nf-p4", "nic",
-      "no-flow-cache", "no-optimize", "no-patterns", "out", "partial", "paths",
+      "no-flow-cache", "no-optimize", "no-patterns", "out", "partial", "paths", "pivot-threshold",
       "sweep-pps", "threshold", "time-budget-ms", "trace", "trace-out", "validate", "workload"};
   return kKeys;
 }
@@ -626,7 +626,7 @@ int run_command(const Args& args);  // forward: profile re-enters the dispatcher
 int cmd_bench(const Args& args) {
   if (args.positional.empty()) {
     std::fprintf(stderr,
-                 "usage: clara bench diff <old.json> <new.json> [--threshold=0.10] [--band=0.02]\n"
+                 "usage: clara bench diff <old.json> <new.json> [--threshold=0.10] [--pivot-threshold=0.05] [--band=0.02]\n"
                  "       clara bench milp_branch_and_bound | sweep_replay\n");
     return 1;
   }
@@ -635,7 +635,7 @@ int cmd_bench(const Args& args) {
   if (scenario == "diff") {
     if (args.positional.size() != 3) {
       std::fprintf(stderr,
-                   "usage: clara bench diff <old.json> <new.json> [--threshold=0.10] [--band=0.02]\n");
+                   "usage: clara bench diff <old.json> <new.json> [--threshold=0.10] [--pivot-threshold=0.05] [--band=0.02]\n");
       return 2;
     }
     obs::BenchDiffOptions options;
@@ -646,6 +646,14 @@ int cmd_bench(const Args& args) {
         return 2;
       }
       options.threshold = *t;
+    }
+    if (args.has("pivot-threshold")) {
+      const auto t = parse_double(args.get("pivot-threshold"));
+      if (!t || *t <= 0.0) {
+        std::fprintf(stderr, "--pivot-threshold must be a positive fraction (e.g. 0.05)\n");
+        return 2;
+      }
+      options.pivot_threshold = *t;
     }
     obs::AccuracyDiffOptions accuracy_options;
     if (args.has("band")) {
@@ -763,7 +771,7 @@ void usage() {
       "                                 self-profile (task body / scheduling /\n"
       "                                 barrier-wait per lane)\n"
       "  bench    milp_branch_and_bound | sweep_replay   run one benchmark scenario\n"
-      "  bench    diff <old.json> <new.json> [--threshold=0.10] [--band=0.02]\n"
+      "  bench    diff <old.json> <new.json> [--threshold=0.10] [--pivot-threshold=0.05] [--band=0.02]\n"
       "                                 compare two tracked benchmark runs (perf or\n"
       "                                 accuracy schema, auto-detected); exit 1 on\n"
       "                                 regression beyond the threshold/band, 2 on error\n\n"
