@@ -35,6 +35,7 @@
 #include "nf/nf_ported.hpp"
 #include "nicsim/sim.hpp"
 #include "passes/api_subst.hpp"
+#include "serve/loadgen.hpp"
 #include "workload/tracegen.hpp"
 
 namespace {
@@ -494,11 +495,31 @@ RepairBenchResult bench_repair() {
   return r;
 }
 
+// --- analysis-as-a-service daemon --------------------------------------------
+
+/// Spawns an in-process clarad on a temporary socket and hammers it with
+/// the serve loadgen's deterministic request mix (analyze / sweep /
+/// repair / validate across 16 connections). The client-observed
+/// latency percentiles land in BENCH_perf.json as serve_p50_us /
+/// serve_p99_us / serve_p999_us, and the warm hit rate proves a
+/// long-lived daemon answers repeated analyses from the shared cache.
+serve::LoadGenReport bench_serve() {
+  serve::LoadGenOptions options;
+  options.requests = 1200;
+  options.connections = 16;
+  auto report = serve::run_loadgen(options);
+  if (!report) {
+    std::fprintf(stderr, "serve loadgen failed: %s\n", report.error().message.c_str());
+    return {};
+  }
+  return std::move(report).value();
+}
+
 // --- output ------------------------------------------------------------------
 
 void write_json(const std::string& path, std::size_t jobs, const std::vector<MicroResult>& micros,
                 const std::vector<ParallelResult>& par, const CacheBenchResult& cache,
-                const RepairBenchResult& repair) {
+                const RepairBenchResult& repair, const serve::LoadGenReport& serve_report) {
   FILE* f = std::fopen(path.c_str(), "w");
   if (!f) {
     std::fprintf(stderr, "cannot write %s\n", path.c_str());
@@ -550,10 +571,19 @@ void write_json(const std::string& path, std::size_t jobs, const std::vector<Mic
   std::fprintf(f,
                "  \"repair\": {\"name\": \"repair_remap\", \"cold_remap_ms\": %.3f, "
                "\"repair_ms\": %.3f, \"repair_remap_speedup\": %.3f, \"displaced_nodes\": %zu, "
-               "\"repaired_flagged\": %s, \"feasible\": %s}\n",
+               "\"repaired_flagged\": %s, \"feasible\": %s},\n",
                repair.cold_remap_ms, repair.repair_ms, repair.repair_remap_speedup,
                repair.displaced_nodes, repair.repaired_flagged ? "true" : "false",
                repair.feasible ? "true" : "false");
+  std::fprintf(f,
+               "  \"serve\": {\"name\": \"serve_loadgen\", \"requests\": %zu, \"ok\": %zu, "
+               "\"failed\": %zu, \"dropped_connections\": %zu, \"serve_p50_us\": %.1f, "
+               "\"serve_p99_us\": %.1f, \"serve_p999_us\": %.1f, \"serve_cold_hit_rate\": %.4f, "
+               "\"serve_warm_hit_rate\": %.4f, \"warm_ilp_solves\": %llu}\n",
+               serve_report.requests, serve_report.ok, serve_report.failed,
+               serve_report.dropped_connections, serve_report.p50_us, serve_report.p99_us,
+               serve_report.p999_us, serve_report.cold_hit_rate, serve_report.warm_hit_rate,
+               static_cast<unsigned long long>(serve_report.warm_ilp_solves));
   std::fprintf(f, "}\n");
   std::fclose(f);
   std::printf("wrote %s\n", path.c_str());
@@ -607,7 +637,11 @@ int main(int argc, char** argv) {
               repair.cold_remap_ms, repair.repair_ms, repair.repair_remap_speedup,
               repair.displaced_nodes, repair.repaired_flagged ? "yes" : "NO");
 
-  if (!json_path.empty()) write_json(json_path, jobs, micros, par, cache, repair);
+  const auto serve_report = bench_serve();
+  std::printf("\nanalysis daemon under load (in-process clarad, mixed requests):\n  %s",
+              serve_report.render().c_str());
+
+  if (!json_path.empty()) write_json(json_path, jobs, micros, par, cache, repair, serve_report);
 
   bool ok = true;
   for (const auto& p : par) ok = ok && p.identical_results;
@@ -621,6 +655,11 @@ int main(int argc, char** argv) {
   }
   if (!repair.feasible || !repair.repaired_flagged) {
     std::fprintf(stderr, "FAIL: incremental repair did not produce a flagged feasible mapping\n");
+    return 1;
+  }
+  if (serve_report.dropped_connections > 0 || serve_report.ok == 0) {
+    std::fprintf(stderr, "FAIL: serve loadgen dropped %zu connection(s) (%zu ok responses)\n",
+                 serve_report.dropped_connections, serve_report.ok);
     return 1;
   }
   return 0;

@@ -1,11 +1,46 @@
 #include "common/json.hpp"
 
 #include <cctype>
+#include <cmath>
 #include <cstdlib>
 
 #include "common/strings.hpp"
 
 namespace clara {
+
+std::string json_quote(std::string_view s) {
+  std::string out;
+  out.reserve(s.size() + 2);
+  out += '"';
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\b': out += "\\b"; break;
+      case '\f': out += "\\f"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          out += strf("\\u%04x", c);
+        } else {
+          out += c;
+        }
+    }
+  }
+  out += '"';
+  return out;
+}
+
+std::string json_number(double value) {
+  if (!std::isfinite(value)) return "0";
+  std::string text = strf("%.15g", value);
+  if (std::strtod(text.c_str(), nullptr) == value) return text;
+  text = strf("%.16g", value);
+  if (std::strtod(text.c_str(), nullptr) == value) return text;
+  return strf("%.17g", value);
+}
 
 const Json* Json::get(const std::string& key) const {
   if (!is_object()) return nullptr;

@@ -19,6 +19,15 @@
 
 namespace clara {
 
+/// Quotes and escapes a string for JSON output (", \, and control
+/// characters; everything else passes through byte-for-byte).
+std::string json_quote(std::string_view s);
+
+/// Deterministic JSON number formatting: the shortest of %.15g/%.16g/%.17g
+/// that strtod-round-trips to the same double, so serialize→parse→serialize
+/// is byte-identical. Non-finite values (no JSON spelling) emit 0.
+std::string json_number(double value);
+
 /// One parsed JSON value. Object members keep source order-independent
 /// access via a std::map; duplicate keys keep the last occurrence.
 class Json {

@@ -26,6 +26,7 @@ enum class ErrorCode : std::uint8_t {
   kInfeasible,   // constraint system has no solution
   kDeadline,     // a time/node budget expired before an answer existed
   kInternal,     // invariant violation (model bug)
+  kOverloaded,   // admission control rejected the request (serve daemon)
 };
 
 constexpr const char* to_string(ErrorCode code) {
@@ -37,6 +38,7 @@ constexpr const char* to_string(ErrorCode code) {
     case ErrorCode::kInfeasible: return "infeasible";
     case ErrorCode::kDeadline: return "deadline";
     case ErrorCode::kInternal: return "internal";
+    case ErrorCode::kOverloaded: return "overloaded";
   }
   return "?";
 }

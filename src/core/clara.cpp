@@ -293,10 +293,4 @@ Result<CoResident> Analyzer::coresident(const cir::Function& nf_a, const workloa
   return out;
 }
 
-Result<CoResident> analyze_coresident(const Analyzer& analyzer, const cir::Function& nf_a,
-                                      const workload::Trace& trace_a, const cir::Function& nf_b,
-                                      const workload::Trace& trace_b, const AnalyzeOptions& options) {
-  return analyzer.coresident(nf_a, trace_a, nf_b, trace_b, options);
-}
-
 }  // namespace clara::core

@@ -73,26 +73,6 @@ struct AnalyzeOptions {
   bool use_cache = true;
   mapping::MapOptions map;
   PredictOptions predict;
-
-  // -- Deprecated accessors bridging the pre-PipelineStages API. The
-  //    fields they replaced (use_ilp, pattern_matching, optimize_ir)
-  //    are now bits of `stages`; these go away next release.
-  [[deprecated("use stages.ilp()")]] [[nodiscard]] bool use_ilp() const { return stages.ilp(); }
-  [[deprecated("use stages.set(PipelineStages::kIlp, v)")]] void use_ilp(bool v) {
-    stages.set(PipelineStages::kIlp, v);
-  }
-  [[deprecated("use stages.patterns()")]] [[nodiscard]] bool pattern_matching() const {
-    return stages.patterns();
-  }
-  [[deprecated("use stages.set(PipelineStages::kPatterns, v)")]] void pattern_matching(bool v) {
-    stages.set(PipelineStages::kPatterns, v);
-  }
-  [[deprecated("use stages.optimize()")]] [[nodiscard]] bool optimize_ir() const {
-    return stages.optimize();
-  }
-  [[deprecated("use stages.set(PipelineStages::kOptimize, v)")]] void optimize_ir(bool v) {
-    stages.set(PipelineStages::kOptimize, v);
-  }
 };
 
 struct Analysis {
@@ -158,10 +138,5 @@ class Analyzer {
   lnic::NicProfile profile_;
   std::uint64_t profile_hash_ = 0;
 };
-
-/// Deprecated free-function spelling of Analyzer::coresident.
-[[deprecated("use Analyzer::coresident")]] Result<CoResident> analyze_coresident(
-    const Analyzer& analyzer, const cir::Function& nf_a, const workload::Trace& trace_a,
-    const cir::Function& nf_b, const workload::Trace& trace_b, const AnalyzeOptions& options = {});
 
 }  // namespace clara::core

@@ -18,6 +18,19 @@ using passes::CostHints;
 using passes::DataflowGraph;
 using passes::DfNode;
 
+ilp::SolveOptions MapOptions::to_solve_options() const {
+  ilp::SolveOptions solve;
+  solve.max_nodes = max_ilp_nodes;
+  solve.warm_basis = warm_basis;
+  solve.algorithm = ilp_algorithm;
+  if (time_budget_ms > 0.0) {
+    solve.deadline = std::chrono::steady_clock::now() +
+                     std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+                         std::chrono::duration<double, std::milli>(time_budget_ms));
+  }
+  return solve;
+}
+
 std::vector<UnitPool> build_pools(const lnic::Graph& graph) {
   std::map<std::tuple<int, int, bool>, UnitPool> grouped;  // (kind, stage, match-action) -> pool
   for (const NodeId id : graph.compute_units()) {
@@ -298,15 +311,7 @@ Result<Mapping> Mapper::map(const DataflowGraph& graph, const CostHints& hints, 
 
   model.set_objective(std::move(objective));
 
-  ilp::SolveOptions solve_options;
-  solve_options.max_nodes = options.max_ilp_nodes;
-  solve_options.warm_basis = options.warm_basis;
-  solve_options.algorithm = options.ilp_algorithm;
-  if (options.time_budget_ms > 0.0) {
-    solve_options.deadline = std::chrono::steady_clock::now() +
-                             std::chrono::duration_cast<std::chrono::steady_clock::duration>(
-                                 std::chrono::duration<double, std::milli>(options.time_budget_ms));
-  }
+  const ilp::SolveOptions solve_options = options.to_solve_options();
   obs::metrics().gauge("mapping/ilp_variables").set(static_cast<double>(model.num_vars()));
   obs::metrics().gauge("mapping/ilp_constraints").set(static_cast<double>(model.constraints().size()));
   const auto solution = ilp::solve_milp(model, solve_options);
@@ -738,15 +743,7 @@ Result<Mapping> Mapper::repair(const DataflowGraph& graph, const CostHints& hint
 
   model.set_objective(std::move(objective));
 
-  ilp::SolveOptions solve_options;
-  solve_options.max_nodes = options.max_ilp_nodes;
-  solve_options.warm_basis = options.warm_basis;
-  solve_options.algorithm = options.ilp_algorithm;
-  if (options.time_budget_ms > 0.0) {
-    solve_options.deadline = std::chrono::steady_clock::now() +
-                             std::chrono::duration_cast<std::chrono::steady_clock::duration>(
-                                 std::chrono::duration<double, std::milli>(options.time_budget_ms));
-  }
+  const ilp::SolveOptions solve_options = options.to_solve_options();
   obs::metrics().gauge("mapping/repair_variables").set(static_cast<double>(model.num_vars()));
   const auto solution = ilp::solve_milp(model, solve_options);
   if (solution.status == ilp::SolveStatus::kInfeasible) return full_resolve();

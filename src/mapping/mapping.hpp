@@ -21,6 +21,7 @@
 #include "common/result.hpp"
 #include "ilp/model.hpp"
 #include "ilp/simplex.hpp"
+#include "ilp/solver.hpp"
 #include "lnic/profiles.hpp"
 #include "passes/dataflow.hpp"
 
@@ -107,6 +108,13 @@ struct MapOptions {
   /// Simplex engine for the placement ILP (kRevised unless a test pins
   /// the dense reference engine; both yield bit-identical mappings).
   ilp::LpAlgorithm ilp_algorithm = ilp::LpAlgorithm::kRevised;
+
+  /// The one translation of these knobs into solver options: node budget,
+  /// warm basis, and engine copy over, and a positive time_budget_ms
+  /// becomes an absolute steady_clock deadline anchored at the call.
+  /// Every solve site (map, repair) goes through here so the plumbing
+  /// cannot drift.
+  [[nodiscard]] ilp::SolveOptions to_solve_options() const;
 };
 
 class Mapper {

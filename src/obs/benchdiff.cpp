@@ -220,6 +220,9 @@ Result<BenchDiffReport, Error> diff_bench_json(const Json& old_run, const Json& 
   const std::vector<ObjectSection> sections = {
       {"cache", {"cold_ms", "warm_ms"}, {"cache_warm_speedup"}},
       {"repair", {"cold_remap_ms", "repair_ms"}, {"repair_remap_speedup"}},
+      {"serve",
+       {"serve_p50_us", "serve_p99_us", "serve_p999_us"},
+       {"serve_warm_hit_rate"}},
   };
   for (const auto& spec : sections) {
     const Json* old_entry = old_run.get(spec.section);

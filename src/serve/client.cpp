@@ -1,0 +1,113 @@
+#include "serve/client.hpp"
+
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <utility>
+
+#include "common/strings.hpp"
+
+namespace clara::serve {
+
+Client::~Client() { close(); }
+
+Client::Client(Client&& other) noexcept
+    : fd_(std::exchange(other.fd_, -1)), buffer_(std::move(other.buffer_)) {}
+
+Client& Client::operator=(Client&& other) noexcept {
+  if (this != &other) {
+    close();
+    fd_ = std::exchange(other.fd_, -1);
+    buffer_ = std::move(other.buffer_);
+  }
+  return *this;
+}
+
+void Client::close() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+  buffer_.clear();
+}
+
+Result<Client> Client::connect(const std::string& socket_path) {
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  if (socket_path.empty() || socket_path.size() >= sizeof(addr.sun_path)) {
+    return make_error(ErrorCode::kParse, strf("socket path too long: %s", socket_path.c_str()));
+  }
+  std::memcpy(addr.sun_path, socket_path.c_str(), socket_path.size() + 1);
+
+  Client client;
+  client.fd_ = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (client.fd_ < 0) {
+    return make_error(ErrorCode::kInternal, strf("socket: %s", std::strerror(errno)));
+  }
+  if (::connect(client.fd_, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) != 0) {
+    return make_error(ErrorCode::kInternal,
+                      strf("connect %s: %s", socket_path.c_str(), std::strerror(errno)));
+  }
+  auto hello = client.read_response();
+  if (!hello) return hello.error();
+  if (hello.value().kind != core::RequestKind::kHello) {
+    return make_error(ErrorCode::kParse, "server did not send a hello line");
+  }
+  return client;
+}
+
+Status Client::send(const core::Request& request) {
+  if (fd_ < 0) return make_error(ErrorCode::kInternal, "client is not connected");
+  const std::string line = request.to_json() + "\n";
+  std::size_t sent = 0;
+  while (sent < line.size()) {
+    const ssize_t n = ::send(fd_, line.data() + sent, line.size() - sent, MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return make_error(ErrorCode::kInternal, strf("send: %s", std::strerror(errno)));
+    }
+    sent += static_cast<std::size_t>(n);
+  }
+  return {};
+}
+
+Result<std::string> Client::read_line() {
+  if (fd_ < 0) return make_error(ErrorCode::kInternal, "client is not connected");
+  while (true) {
+    if (const auto nl = buffer_.find('\n'); nl != std::string::npos) {
+      std::string line = buffer_.substr(0, nl);
+      buffer_.erase(0, nl + 1);
+      return line;
+    }
+    char chunk[4096];
+    const ssize_t n = ::recv(fd_, chunk, sizeof(chunk), 0);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return make_error(ErrorCode::kInternal, strf("recv: %s", std::strerror(errno)));
+    }
+    if (n == 0) {
+      return make_error(ErrorCode::kInternal, "server closed the connection");
+    }
+    buffer_.append(chunk, static_cast<std::size_t>(n));
+  }
+}
+
+Result<core::Response> Client::read_response() {
+  auto line = read_line();
+  if (!line) return line.error();
+  return core::Response::from_json(line.value());
+}
+
+Result<core::Response> Client::call(const core::Request& request) {
+  if (auto status = send(request); !status) return status.error();
+  while (true) {
+    auto response = read_response();
+    if (!response) return response;
+    if (response.value().id == request.id) return response;
+  }
+}
+
+}  // namespace clara::serve

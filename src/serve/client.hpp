@@ -1,0 +1,50 @@
+// Client side of the clara-serve/1 protocol: connect to a clarad
+// socket, send Request lines, read Response lines. Used by the CLI's
+// --connect mode and the serve load generator.
+#pragma once
+
+#include <string>
+
+#include "common/result.hpp"
+#include "core/request.hpp"
+
+namespace clara::serve {
+
+class Client {
+ public:
+  Client() = default;
+  ~Client();
+  Client(Client&& other) noexcept;
+  Client& operator=(Client&& other) noexcept;
+  Client(const Client&) = delete;
+  Client& operator=(const Client&) = delete;
+
+  /// Connects and consumes the server's hello line (validating the
+  /// protocol version). Errors carry kInternal with errno text, or
+  /// kParse when the server speaks a different protocol.
+  static Result<Client> connect(const std::string& socket_path);
+
+  [[nodiscard]] bool connected() const { return fd_ >= 0; }
+
+  /// Writes one request line. Does not wait for the response — requests
+  /// may be pipelined; responses carry the request id.
+  Status send(const core::Request& request);
+
+  /// Reads the next response line (whatever request it answers).
+  Result<core::Response> read_response();
+
+  /// send() + read until the response matching request.id arrives.
+  /// Responses to other in-flight ids read along the way are discarded,
+  /// so interleave call() with explicit pipelining carefully.
+  Result<core::Response> call(const core::Request& request);
+
+  void close();
+
+ private:
+  Result<std::string> read_line();
+
+  int fd_ = -1;
+  std::string buffer_;
+};
+
+}  // namespace clara::serve

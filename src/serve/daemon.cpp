@@ -1,0 +1,187 @@
+#include "serve/daemon.hpp"
+
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <memory>
+#include <utility>
+
+#include "common/json.hpp"
+#include "common/parallel.hpp"
+#include "common/strings.hpp"
+#include "obs/metrics.hpp"
+
+namespace clara::serve {
+
+namespace {
+
+/// Writes the whole buffer, riding out EINTR and partial sends.
+/// MSG_NOSIGNAL: a client that hung up must surface as an error here,
+/// not as a process-wide SIGPIPE.
+bool send_all(int fd, const std::string& data) {
+  std::size_t sent = 0;
+  while (sent < data.size()) {
+    const ssize_t n = ::send(fd, data.data() + sent, data.size() - sent, MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    sent += static_cast<std::size_t>(n);
+  }
+  return true;
+}
+
+core::Response hello_response() {
+  core::Response hello;
+  hello.id = "clarad";
+  hello.kind = core::RequestKind::kHello;
+  hello.ok = true;
+  return hello;
+}
+
+/// Parses one request line; a malformed line still gets a well-formed
+/// kParse response, with the id salvaged from the raw JSON when the
+/// document parses as an object at all.
+core::Response respond_parse_error(const std::string& line, const Error& error) {
+  core::Request salvage;
+  if (auto doc = Json::parse(line); doc && doc.value().is_object()) {
+    salvage.id = doc.value().string_at("id");
+  }
+  return core::error_response(salvage, error.code, error.message);
+}
+
+}  // namespace
+
+Daemon::Daemon(DaemonOptions options)
+    : options_(std::move(options)), service_(ServiceOptions{options_.max_inflight}) {}
+
+Daemon::~Daemon() { stop(); }
+
+Status Daemon::start() {
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  if (options_.socket_path.empty() || options_.socket_path.size() >= sizeof(addr.sun_path)) {
+    return make_error(ErrorCode::kParse,
+                      strf("socket path must be 1..%zu bytes (got %zu)", sizeof(addr.sun_path) - 1,
+                           options_.socket_path.size()));
+  }
+  std::memcpy(addr.sun_path, options_.socket_path.c_str(), options_.socket_path.size() + 1);
+
+  const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (fd < 0) {
+    return make_error(ErrorCode::kInternal, strf("socket: %s", std::strerror(errno)));
+  }
+  ::unlink(options_.socket_path.c_str());
+  if (::bind(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) != 0) {
+    const int err = errno;
+    ::close(fd);
+    return make_error(ErrorCode::kInternal,
+                      strf("bind %s: %s", options_.socket_path.c_str(), std::strerror(err)));
+  }
+  if (::listen(fd, 128) != 0) {
+    const int err = errno;
+    ::close(fd);
+    return make_error(ErrorCode::kInternal, strf("listen: %s", std::strerror(err)));
+  }
+  listen_fd_.store(fd, std::memory_order_release);
+  stopping_.store(false, std::memory_order_release);
+  running_.store(true, std::memory_order_release);
+  accept_thread_ = std::thread([this] { accept_loop(); });
+  return {};
+}
+
+void Daemon::stop() {
+  if (!running_.exchange(false, std::memory_order_acq_rel)) return;
+  stopping_.store(true, std::memory_order_release);
+  if (const int fd = listen_fd_.exchange(-1, std::memory_order_acq_rel); fd >= 0) {
+    ::shutdown(fd, SHUT_RDWR);
+    ::close(fd);
+  }
+  if (accept_thread_.joinable()) accept_thread_.join();
+  {
+    const std::lock_guard<std::mutex> lock(mu_);
+    for (const int fd : conn_fds_) ::shutdown(fd, SHUT_RD);
+  }
+  std::vector<std::thread> threads;
+  {
+    const std::lock_guard<std::mutex> lock(mu_);
+    threads.swap(conn_threads_);
+  }
+  for (auto& thread : threads) {
+    if (thread.joinable()) thread.join();
+  }
+  ::unlink(options_.socket_path.c_str());
+}
+
+void Daemon::accept_loop() {
+  while (!stopping_.load(std::memory_order_acquire)) {
+    const int listen_fd = listen_fd_.load(std::memory_order_acquire);
+    if (listen_fd < 0) break;  // stop() already invalidated the listener
+    const int fd = ::accept(listen_fd, nullptr, nullptr);
+    if (fd < 0) {
+      if (errno == EINTR) continue;
+      break;  // listener shut down (or unrecoverable) — stop accepting
+    }
+    connections_.fetch_add(1, std::memory_order_relaxed);
+    obs::metrics().counter("serve/connections").inc();
+    const std::lock_guard<std::mutex> lock(mu_);
+    conn_fds_.push_back(fd);
+    conn_threads_.emplace_back([this, fd] { serve_connection(fd); });
+  }
+}
+
+void Daemon::serve_connection(int fd) {
+  auto write_mu = std::make_shared<std::mutex>();
+  {
+    const std::lock_guard<std::mutex> lock(*write_mu);
+    send_all(fd, hello_response().to_json() + "\n");
+  }
+
+  // One group per connection: every request line becomes a pool task
+  // (inline and serial at jobs=1); the reader drains the group before
+  // closing so responses never race the close.
+  parallel::TaskGroup group;
+  std::string buffer;
+  char chunk[4096];
+  bool open = true;
+  while (open) {
+    const ssize_t n = ::recv(fd, chunk, sizeof(chunk), 0);
+    if (n < 0 && errno == EINTR) continue;
+    if (n <= 0) break;
+    buffer.append(chunk, static_cast<std::size_t>(n));
+    std::size_t start = 0;
+    for (std::size_t nl = buffer.find('\n', start); nl != std::string::npos;
+         nl = buffer.find('\n', start)) {
+      std::string line = buffer.substr(start, nl - start);
+      start = nl + 1;
+      if (trim(line).empty()) continue;
+      group.run([this, fd, write_mu, line = std::move(line)] {
+        auto request = core::Request::from_json(line);
+        const core::Response response =
+            request ? service_.handle(request.value())
+                    : respond_parse_error(line, request.error());
+        const std::string out = response.to_json() + "\n";
+        const std::lock_guard<std::mutex> lock(*write_mu);
+        send_all(fd, out);
+      });
+    }
+    buffer.erase(0, start);
+  }
+  group.wait();
+  // Unregister before close so stop() never shutdown()s a recycled fd.
+  {
+    const std::lock_guard<std::mutex> lock(mu_);
+    for (auto it = conn_fds_.begin(); it != conn_fds_.end(); ++it) {
+      if (*it == fd) {
+        conn_fds_.erase(it);
+        break;
+      }
+    }
+  }
+  ::close(fd);
+}
+
+}  // namespace clara::serve

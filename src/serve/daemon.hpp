@@ -1,0 +1,79 @@
+// clarad's engine: a JSON-lines analysis server on a Unix-domain socket.
+//
+// Protocol (docs/api.md "Wire protocol", version clara-serve/1): the
+// server accepts SOCK_STREAM connections on a filesystem socket; on
+// connect it writes one hello line (a Response with kind "hello"), then
+// reads one JSON request object per line and writes one JSON response
+// object per line. Requests on a connection are independent and may be
+// pipelined: each is dispatched onto the shared work-stealing pool
+// (parallel::pool) as it arrives, and responses are written as they
+// complete — possibly out of order, which is why every request carries
+// a client-chosen id that the response echoes. At --jobs=1 dispatch is
+// inline and serial, so the whole server is deterministic.
+//
+// Threading: one accept thread, one reader thread per connection, the
+// pool for the actual analysis work. A per-connection write mutex keeps
+// response lines intact. stop() shuts down every socket, drains
+// in-flight work, and joins all threads; the destructor calls it.
+#pragma once
+
+#include <atomic>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/result.hpp"
+#include "serve/service.hpp"
+
+namespace clara::serve {
+
+struct DaemonOptions {
+  /// Filesystem path to bind (must fit sockaddr_un; an existing socket
+  /// file at the path is replaced).
+  std::string socket_path;
+  /// Admission-control cap forwarded to the Service (0 = unlimited).
+  std::size_t max_inflight = 64;
+};
+
+class Daemon {
+ public:
+  explicit Daemon(DaemonOptions options);
+  ~Daemon();
+  Daemon(const Daemon&) = delete;
+  Daemon& operator=(const Daemon&) = delete;
+
+  /// Binds, listens, and spawns the accept thread. Errors (path too
+  /// long, bind failure) report kInternal with errno text.
+  Status start();
+
+  /// Stops accepting, shuts down every live connection, waits for
+  /// in-flight requests, joins all threads, removes the socket file.
+  /// Idempotent.
+  void stop();
+
+  [[nodiscard]] const std::string& socket_path() const { return options_.socket_path; }
+  [[nodiscard]] bool running() const { return running_.load(std::memory_order_acquire); }
+  /// Connections accepted over the daemon's lifetime.
+  [[nodiscard]] std::uint64_t connections_accepted() const {
+    return connections_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  void accept_loop();
+  void serve_connection(int fd);
+
+  DaemonOptions options_;
+  Service service_;
+  // Atomic: stop() invalidates it concurrently with accept_loop()'s read.
+  std::atomic<int> listen_fd_{-1};
+  std::atomic<bool> running_{false};
+  std::atomic<bool> stopping_{false};
+  std::atomic<std::uint64_t> connections_{0};
+  std::thread accept_thread_;
+  std::mutex mu_;  // guards conn_threads_ / conn_fds_
+  std::vector<std::thread> conn_threads_;
+  std::vector<int> conn_fds_;
+};
+
+}  // namespace clara::serve

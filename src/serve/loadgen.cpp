@@ -1,0 +1,205 @@
+#include "serve/loadgen.hpp"
+
+#include <unistd.h>
+
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "common/strings.hpp"
+#include "core/cache.hpp"
+#include "obs/metrics.hpp"
+#include "serve/client.hpp"
+#include "serve/daemon.hpp"
+
+namespace clara::serve {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+/// The deterministic request mix: small workloads (2k packets), four
+/// distinct analyses plus one sweep, one repair, and one validate, so
+/// the daemon exercises every endpoint under load while staying fast
+/// enough to hammer by the thousand once the cache is warm.
+std::vector<core::Request> build_mix() {
+  std::vector<core::Request> mix;
+  const char* kWorkload = "tcp=0.8 flows=2000 payload=300 pps=60000 packets=2000 seed=42";
+  for (const char* nf : {"lpm", "nat", "rewrite", "meter"}) {
+    core::Request request;
+    request.kind = core::RequestKind::kAnalyze;
+    request.nf = nf;
+    request.workload = kWorkload;
+    mix.push_back(std::move(request));
+  }
+  {
+    core::Request request;
+    request.kind = core::RequestKind::kSweep;
+    request.nf = "nat";
+    request.workload = kWorkload;
+    request.sweep_pps = {40'000.0, 80'000.0};
+    mix.push_back(std::move(request));
+  }
+  {
+    core::Request request;
+    request.kind = core::RequestKind::kRepair;
+    request.nf = "nat";
+    request.workload = kWorkload;
+    request.fault_plan = "fail-unit csum\n";
+    mix.push_back(std::move(request));
+  }
+  {
+    core::Request request;
+    request.kind = core::RequestKind::kValidate;
+    request.nf = "rewrite";
+    request.workload = kWorkload;
+    mix.push_back(std::move(request));
+  }
+  return mix;
+}
+
+double percentile(const std::vector<double>& sorted, double q) {
+  if (sorted.empty()) return 0.0;
+  const double rank = q * static_cast<double>(sorted.size());
+  std::size_t index = static_cast<std::size_t>(std::ceil(rank));
+  if (index > 0) --index;
+  if (index >= sorted.size()) index = sorted.size() - 1;
+  return sorted[index];
+}
+
+double hit_rate(const core::CacheStats& before, const core::CacheStats& after) {
+  const double hits = static_cast<double>(after.hits - before.hits);
+  const double misses = static_cast<double>(after.misses - before.misses);
+  const double total = hits + misses;
+  return total > 0.0 ? hits / total : 0.0;
+}
+
+struct WorkerTally {
+  std::vector<double> latencies_us;
+  std::size_t ok = 0;
+  std::size_t failed = 0;
+  std::size_t overloaded = 0;
+  bool dropped = false;
+};
+
+}  // namespace
+
+std::string LoadGenReport::render() const {
+  std::string out;
+  out += strf("serve loadgen: %zu requests, %zu ok, %zu failed (%zu overloaded), "
+              "%zu dropped connection(s)\n",
+              requests, ok, failed, overloaded, dropped_connections);
+  out += strf("latency (client-observed): p50 %.0f us, p99 %.0f us, p99.9 %.0f us\n", p50_us,
+              p99_us, p999_us);
+  if (in_process) {
+    out += strf("analysis cache: cold hit rate %.2f (%llu ILP solves), warm hit rate %.2f "
+                "(%llu ILP solves)\n",
+                cold_hit_rate, (unsigned long long)cold_ilp_solves, warm_hit_rate,
+                (unsigned long long)warm_ilp_solves);
+  }
+  return out;
+}
+
+Result<LoadGenReport> run_loadgen(const LoadGenOptions& options) {
+  LoadGenReport report;
+  std::unique_ptr<Daemon> daemon;
+  std::string endpoint = options.connect;
+  if (endpoint.empty()) {
+    report.in_process = true;
+    DaemonOptions daemon_options;
+    daemon_options.socket_path = options.socket_path.empty()
+                                     ? strf("/tmp/clara-serve-%d.sock", (int)::getpid())
+                                     : options.socket_path;
+    daemon_options.max_inflight = options.max_inflight;
+    daemon = std::make_unique<Daemon>(daemon_options);
+    if (auto status = daemon->start(); !status) return status.error();
+    endpoint = daemon->socket_path();
+  }
+
+  const std::vector<core::Request> mix = build_mix();
+  auto& solves = obs::metrics().counter("ilp/solves");
+
+  // Cold pass: one client touches every distinct request once, so the
+  // warm phase below measures the steady state of a long-lived daemon.
+  {
+    const auto stats_before = core::analysis_cache().stats();
+    const std::uint64_t solves_before = solves.value();
+    auto client = Client::connect(endpoint);
+    if (!client) return client.error();
+    for (std::size_t i = 0; i < mix.size(); ++i) {
+      core::Request request = mix[i];
+      request.id = strf("cold-%zu", i);
+      auto response = client.value().call(request);
+      if (!response) return response.error();
+    }
+    if (report.in_process) {
+      report.cold_hit_rate = hit_rate(stats_before, core::analysis_cache().stats());
+      report.cold_ilp_solves = solves.value() - solves_before;
+    }
+  }
+
+  // Warm phase: `connections` concurrent clients round-robin the mix.
+  const auto warm_stats_before = core::analysis_cache().stats();
+  const std::uint64_t warm_solves_before = solves.value();
+  const std::size_t connections = std::max<std::size_t>(1, options.connections);
+  std::vector<WorkerTally> tallies(connections);
+  std::vector<std::thread> workers;
+  workers.reserve(connections);
+  for (std::size_t w = 0; w < connections; ++w) {
+    const std::size_t begin = options.requests * w / connections;
+    const std::size_t end = options.requests * (w + 1) / connections;
+    workers.emplace_back([&, w, begin, end] {
+      WorkerTally& tally = tallies[w];
+      auto client = Client::connect(endpoint);
+      if (!client) {
+        tally.dropped = true;
+        return;
+      }
+      for (std::size_t i = begin; i < end; ++i) {
+        core::Request request = mix[i % mix.size()];
+        request.id = strf("warm-%zu", i);
+        const auto t0 = Clock::now();
+        auto response = client.value().call(request);
+        if (!response) {
+          tally.dropped = true;
+          return;
+        }
+        tally.latencies_us.push_back(
+            std::chrono::duration<double, std::micro>(Clock::now() - t0).count());
+        if (response.value().ok) {
+          ++tally.ok;
+        } else {
+          ++tally.failed;
+          if (response.value().error_code == ErrorCode::kOverloaded) ++tally.overloaded;
+        }
+      }
+    });
+  }
+  for (auto& worker : workers) worker.join();
+
+  std::vector<double> latencies;
+  for (const auto& tally : tallies) {
+    report.ok += tally.ok;
+    report.failed += tally.failed;
+    report.overloaded += tally.overloaded;
+    if (tally.dropped) ++report.dropped_connections;
+    latencies.insert(latencies.end(), tally.latencies_us.begin(), tally.latencies_us.end());
+  }
+  report.requests = options.requests;
+  std::sort(latencies.begin(), latencies.end());
+  report.p50_us = percentile(latencies, 0.50);
+  report.p99_us = percentile(latencies, 0.99);
+  report.p999_us = percentile(latencies, 0.999);
+  if (report.in_process) {
+    report.warm_hit_rate = hit_rate(warm_stats_before, core::analysis_cache().stats());
+    report.warm_ilp_solves = solves.value() - warm_solves_before;
+  }
+  if (daemon) daemon->stop();
+  return report;
+}
+
+}  // namespace clara::serve

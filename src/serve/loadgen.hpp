@@ -1,0 +1,59 @@
+// Serve load generator — `clara bench serve` and perf_micro's serve
+// section.
+//
+// Hammers a clarad endpoint with a deterministic mix of analyze /
+// sweep / repair / validate requests over many concurrent connections
+// and reports client-observed latency percentiles. With no --connect
+// target it spawns its own in-process daemon on a temporary socket,
+// which additionally lets it measure what an external client cannot:
+// the analysis cache hit rates and ILP solve counts of the cold
+// (first-touch) pass versus the warm hammering phase — the numbers that
+// prove a warm daemon answers repeated analyses without re-solving.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "common/result.hpp"
+
+namespace clara::serve {
+
+struct LoadGenOptions {
+  /// Socket of an already-running daemon; empty = spawn one in-process.
+  std::string connect;
+  /// Socket path for the spawned daemon (empty = derive from pid).
+  std::string socket_path;
+  /// Total warm-phase requests across all connections.
+  std::size_t requests = 1200;
+  std::size_t connections = 16;
+  /// Admission cap for the spawned daemon.
+  std::size_t max_inflight = 256;
+};
+
+struct LoadGenReport {
+  std::size_t requests = 0;   // warm-phase requests attempted
+  std::size_t ok = 0;         // ok=true responses
+  std::size_t failed = 0;     // ok=false responses (overloaded included)
+  std::size_t overloaded = 0; // subset of failed with kOverloaded
+  /// Connections that could not be established or died mid-run. The
+  /// `clara bench serve` acceptance bar is zero.
+  std::size_t dropped_connections = 0;
+  double p50_us = 0.0;
+  double p99_us = 0.0;
+  double p999_us = 0.0;
+  /// In-process daemon only (zero when hammering an external server):
+  /// analysis-cache hit rate and ILP solves during each phase.
+  bool in_process = false;
+  double cold_hit_rate = 0.0;
+  double warm_hit_rate = 0.0;
+  std::uint64_t cold_ilp_solves = 0;
+  std::uint64_t warm_ilp_solves = 0;
+
+  [[nodiscard]] std::string render() const;
+};
+
+/// Runs the generator. Errors only on setup failure (cannot spawn or
+/// reach the daemon); per-request failures land in the report.
+Result<LoadGenReport> run_loadgen(const LoadGenOptions& options);
+
+}  // namespace clara::serve

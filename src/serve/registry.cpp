@@ -1,0 +1,43 @@
+#include "serve/registry.hpp"
+
+#include "nf/nf_cir.hpp"
+
+namespace clara::serve {
+
+const std::vector<NfEntry>& nf_registry() {
+  static const std::vector<NfEntry> kRegistry = {
+      {"lpm", "longest-prefix match, 10k rules, flow cache on", [] { return nf::build_lpm_nf(); }},
+      {"lpm-nocache", "LPM without the flow cache",
+       [] { return nf::build_lpm_nf({.rules = 10000, .use_flow_cache = false}); }},
+      {"nat", "network address translation with per-flow table", [] { return nf::build_nat_nf(); }},
+      {"firewall", "stateful firewall with rule table", [] { return nf::build_fw_nf(); }},
+      {"dpi", "deep packet inspection (explicit byte-scan loop)", [] { return nf::build_dpi_nf(); }},
+      {"heavy-hitter", "per-flow counters with threshold", [] { return nf::build_hh_nf(); }},
+      {"meter", "token-bucket metering", [] { return nf::build_meter_nf(); }},
+      {"flow-stats", "per-flow packet/byte statistics", [] { return nf::build_flowstats_nf(); }},
+      {"rewrite", "header rewrite (minimal NF)", [] { return nf::build_rewrite_nf(); }},
+      {"vnf-chain", "DPI -> meter -> header mods -> flow stats", [] { return nf::build_vnf_chain(); }},
+      {"crypto-gw", "IPsec-style gateway (crypto engine)", [] { return nf::build_crypto_gw_nf(); }},
+      {"csum-loop", "checksum as an accumulation loop (idiom demo)", [] { return nf::build_csum_loop_nf(); }},
+      {"rate-estimator", "EWMA rate estimation (floating point)", [] { return nf::build_rate_estimator_nf(); }},
+  };
+  return kRegistry;
+}
+
+const NfEntry* find_nf(std::string_view name) {
+  for (const auto& entry : nf_registry()) {
+    if (name == entry.name) return &entry;
+  }
+  return nullptr;
+}
+
+const std::vector<std::string>& nf_names() {
+  static const std::vector<std::string> kNames = [] {
+    std::vector<std::string> names;
+    for (const auto& entry : nf_registry()) names.emplace_back(entry.name);
+    return names;
+  }();
+  return kNames;
+}
+
+}  // namespace clara::serve

@@ -1,0 +1,30 @@
+// The built-in NF corpus, by name — shared by the CLI (`clara analyze
+// --nf <name>`, `clara list-nfs`) and the analysis daemon (Request::nf).
+//
+// This used to live inside clara_cli; serving moved it behind a library
+// boundary so every front end resolves names identically.
+#pragma once
+
+#include <string_view>
+#include <vector>
+
+#include "cir/function.hpp"
+
+namespace clara::serve {
+
+struct NfEntry {
+  const char* name;
+  const char* description;
+  cir::Function (*build)();
+};
+
+/// The corpus, in listing order.
+const std::vector<NfEntry>& nf_registry();
+
+/// Lookup by name; nullptr when unknown.
+const NfEntry* find_nf(std::string_view name);
+
+/// Registry names, for did-you-mean suggestions on unknown NFs.
+const std::vector<std::string>& nf_names();
+
+}  // namespace clara::serve

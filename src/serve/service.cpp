@@ -1,0 +1,319 @@
+#include "serve/service.hpp"
+
+#include <chrono>
+#include <utility>
+
+#include "cir/printer.hpp"
+#include "cir/verify.hpp"
+#include "common/strings.hpp"
+#include "core/energy.hpp"
+#include "core/partial.hpp"
+#include "core/sweep.hpp"
+#include "fault/fault.hpp"
+#include "obs/accuracy.hpp"
+#include "obs/breakdown.hpp"
+#include "obs/metrics.hpp"
+#include "passes/symexec.hpp"
+#include "serve/registry.hpp"
+#include "workload/trace_io.hpp"
+
+namespace clara::serve {
+
+namespace {
+
+using core::Request;
+using core::RequestKind;
+using core::Response;
+
+/// Default workload spec, identical to the CLI's (seed included, so two
+/// servers given the same request generate the same trace).
+constexpr const char* kDefaultWorkload =
+    "tcp=0.8 flows=10000 payload=300 pps=60000 packets=20000";
+
+Result<cir::Function> resolve_nf(const Request& request) {
+  if (!request.nf_cir.empty()) {
+    auto mod = cir::parse_module(request.nf_cir);
+    if (!mod) return mod.error();
+    if (auto status = cir::verify(mod.value()); !status) return status.error();
+    if (mod.value().functions.empty()) {
+      return make_error(ErrorCode::kParse, "nf_cir module has no functions");
+    }
+    return std::move(mod.value().functions.front());
+  }
+  const NfEntry* entry = find_nf(request.nf);
+  if (entry == nullptr) {
+    std::string message = strf("unknown NF \"%s\"", request.nf.c_str());
+    const std::string suggestion = closest_match(request.nf, nf_names());
+    if (!suggestion.empty()) message += strf(" (did you mean \"%s\"?)", suggestion.c_str());
+    return make_error(ErrorCode::kParse, std::move(message));
+  }
+  return entry->build();
+}
+
+Result<lnic::NicProfile> resolve_nic(const Request& request) {
+  for (auto& profile : lnic::all_profiles()) {
+    if (profile.name == request.nic) return std::move(profile);
+  }
+  return make_error(ErrorCode::kParse, strf("unknown NIC profile \"%s\"", request.nic.c_str()));
+}
+
+Result<workload::Trace> resolve_trace(const Request& request) {
+  if (!request.trace_file.empty()) {
+    return workload::read_trace(request.trace_file);
+  }
+  const std::string spec = request.workload.empty() ? kDefaultWorkload : request.workload;
+  auto profile = workload::parse_profile(spec);
+  if (!profile) return profile.error();
+  return workload::generate_trace(profile.value());
+}
+
+/// Copies the deterministic analysis summary (and the requested extra
+/// sections) into the response. Shared by every kind: a sweep/repair/
+/// validate response carries its base analysis alongside the
+/// kind-specific payload.
+void fill_analysis(Response& response, const Request& request, const core::Analyzer& analyzer,
+                   const cir::Function& fn, const workload::Trace& trace,
+                   const core::Analysis& analysis) {
+  response.nf_name = fn.name;
+  response.nic = analyzer.profile().name;
+  response.workload = trace.profile.serialize();
+  response.substituted = analysis.substitution.substituted;
+  response.patterns = analysis.patterns.total();
+  response.greedy_mapper = analysis.mapping.greedy;
+  response.degraded = analysis.degraded;
+  response.repaired = analysis.repaired;
+  response.repair_displaced = analysis.mapping.repair_displaced;
+  if (analysis.repaired) {
+    response.repair_pinned =
+        analysis.mapping.node_pool.size() - analysis.mapping.repair_displaced;
+  }
+  response.mean_latency_cycles = analysis.prediction.mean_latency_cycles;
+  response.mean_latency_us = analysis.prediction.mean_latency_us;
+  response.worst_case_cycles = analysis.prediction.worst_case_cycles;
+  response.throughput_pps = analysis.prediction.throughput_pps;
+  response.bottleneck = analysis.prediction.bottleneck;
+  response.emem_cache_hit_rate = analysis.prediction.emem_cache_hit_rate;
+  response.flow_cache_hit_rate = analysis.prediction.flow_cache_hit_rate;
+  response.classes.clear();
+  for (const auto& cls : analysis.prediction.classes) {
+    response.classes.push_back({cls.name, cls.fraction, cls.latency_cycles});
+  }
+  response.report = analysis.report;
+  if (request.breakdown) {
+    response.breakdown_text = obs::render_breakdown(analysis.prediction.breakdown);
+  }
+  if (request.energy || request.partial) {
+    const auto hints = core::hints_from_trace(trace, analyzer.profile());
+    const auto graph = passes::DataflowGraph::build(analysis.lowered, hints);
+    const mapping::Mapper mapper(analyzer.profile());
+    if (request.energy) {
+      const auto energy =
+          core::predict_energy(analysis.lowered, graph, analysis.mapping, mapper, trace);
+      response.energy_nj_per_packet = energy.nj_per_packet;
+      response.energy_watts = energy.watts_at_rate;
+      response.energy_nj_per_packet_total = energy.nj_per_packet_total;
+    }
+    if (request.partial) {
+      const auto partial =
+          core::plan_partial_offload(analysis.lowered, graph, analysis.mapping, mapper, trace);
+      if (partial) {
+        response.partial_text =
+            "partial-offload plans:\n" + core::describe_partial(partial.value(), graph);
+      }
+    }
+  }
+  if (request.paths) {
+    const auto paths = passes::enumerate_paths(analysis.lowered);
+    response.paths_text = strf("NF behaviours (%zu paths%s):\n", paths.paths.size(),
+                               paths.complete ? "" : ", truncated");
+    for (const auto& path : paths.paths) {
+      response.paths_text += "  " + path.describe(analysis.lowered) + "\n";
+    }
+  }
+}
+
+Response handle_analyze(const Request& request, const core::Analyzer& analyzer,
+                        const cir::Function& fn, const workload::Trace& trace) {
+  auto analysis = analyzer.analyze(fn, trace, request.options);
+  if (!analysis) {
+    return core::error_response(request, analysis.error().code, analysis.error().message);
+  }
+  Response response;
+  response.id = request.id;
+  response.kind = request.kind;
+  response.ok = true;
+  fill_analysis(response, request, analyzer, fn, trace, analysis.value());
+  return response;
+}
+
+Response handle_sweep(const Request& request, const core::Analyzer& analyzer,
+                      const cir::Function& fn, const workload::Trace& trace) {
+  if (request.sweep_pps.empty()) {
+    return core::error_response(request, ErrorCode::kParse,
+                                "sweep request needs a non-empty sweep_pps grid");
+  }
+  for (const double pps : request.sweep_pps) {
+    if (pps <= 0.0) {
+      return core::error_response(request, ErrorCode::kParse,
+                                  "sweep_pps load points must be positive");
+    }
+  }
+  auto analysis = analyzer.analyze(fn, trace, request.options);
+  if (!analysis) {
+    return core::error_response(request, analysis.error().code, analysis.error().message);
+  }
+  Response response;
+  response.id = request.id;
+  response.kind = request.kind;
+  response.ok = true;
+  fill_analysis(response, request, analyzer, fn, trace, analysis.value());
+  const auto sweep = core::predict_load_sweep(analyzer, analysis.value(), trace.profile,
+                                              request.sweep_pps, request.options);
+  for (const auto& point : sweep) {
+    core::SweepPointSummary summary;
+    summary.pps = point.pps;
+    summary.seed = point.seed;
+    summary.ok = point.ok;
+    summary.error = point.error;
+    if (point.ok) {
+      summary.mean_latency_us = point.prediction.mean_latency_us;
+      summary.worst_case_cycles = point.prediction.worst_case_cycles;
+      summary.bottleneck = point.prediction.bottleneck;
+    }
+    response.sweep.push_back(std::move(summary));
+  }
+  return response;
+}
+
+Response handle_repair(const Request& request, const core::Analyzer& analyzer,
+                       const cir::Function& fn, const workload::Trace& trace) {
+  auto plan = fault::FaultPlan::parse(request.fault_plan);
+  if (!plan) return core::error_response(request, plan.error().code, plan.error().message);
+  if (!plan.value().sites.empty()) {
+    return core::error_response(
+        request, ErrorCode::kParse,
+        "repair requests accept unit faults only (armed injection sites are process-global; "
+        "install those via the CLI's --fault-plan)");
+  }
+  if (plan.value().failed_units.empty() && plan.value().derated_units.empty()) {
+    return core::error_response(request, ErrorCode::kParse,
+                                "repair request's fault_plan names no unit faults");
+  }
+
+  auto healthy = analyzer.analyze(fn, trace, request.options);
+  if (!healthy) {
+    return core::error_response(request, healthy.error().code, healthy.error().message);
+  }
+
+  auto faulted_profile = resolve_nic(request);
+  if (!faulted_profile) {
+    return core::error_response(request, faulted_profile.error().code,
+                                faulted_profile.error().message);
+  }
+  if (auto applied = fault::apply_to_profile(plan.value(), faulted_profile.value()); !applied) {
+    return core::error_response(request, applied.error().code, applied.error().message);
+  }
+  const core::Analyzer degraded_analyzer(std::move(faulted_profile).value());
+  auto repaired = degraded_analyzer.repair(fn, trace, healthy.value(), request.options);
+  if (!repaired) {
+    return core::error_response(request, repaired.error().code, repaired.error().message);
+  }
+  Response response;
+  response.id = request.id;
+  response.kind = request.kind;
+  response.ok = true;
+  fill_analysis(response, request, degraded_analyzer, fn, trace, repaired.value());
+  return response;
+}
+
+Response handle_validate(const Request& request, const core::Analyzer& analyzer,
+                         const cir::Function& fn, const workload::Trace& trace) {
+  auto analysis = analyzer.analyze(fn, trace, request.options);
+  if (!analysis) {
+    return core::error_response(request, analysis.error().code, analysis.error().message);
+  }
+  obs::ValidationScenario scenario;
+  scenario.nf = request.nf.empty() ? fn.name : request.nf;
+  scenario.variant = "serve";
+  scenario.workload = trace.profile.serialize();
+  // The corpus lpm variants carry their knobs in the name; mirror them
+  // so the ported simulator program matches what resolve_nf built.
+  if (scenario.nf == "lpm") {
+    scenario.lpm_rules = 10'000;
+    scenario.lpm_flow_cache = true;
+  } else if (scenario.nf == "lpm-nocache") {
+    scenario.nf = "lpm";
+    scenario.lpm_rules = 10'000;
+    scenario.lpm_flow_cache = false;
+  }
+  auto validated = obs::validate_prediction(analyzer, scenario, analysis.value(), trace);
+  if (!validated) {
+    return core::error_response(request, validated.error().code, validated.error().message);
+  }
+  Response response;
+  response.id = request.id;
+  response.kind = request.kind;
+  response.ok = true;
+  fill_analysis(response, request, analyzer, fn, trace, analysis.value());
+  response.predicted_cycles = validated.value().predicted_cycles;
+  response.simulated_cycles = validated.value().simulated_cycles;
+  response.rel_err = validated.value().rel_err;
+  response.validation_text = obs::render_validation(validated.value());
+  return response;
+}
+
+}  // namespace
+
+Service::Service(ServiceOptions options) : options_(options), gate_(options.max_inflight) {}
+
+Response Service::handle(const Request& request) {
+  const std::string kind_label = std::string("kind=") + to_string(request.kind);
+  if (!gate_.try_acquire()) {
+    obs::metrics().counter("serve/rejected", kind_label).inc();
+    return core::error_response(
+        request, ErrorCode::kOverloaded,
+        strf("server at capacity (%zu requests in flight); retry", options_.max_inflight));
+  }
+  const auto t0 = std::chrono::steady_clock::now();
+  Response response = dispatch(request);
+  const double us =
+      std::chrono::duration<double, std::micro>(std::chrono::steady_clock::now() - t0).count();
+  gate_.release();
+
+  auto& registry = obs::metrics();
+  registry.counter("serve/requests", kind_label).inc();
+  registry.histogram("serve/latency_us", kind_label).observe(us);
+  if (!response.ok) {
+    registry.counter("serve/errors", std::string("code=") + to_string(response.error_code)).inc();
+  }
+  return response;
+}
+
+Response Service::dispatch(const Request& request) const {
+  if (request.kind == RequestKind::kHello) {
+    return core::error_response(request, ErrorCode::kParse,
+                                "\"hello\" is a server greeting, not a request kind");
+  }
+  auto fn = resolve_nf(request);
+  if (!fn) return core::error_response(request, fn.error().code, fn.error().message);
+  auto nic = resolve_nic(request);
+  if (!nic) return core::error_response(request, nic.error().code, nic.error().message);
+  auto trace = resolve_trace(request);
+  if (!trace) return core::error_response(request, trace.error().code, trace.error().message);
+
+  const core::Analyzer analyzer(std::move(nic).value());
+  switch (request.kind) {
+    case RequestKind::kAnalyze:
+      return handle_analyze(request, analyzer, fn.value(), trace.value());
+    case RequestKind::kSweep:
+      return handle_sweep(request, analyzer, fn.value(), trace.value());
+    case RequestKind::kRepair:
+      return handle_repair(request, analyzer, fn.value(), trace.value());
+    case RequestKind::kValidate:
+      return handle_validate(request, analyzer, fn.value(), trace.value());
+    case RequestKind::kHello: break;  // handled above
+  }
+  return core::error_response(request, ErrorCode::kInternal, "unhandled request kind");
+}
+
+}  // namespace clara::serve

@@ -36,7 +36,6 @@
 #include "common/version.hpp"
 #include "obs/accuracy.hpp"
 #include "obs/benchdiff.hpp"
-#include "obs/breakdown.hpp"
 #include "obs/metrics.hpp"
 #include "obs/profile.hpp"
 #include "obs/recorder.hpp"
@@ -46,19 +45,19 @@
 #include "core/cache.hpp"
 #include "core/clara.hpp"
 #include "core/adversarial.hpp"
-#include "core/energy.hpp"
-#include "core/partial.hpp"
+#include "core/request.hpp"
 #include "core/sweep.hpp"
 #include "fault/fault.hpp"
 #include "frontend/p4lite.hpp"
 #include "microbench/microbench.hpp"
-#include "nf/nf_cir.hpp"
 #include "nf/nf_ported.hpp"
 #include "nicsim/sim.hpp"
 #include "passes/api_subst.hpp"
-#include "passes/dataflow.hpp"
 #include "passes/patterns.hpp"
-#include "passes/symexec.hpp"
+#include "serve/client.hpp"
+#include "serve/loadgen.hpp"
+#include "serve/registry.hpp"
+#include "serve/service.hpp"
 #include "workload/analysis.hpp"
 #include "workload/trace_io.hpp"
 
@@ -85,11 +84,12 @@ struct Args {
 /// the run would quietly do less than asked.
 const std::vector<std::string>& known_option_keys() {
   static const std::vector<std::string> kKeys = {
-      "band", "breakdown", "cache", "cache-entries", "csum-sw", "derate-unit", "energy",
-      "fail-unit", "fault-plan", "flight-out", "greedy", "jobs", "lowered",
-      "max-rel-err", "metrics-format", "metrics-out", "nf", "nf-file", "nf-p4", "nic",
-      "no-flow-cache", "no-optimize", "no-patterns", "out", "partial", "paths", "pivot-threshold",
-      "sweep-pps", "threshold", "time-budget-ms", "trace", "trace-out", "validate", "workload"};
+      "band", "breakdown", "cache", "cache-entries", "connect", "csum-sw", "derate-unit",
+      "energy", "fail-unit", "fault-plan", "flight-out", "greedy", "jobs", "lowered",
+      "max-inflight", "max-rel-err", "metrics-format", "metrics-out", "nf", "nf-file", "nf-p4",
+      "nic", "no-flow-cache", "no-optimize", "no-patterns", "out", "partial", "paths",
+      "pivot-threshold", "serve-connections", "serve-requests", "socket", "sweep-pps",
+      "threshold", "time-budget-ms", "trace", "trace-out", "validate", "workload"};
   return kKeys;
 }
 
@@ -184,33 +184,12 @@ bool install_fault_plan(const Args& args) {
   return true;
 }
 
-// --- NF registry -------------------------------------------------------------
-
-struct NfEntry {
-  const char* name;
-  const char* description;
-  std::function<cir::Function()> build;
-};
-
-const std::vector<NfEntry>& nf_registry() {
-  static const std::vector<NfEntry> kRegistry = {
-      {"lpm", "longest-prefix match, 10k rules, flow cache on", [] { return nf::build_lpm_nf(); }},
-      {"lpm-nocache", "LPM without the flow cache",
-       [] { return nf::build_lpm_nf({.rules = 10000, .use_flow_cache = false}); }},
-      {"nat", "network address translation with per-flow table", [] { return nf::build_nat_nf(); }},
-      {"firewall", "stateful firewall with rule table", [] { return nf::build_fw_nf(); }},
-      {"dpi", "deep packet inspection (explicit byte-scan loop)", [] { return nf::build_dpi_nf(); }},
-      {"heavy-hitter", "per-flow counters with threshold", [] { return nf::build_hh_nf(); }},
-      {"meter", "token-bucket metering", [] { return nf::build_meter_nf(); }},
-      {"flow-stats", "per-flow packet/byte statistics", [] { return nf::build_flowstats_nf(); }},
-      {"rewrite", "header rewrite (minimal NF)", [] { return nf::build_rewrite_nf(); }},
-      {"vnf-chain", "DPI -> meter -> header mods -> flow stats", [] { return nf::build_vnf_chain(); }},
-      {"crypto-gw", "IPsec-style gateway (crypto engine)", [] { return nf::build_crypto_gw_nf(); }},
-      {"csum-loop", "checksum as an accumulation loop (idiom demo)", [] { return nf::build_csum_loop_nf(); }},
-      {"rate-estimator", "EWMA rate estimation (floating point)", [] { return nf::build_rate_estimator_nf(); }},
-  };
-  return kRegistry;
-}
+// --- Local NF loading (print / simulate / adversarial) -----------------------
+//
+// The analysis commands no longer load NFs in-process — they build a
+// core::Request and let the Service resolve the NF (the corpus itself
+// lives in serve::nf_registry, shared with the daemon). load_nf remains
+// for the commands that genuinely need a local cir::Function.
 
 std::optional<cir::Function> load_nf(const Args& args) {
   if (args.has("nf-p4")) {
@@ -252,9 +231,7 @@ std::optional<cir::Function> load_nf(const Args& args) {
     return mod.value().functions.front();
   }
   const std::string name = args.get("nf");
-  for (const auto& entry : nf_registry()) {
-    if (name == entry.name) return entry.build();
-  }
+  if (const serve::NfEntry* entry = serve::find_nf(name)) return entry->build();
   std::fprintf(stderr, "unknown NF '%s' (try: clara list-nfs)\n", name.c_str());
   return std::nullopt;
 }
@@ -289,11 +266,114 @@ std::optional<workload::Trace> load_trace(const Args& args) {
   return workload::generate_trace(profile.value());
 }
 
+// --- Thin-client plumbing -----------------------------------------------------
+
+std::optional<std::string> read_text_file(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) {
+    std::fprintf(stderr, "cannot open %s\n", path.c_str());
+    return std::nullopt;
+  }
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return buffer.str();
+}
+
+/// Pulls one `key=value` out of a serialized workload spec
+/// ("tcp=0.8 flows=10000 ... seed=42") — the response echoes the
+/// effective profile, so the client never re-derives defaults.
+std::string spec_value(const std::string& spec, std::string_view key) {
+  for (const auto& token : split(spec, ' ')) {
+    const std::string_view t = trim(token);
+    if (t.size() > key.size() + 1 && t.substr(0, key.size()) == key && t[key.size()] == '=') {
+      return std::string(t.substr(key.size() + 1));
+    }
+  }
+  return {};
+}
+
+/// Sends requests either to an in-process Service (the default) or to a
+/// running clarad when --connect=<socket> is given. Both paths are the
+/// same entry point the daemon serves — the CLI builds Requests and
+/// renders Responses, it never reaches into the pipeline itself.
+class RequestRunner {
+ public:
+  explicit RequestRunner(const Args& args) : connect_(args.get("connect")) {}
+
+  std::optional<core::Response> run(core::Request request) {
+    request.id = strf("cli-%zu", next_id_++);
+    if (connect_.empty()) return service_.handle(request);
+    if (!client_) {
+      auto client = serve::Client::connect(connect_);
+      if (!client) {
+        std::fprintf(stderr, "connect %s: %s\n", connect_.c_str(),
+                     client.error().message.c_str());
+        return std::nullopt;
+      }
+      client_.emplace(std::move(client).value());
+    }
+    auto response = client_->call(request);
+    if (!response) {
+      std::fprintf(stderr, "clarad: %s\n", response.error().message.c_str());
+      return std::nullopt;
+    }
+    return std::move(response).value();
+  }
+
+ private:
+  std::string connect_;
+  std::size_t next_id_ = 0;
+  serve::Service service_{serve::ServiceOptions{0}};  // CLI side: no admission cap
+  std::optional<serve::Client> client_;
+};
+
+/// Builds the Request all analyze variants share from the CLI flags.
+/// Only file I/O (--nf-file / --nf-p4) happens client-side; a remote
+/// daemon sees the same inline CIR a local run does.
+std::optional<core::Request> build_analyze_request(const Args& args) {
+  core::Request request;
+  request.nf = args.get("nf");
+  if (args.has("nf-p4")) {
+    const auto text = read_text_file(args.get("nf-p4"));
+    if (!text) return std::nullopt;
+    auto fn = frontend::compile_p4lite(*text);
+    if (!fn) {
+      std::fprintf(stderr, "p4lite error: %s\n", fn.error().message.c_str());
+      return std::nullopt;
+    }
+    cir::Module mod;
+    mod.name = fn.value().name;
+    mod.functions.push_back(std::move(fn).value());
+    request.nf_cir = cir::print_module(mod);
+  } else if (args.has("nf-file")) {
+    const auto text = read_text_file(args.get("nf-file"));
+    if (!text) return std::nullopt;
+    request.nf_cir = *text;  // the server parses and verifies
+  }
+  request.nic = args.get("nic", "netronome-agilio-cx");
+  if (args.has("trace")) {
+    request.trace_file = args.get("trace");
+  } else if (args.has("workload")) {
+    request.workload = args.get("workload");
+  }
+  if (args.has("greedy")) request.options.stages.set(core::PipelineStages::kIlp, false);
+  if (args.has("no-patterns")) request.options.stages.set(core::PipelineStages::kPatterns, false);
+  if (args.has("no-optimize")) request.options.stages.set(core::PipelineStages::kOptimize, false);
+  if (args.has("time-budget-ms")) {
+    request.options.map.time_budget_ms = std::atof(args.get("time-budget-ms").c_str());
+  }
+  request.energy = args.has("energy");
+  request.breakdown = args.has("breakdown");
+  request.partial = args.has("partial");
+  request.paths = args.has("paths");
+  return request;
+}
+
 // --- Commands -----------------------------------------------------------------
 
 int cmd_list_nfs() {
   TextTable table({"name", "description"});
-  for (const auto& entry : nf_registry()) table.add_row({entry.name, entry.description});
+  for (const auto& entry : serve::nf_registry()) table.add_row({entry.name, entry.description});
   std::printf("%s", table.render().c_str());
   return 0;
 }
@@ -324,152 +404,111 @@ int cmd_print(const Args& args) {
 }
 
 int cmd_analyze(const Args& args) {
-  auto fn = load_nf(args);
-  auto nic = load_nic(args);
-  auto trace = load_trace(args);
-  if (!fn || !nic || !trace) return 1;
+  auto base = build_analyze_request(args);
+  if (!base) return 1;
+  RequestRunner runner(args);
 
-  core::AnalyzeOptions options;
-  if (args.has("greedy")) options.stages.set(core::PipelineStages::kIlp, false);
-  if (args.has("no-patterns")) options.stages.set(core::PipelineStages::kPatterns, false);
-  if (args.has("no-optimize")) options.stages.set(core::PipelineStages::kOptimize, false);
-  if (args.has("time-budget-ms")) {
-    options.map.time_budget_ms = std::atof(args.get("time-budget-ms").c_str());
-  }
-
-  core::Analyzer analyzer(std::move(*nic));
-  auto analysis = analyzer.analyze(*fn, *trace, options);
-  if (!analysis) {
-    std::fprintf(stderr, "analysis failed [%s]: %s\n", to_string(analysis.error().code),
-                 analysis.error().message.c_str());
+  core::Request first = *base;
+  first.kind = args.has("validate") ? core::RequestKind::kValidate : core::RequestKind::kAnalyze;
+  const auto first_response = runner.run(first);
+  if (!first_response) return 1;
+  const core::Response& a = *first_response;
+  if (!a.ok) {
+    std::fprintf(stderr, "analysis failed [%s]: %s\n", to_string(a.error_code), a.error.c_str());
     return 1;
   }
-  const auto& a = analysis.value();
+  // Echo the effective workload (seed included) so any run can be
+  // reproduced exactly — the server resolves defaults and seeds.
+  std::fprintf(stderr, "workload seed %s: %s\n", spec_value(a.workload, "seed").c_str(),
+               a.workload.c_str());
   if (a.degraded) {
     std::fprintf(stderr, "NOTE: solver time budget expired; the mapping is best-effort (degraded)\n");
   }
 
-  std::printf("NF '%s' on %s  (%zu calls substituted, %zu loops collapsed, %s mapper)\n",
-              fn->name.c_str(), analyzer.profile().name.c_str(), a.substitution.substituted,
-              a.patterns.total(), a.mapping.greedy ? "greedy" : "ILP");
-  std::printf("predicted mean latency : %.0f cycles (%.2f us)\n", a.prediction.mean_latency_cycles,
-              a.prediction.mean_latency_us);
-  std::printf("idealized throughput   : %.0f pps (bottleneck: %s)\n", a.prediction.throughput_pps,
-              a.prediction.bottleneck.c_str());
+  std::printf("NF '%s' on %s  (%llu calls substituted, %llu loops collapsed, %s mapper)\n",
+              a.nf_name.c_str(), a.nic.c_str(), (unsigned long long)a.substituted,
+              (unsigned long long)a.patterns, a.greedy_mapper ? "greedy" : "ILP");
+  std::printf("predicted mean latency : %.0f cycles (%.2f us)\n", a.mean_latency_cycles,
+              a.mean_latency_us);
+  std::printf("idealized throughput   : %.0f pps (bottleneck: %s)\n", a.throughput_pps,
+              a.bottleneck.c_str());
   std::printf("model hit rates        : EMEM cache %.2f, flow cache %.2f\n",
-              a.prediction.emem_cache_hit_rate, a.prediction.flow_cache_hit_rate);
+              a.emem_cache_hit_rate, a.flow_cache_hit_rate);
   std::printf("\nper-packet-type profile:\n");
   TextTable classes({"class", "share", "latency (cyc)"});
-  for (const auto& cls : a.prediction.classes) {
+  for (const auto& cls : a.classes) {
     classes.add_row({cls.name, strf("%.1f%%", cls.fraction * 100), strf("%.0f", cls.latency_cycles)});
   }
   std::printf("%s\n%s", classes.render().c_str(), a.report.c_str());
 
-  if (args.has("breakdown")) {
+  if (!a.breakdown_text.empty()) {
     std::printf("\npredicted latency attribution (sums to the mean):\n%s",
-                obs::render_breakdown(a.prediction.breakdown).c_str());
+                a.breakdown_text.c_str());
   }
 
-  // --validate: run the simulator alongside the predictor on the same
-  // trace and print the per-component error attribution (the accuracy
-  // ledger's single-NF view). With --max-rel-err, an error beyond the
-  // threshold dumps the flight recorder and fails the run.
+  // --validate: the response carries the per-component error attribution
+  // (the accuracy ledger's single-NF view). With --max-rel-err, an error
+  // beyond the threshold dumps the flight recorder and fails the run.
   if (args.has("validate")) {
-    obs::ValidationScenario scenario;
-    scenario.nf = args.get("nf");
-    scenario.variant = "cli";
-    scenario.workload = trace->profile.serialize();
-    // The registry's lpm variants carry their knobs in the name; mirror
-    // them so the ported program matches what load_nf built.
-    if (scenario.nf == "lpm") {
-      scenario.lpm_rules = 10'000;
-      scenario.lpm_flow_cache = true;
-    } else if (scenario.nf == "lpm-nocache") {
-      scenario.nf = "lpm";
-      scenario.lpm_rules = 10'000;
-      scenario.lpm_flow_cache = false;
-    }
-    auto validated = obs::validate_prediction(analyzer, scenario, a, *trace);
-    if (!validated) {
-      std::fprintf(stderr, "validate: %s\n", validated.error().message.c_str());
-      return 1;
-    }
-    const auto& v = validated.value();
-    std::printf("\npredicted-vs-simulated validation (workload seed %llu):\n%s",
-                (unsigned long long)trace->profile.seed, obs::render_validation(v).c_str());
+    std::printf("\npredicted-vs-simulated validation (workload seed %s):\n%s",
+                spec_value(a.workload, "seed").c_str(), a.validation_text.c_str());
     if (args.has("max-rel-err")) {
       const auto limit = parse_double(args.get("max-rel-err"));
       if (!limit || *limit <= 0.0) {
         std::fprintf(stderr, "--max-rel-err must be a positive fraction (e.g. 0.15)\n");
         return 2;
       }
-      if (v.rel_err > *limit) {
+      if (a.rel_err > *limit) {
         const std::string dump = obs::recorder().auto_dump("accuracy");
         std::fprintf(stderr, "FAIL: relative error %.2f%% exceeds --max-rel-err=%.2f%%%s%s\n",
-                     v.rel_err * 100.0, *limit * 100.0,
+                     a.rel_err * 100.0, *limit * 100.0,
                      dump.empty() ? "" : "; flight recorder dumped to ", dump.c_str());
         return 1;
       }
       std::printf("validation PASS: relative error %.2f%% within --max-rel-err=%.2f%%\n",
-                  v.rel_err * 100.0, *limit * 100.0);
+                  a.rel_err * 100.0, *limit * 100.0);
     }
   }
 
   // Degraded mode: when the installed fault plan (--fail-unit /
-  // --derate-unit / --fault-plan) names unit faults, re-analyze on the
-  // faulted profile via incremental repair and report the delta against
-  // the healthy run above.
+  // --derate-unit / --fault-plan) names unit faults, issue a repair
+  // request with the same pipeline options and report the delta against
+  // the healthy run above. Armed injection sites stay process-local.
   const auto& fplan = fault::plan();
   if (!fplan.failed_units.empty() || !fplan.derated_units.empty()) {
-    auto faulted_nic = load_nic(args);
-    if (!faulted_nic) return 1;
-    if (auto applied = fault::apply_to_profile(fplan, *faulted_nic); !applied) {
-      std::fprintf(stderr, "fault plan: %s\n", applied.error().message.c_str());
+    fault::FaultPlan unit_plan;
+    unit_plan.failed_units = fplan.failed_units;
+    unit_plan.derated_units = fplan.derated_units;
+    core::Request repair = *base;
+    repair.kind = core::RequestKind::kRepair;
+    repair.fault_plan = unit_plan.serialize();
+    const auto repaired = runner.run(repair);
+    if (!repaired) return 1;
+    const core::Response& r = *repaired;
+    if (!r.ok) {
+      std::fprintf(stderr, "repair failed [%s]: %s\n", to_string(r.error_code), r.error.c_str());
       return 1;
     }
-    core::Analyzer degraded_analyzer(std::move(*faulted_nic));
-    auto repaired = degraded_analyzer.repair(*fn, *trace, a, options);
-    if (!repaired) {
-      std::fprintf(stderr, "repair failed [%s]: %s\n", to_string(repaired.error().code),
-                   repaired.error().message.c_str());
-      return 1;
-    }
-    const auto& r = repaired.value();
-    std::printf("\ndegraded mode (unit faults applied to %s):\n", analyzer.profile().name.c_str());
-    std::printf("repair                 : %zu node(s) re-solved, %zu pinned%s\n",
-                r.mapping.repair_displaced, a.mapping.node_pool.size() - r.mapping.repair_displaced,
+    std::printf("\ndegraded mode (unit faults applied to %s):\n", r.nic.c_str());
+    std::printf("repair                 : %llu node(s) re-solved, %llu pinned%s\n",
+                (unsigned long long)r.repair_displaced, (unsigned long long)r.repair_pinned,
                 r.degraded ? " (best-effort: solver budget expired)" : "");
     std::printf("predicted mean latency : %.0f cycles (%.2f us, healthy %.2f us)\n",
-                r.prediction.mean_latency_cycles, r.prediction.mean_latency_us,
-                a.prediction.mean_latency_us);
-    std::printf("idealized throughput   : %.0f pps (bottleneck: %s)\n", r.prediction.throughput_pps,
-                r.prediction.bottleneck.c_str());
+                r.mean_latency_cycles, r.mean_latency_us, a.mean_latency_us);
+    std::printf("idealized throughput   : %.0f pps (bottleneck: %s)\n", r.throughput_pps,
+                r.bottleneck.c_str());
     std::printf("\n%s", r.report.c_str());
   }
 
-  // Re-derive the graph/mapping context for the optional extras.
-  const auto hints = core::hints_from_trace(*trace, analyzer.profile());
-  const auto graph = passes::DataflowGraph::build(a.lowered, hints);
-  const mapping::Mapper mapper(analyzer.profile());
-
   if (args.has("energy")) {
-    const auto energy = core::predict_energy(a.lowered, graph, a.mapping, mapper, *trace);
+    const auto pps = parse_double(spec_value(a.workload, "pps"));
     std::printf("\nenergy: %.0f nJ/packet dynamic, %.1f W at %.0f pps (%.0f nJ/packet incl. idle)\n",
-                energy.nj_per_packet, energy.watts_at_rate, trace->profile.pps,
-                energy.nj_per_packet_total);
+                a.energy_nj_per_packet, a.energy_watts, pps.value_or(0.0),
+                a.energy_nj_per_packet_total);
   }
-  if (args.has("partial")) {
-    const auto partial = core::plan_partial_offload(a.lowered, graph, a.mapping, mapper, *trace);
-    if (partial) {
-      std::printf("\npartial-offload plans:\n%s", core::describe_partial(partial.value(), graph).c_str());
-    }
-  }
-  if (args.has("paths")) {
-    const auto paths = passes::enumerate_paths(a.lowered);
-    std::printf("\nNF behaviours (%zu paths%s):\n", paths.paths.size(),
-                paths.complete ? "" : ", truncated");
-    for (const auto& path : paths.paths) std::printf("  %s\n", path.describe(a.lowered).c_str());
-  }
+  if (!a.partial_text.empty()) std::printf("\n%s", a.partial_text.c_str());
+  if (!a.paths_text.empty()) std::printf("\n%s", a.paths_text.c_str());
+
   if (args.has("sweep-pps")) {
     // Comma-separated load points, e.g. --sweep-pps=10000,60000,200000.
     std::vector<double> loads;
@@ -482,17 +521,25 @@ int cmd_analyze(const Args& args) {
       std::fprintf(stderr, "sweep-pps: no valid load points\n");
       return 1;
     }
-    const auto sweep = core::predict_load_sweep(analyzer, a, trace->profile, loads, options);
+    core::Request sweep_request = *base;
+    sweep_request.kind = core::RequestKind::kSweep;
+    sweep_request.sweep_pps = std::move(loads);
+    const auto swept = runner.run(sweep_request);
+    if (!swept) return 1;
+    if (!swept->ok) {
+      std::fprintf(stderr, "sweep failed [%s]: %s\n", to_string(swept->error_code),
+                   swept->error.c_str());
+      return 1;
+    }
     std::printf("\nload sensitivity (mapping fixed, workload regenerated per point):\n");
     TextTable sweep_table({"offered pps", "mean latency (us)", "worst case (cyc)", "bottleneck"});
-    for (const auto& point : sweep) {
+    for (const auto& point : swept->sweep) {
       if (!point.ok) {
         sweep_table.add_row({strf("%.0f", point.pps), "error: " + point.error, "", ""});
         continue;
       }
-      sweep_table.add_row({strf("%.0f", point.pps), strf("%.2f", point.prediction.mean_latency_us),
-                           strf("%.0f", point.prediction.worst_case_cycles),
-                           point.prediction.bottleneck});
+      sweep_table.add_row({strf("%.0f", point.pps), strf("%.2f", point.mean_latency_us),
+                           strf("%.0f", point.worst_case_cycles), point.bottleneck});
     }
     std::printf("%s", sweep_table.render().c_str());
   }
@@ -713,7 +760,51 @@ int cmd_bench(const Args& args) {
                 parallel::jobs());
     return 0;
   }
-  std::fprintf(stderr, "unknown bench scenario '%s' (diff, milp_branch_and_bound, sweep_replay)\n",
+  if (scenario == "serve") {
+    serve::LoadGenOptions options;
+    options.connect = args.get("connect");
+    options.socket_path = args.get("socket");
+    if (args.has("serve-requests")) {
+      const long n = std::atol(args.get("serve-requests").c_str());
+      if (n < 1) {
+        std::fprintf(stderr, "--serve-requests must be a positive integer\n");
+        return 2;
+      }
+      options.requests = static_cast<std::size_t>(n);
+    }
+    if (args.has("serve-connections")) {
+      const long n = std::atol(args.get("serve-connections").c_str());
+      if (n < 1) {
+        std::fprintf(stderr, "--serve-connections must be a positive integer\n");
+        return 2;
+      }
+      options.connections = static_cast<std::size_t>(n);
+    }
+    if (args.has("max-inflight")) {
+      const long n = std::atol(args.get("max-inflight").c_str());
+      if (n < 0) {
+        std::fprintf(stderr, "--max-inflight must be >= 0 (0 = unlimited)\n");
+        return 2;
+      }
+      options.max_inflight = static_cast<std::size_t>(n);
+    }
+    const auto report = serve::run_loadgen(options);
+    if (!report) {
+      std::fprintf(stderr, "bench serve: %s\n", report.error().message.c_str());
+      return 2;
+    }
+    std::printf("%s", report.value().render().c_str());
+    // The acceptance bar: every connection survives and the daemon
+    // answered work (overload rejections are typed responses, not drops).
+    if (report.value().dropped_connections > 0 || report.value().ok == 0) {
+      std::fprintf(stderr, "FAIL: %zu dropped connection(s), %zu ok responses\n",
+                   report.value().dropped_connections, report.value().ok);
+      return 1;
+    }
+    return 0;
+  }
+  std::fprintf(stderr,
+               "unknown bench scenario '%s' (diff, milp_branch_and_bound, sweep_replay, serve)\n",
                scenario.c_str());
   return 2;
 }
@@ -771,11 +862,21 @@ void usage() {
       "                                 self-profile (task body / scheduling /\n"
       "                                 barrier-wait per lane)\n"
       "  bench    milp_branch_and_bound | sweep_replay   run one benchmark scenario\n"
+      "  bench    serve [--connect=<sock>] [--serve-requests=<N>]\n"
+      "                 [--serve-connections=<N>] [--max-inflight=<N>]\n"
+      "                                 hammer a clarad daemon (spawned in-process\n"
+      "                                 unless --connect) with a mixed request load;\n"
+      "                                 prints client-observed latency percentiles;\n"
+      "                                 exit 1 on any dropped connection\n"
       "  bench    diff <old.json> <new.json> [--threshold=0.10] [--pivot-threshold=0.05] [--band=0.02]\n"
       "                                 compare two tracked benchmark runs (perf or\n"
       "                                 accuracy schema, auto-detected); exit 1 on\n"
       "                                 regression beyond the threshold/band, 2 on error\n\n"
       "global:\n"
+      "  --connect=<socket>      analyze: send requests to a running clarad over its\n"
+      "                          Unix socket instead of analyzing in-process (the CLI\n"
+      "                          is a thin client of the same Request/Response API —\n"
+      "                          see docs/api.md \"Wire protocol\")\n"
       "  --jobs=<N>              concurrency level for parallel phases (default:\n"
       "                          CLARA_JOBS or hardware threads; 1 = fully serial)\n"
       "  --cache=on|off          content-addressed analysis cache (default: on);\n"
