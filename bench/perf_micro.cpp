@@ -577,11 +577,14 @@ void write_json(const std::string& path, std::size_t jobs, const std::vector<Mic
                repair.feasible ? "true" : "false");
   std::fprintf(f,
                "  \"serve\": {\"name\": \"serve_loadgen\", \"requests\": %zu, \"ok\": %zu, "
-               "\"failed\": %zu, \"dropped_connections\": %zu, \"serve_p50_us\": %.1f, "
+               "\"failed\": %zu, \"dropped_connections\": %zu, \"serve_retries\": %llu, "
+               "\"serve_dropped\": %zu, \"serve_p50_us\": %.1f, "
                "\"serve_p99_us\": %.1f, \"serve_p999_us\": %.1f, \"serve_cold_hit_rate\": %.4f, "
                "\"serve_warm_hit_rate\": %.4f, \"warm_ilp_solves\": %llu}\n",
                serve_report.requests, serve_report.ok, serve_report.failed,
-               serve_report.dropped_connections, serve_report.p50_us, serve_report.p99_us,
+               serve_report.dropped_connections,
+               static_cast<unsigned long long>(serve_report.retries),
+               serve_report.dropped_requests, serve_report.p50_us, serve_report.p99_us,
                serve_report.p999_us, serve_report.cold_hit_rate, serve_report.warm_hit_rate,
                static_cast<unsigned long long>(serve_report.warm_ilp_solves));
   std::fprintf(f, "}\n");
@@ -660,6 +663,11 @@ int main(int argc, char** argv) {
   if (serve_report.dropped_connections > 0 || serve_report.ok == 0) {
     std::fprintf(stderr, "FAIL: serve loadgen dropped %zu connection(s) (%zu ok responses)\n",
                  serve_report.dropped_connections, serve_report.ok);
+    return 1;
+  }
+  if (serve_report.dropped_requests > 0) {
+    std::fprintf(stderr, "FAIL: serve loadgen silently dropped %zu request(s)\n",
+                 serve_report.dropped_requests);
     return 1;
   }
   return 0;

@@ -26,6 +26,14 @@ Status check_keys(const Json::Object& object, const std::vector<std::string>& kn
   return {};
 }
 
+Status check_size(std::string_view text, const char* what) {
+  if (text.size() > kMaxWireBytes) {
+    return make_error(ErrorCode::kParse, strf("%s line too large (%zu bytes, limit %zu)", what,
+                                              text.size(), kMaxWireBytes));
+  }
+  return {};
+}
+
 Status check_proto(const Json& root, const char* what) {
   if (!root.is_object()) {
     return make_error(ErrorCode::kParse, strf("%s must be a JSON object", what));
@@ -132,6 +140,7 @@ std::string Request::to_json() const {
 }
 
 Result<Request> Request::from_json(std::string_view text) {
+  if (auto status = check_size(text, "request"); !status) return status.error();
   auto parsed = Json::parse(text);
   if (!parsed) return parsed.error();
   const Json& root = parsed.value();
@@ -246,6 +255,8 @@ std::string Response::to_json() const {
   out += json_quote(to_string(error_code));
   out += ",\"error\":";
   out += json_quote(error);
+  out += ",\"retry_after_ms\":";
+  out += json_number(retry_after_ms);
   out += ",\"nf_name\":";
   out += json_quote(nf_name);
   out += ",\"nic\":";
@@ -329,6 +340,7 @@ std::string Response::to_json() const {
 }
 
 Result<Response> Response::from_json(std::string_view text) {
+  if (auto status = check_size(text, "response"); !status) return status.error();
   auto parsed = Json::parse(text);
   if (!parsed) return parsed.error();
   const Json& root = parsed.value();
@@ -340,6 +352,7 @@ Result<Response> Response::from_json(std::string_view text) {
                                                     "ok",
                                                     "error_code",
                                                     "error",
+                                                    "retry_after_ms",
                                                     "nf_name",
                                                     "nic",
                                                     "workload",
@@ -382,6 +395,7 @@ Result<Response> Response::from_json(std::string_view text) {
   response.ok = root.bool_at("ok", false);
   response.error_code = parse_error_code(root.string_at("error_code"));
   response.error = root.string_at("error");
+  response.retry_after_ms = root.number_at("retry_after_ms");
   response.nf_name = root.string_at("nf_name");
   response.nic = root.string_at("nic");
   response.workload = root.string_at("workload");

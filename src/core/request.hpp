@@ -27,6 +27,12 @@ namespace clara::core {
 /// a server rejects lines whose proto it does not speak (kParse).
 inline constexpr const char* kServeProtocol = "clara-serve/1";
 
+/// Hard cap on a single wire line accepted by from_json (requests and
+/// responses alike). Oversized input is a kParse error before the JSON
+/// parser ever touches it, so hostile peers cannot make the server
+/// chew on multi-megabyte documents.
+inline constexpr std::size_t kMaxWireBytes = 8u << 20;  // 8 MiB
+
 enum class RequestKind : std::uint8_t {
   kAnalyze,   // full pipeline, one prediction
   kSweep,     // analyze + predictor load-sensitivity sweep over sweep_pps
@@ -112,6 +118,10 @@ struct Response {
   bool ok = false;
   ErrorCode error_code = ErrorCode::kUnspecified;
   std::string error;
+  /// Server backoff hint, meaningful on kOverloaded rejections (admission
+  /// gate, connection limit, draining): how long a well-behaved client
+  /// should wait before retrying. 0 = no hint.
+  double retry_after_ms = 0.0;
 
   // -- Analysis summary (analyze/sweep/repair/validate) --------------------
   std::string nf_name;    // function analyzed

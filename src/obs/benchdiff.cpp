@@ -245,6 +245,28 @@ Result<BenchDiffReport, Error> diff_bench_json(const Json& old_run, const Json& 
       report.rows.push_back(make_row(spec.section, metric, old_entry->number_at(metric),
                                      new_entry->number_at(metric), true, true, {}, options));
     }
+    if (std::string(spec.section) == "serve") {
+      // Absolute-count gates (the relative make_row can't flag a jump
+      // off a zero baseline): retries must not grow, and dropped —
+      // requests with neither a response nor a typed client error —
+      // must stay zero, period.
+      if (old_entry->get("serve_retries") || new_entry->get("serve_retries")) {
+        report.rows.push_back(make_band_row("serve", "serve_retries",
+                                            old_entry->number_at("serve_retries"),
+                                            new_entry->number_at("serve_retries"), true, 0.0,
+                                            "absolute count; any increase regresses"));
+      }
+      if (old_entry->get("serve_dropped") || new_entry->get("serve_dropped")) {
+        auto row = make_band_row("serve", "serve_dropped",
+                                 old_entry->number_at("serve_dropped"),
+                                 new_entry->number_at("serve_dropped"), true, 0.0,
+                                 "silent drops must stay 0");
+        if (new_entry->number_at("serve_dropped") > 0.0) {
+          row.status = BenchDiffRow::Status::kRegressed;
+        }
+        report.rows.push_back(std::move(row));
+      }
+    }
   }
   return report;
 }

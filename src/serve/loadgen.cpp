@@ -10,8 +10,11 @@
 #include <thread>
 #include <vector>
 
+#include <optional>
+
 #include "common/strings.hpp"
 #include "core/cache.hpp"
+#include "fault/fault.hpp"
 #include "obs/metrics.hpp"
 #include "serve/client.hpp"
 #include "serve/daemon.hpp"
@@ -83,16 +86,40 @@ struct WorkerTally {
   std::size_t ok = 0;
   std::size_t failed = 0;
   std::size_t overloaded = 0;
+  std::size_t client_errors = 0;
+  std::size_t dropped_requests = 0;
+  std::uint64_t retries = 0;
+  std::uint64_t reconnects = 0;
   bool dropped = false;
 };
+
+/// The default chaos plan armed by --chaos when no --fault-plan is
+/// installed: all four serve sites, seeded, with a slow-read stall
+/// (factor=, ms) comfortably past the daemon's read deadline. every=N
+/// keys on the FNV digest of the wire id (uniform), so roughly 1/N of
+/// requests hit each site — deterministically, per id.
+constexpr const char* kDefaultChaosPlan =
+    "seed 42\n"
+    "site serve/torn_write every=5\n"
+    "site serve/conn_reset every=37\n"
+    "site serve/accept_fail every=6\n"
+    "site serve/slow_read every=53 factor=250\n";
+
+/// Read deadline of the in-process chaos daemon; the slow_read stall
+/// above must exceed it so the injected stall actually trips it.
+constexpr double kChaosReadDeadlineMs = 100.0;
 
 }  // namespace
 
 std::string LoadGenReport::render() const {
   std::string out;
   out += strf("serve loadgen: %zu requests, %zu ok, %zu failed (%zu overloaded), "
+              "%zu client error(s), %zu silently dropped request(s), "
               "%zu dropped connection(s)\n",
-              requests, ok, failed, overloaded, dropped_connections);
+              requests, ok, failed, overloaded, client_errors, dropped_requests,
+              dropped_connections);
+  out += strf("client retry loop: %llu retries, %llu reconnects\n",
+              (unsigned long long)retries, (unsigned long long)reconnects);
   out += strf("latency (client-observed): p50 %.0f us, p99 %.0f us, p99.9 %.0f us\n", p50_us,
               p99_us, p999_us);
   if (in_process) {
@@ -106,6 +133,15 @@ std::string LoadGenReport::render() const {
 
 Result<LoadGenReport> run_loadgen(const LoadGenOptions& options) {
   LoadGenReport report;
+  // Chaos: arm the serve fault sites process-wide for the duration of
+  // the run (restored on exit), unless the caller already installed a
+  // plan via --fault-plan.
+  std::optional<fault::ScopedPlan> chaos_plan;
+  if (options.chaos && !fault::active()) {
+    auto plan = fault::FaultPlan::parse(kDefaultChaosPlan);
+    if (!plan) return plan.error();
+    chaos_plan.emplace(std::move(plan).value());
+  }
   std::unique_ptr<Daemon> daemon;
   std::string endpoint = options.connect;
   if (endpoint.empty()) {
@@ -115,10 +151,17 @@ Result<LoadGenReport> run_loadgen(const LoadGenOptions& options) {
                                      ? strf("/tmp/clara-serve-%d.sock", (int)::getpid())
                                      : options.socket_path;
     daemon_options.max_inflight = options.max_inflight;
+    if (options.chaos) daemon_options.read_deadline_ms = kChaosReadDeadlineMs;
     daemon = std::make_unique<Daemon>(daemon_options);
     if (auto status = daemon->start(); !status) return status.error();
     endpoint = daemon->socket_path();
   }
+  // Hang-guards: under chaos every socket operation gets a timeout so an
+  // injected fault can never wedge the gate; transport errors surface as
+  // typed client errors through the retry loop instead.
+  const ClientOptions client_options =
+      options.chaos ? ClientOptions{5000.0, 5000.0, 10000.0} : ClientOptions{};
+  const RetryOptions retry_options{};
 
   const std::vector<core::Request> mix = build_mix();
   auto& solves = obs::metrics().counter("ilp/solves");
@@ -128,13 +171,21 @@ Result<LoadGenReport> run_loadgen(const LoadGenOptions& options) {
   {
     const auto stats_before = core::analysis_cache().stats();
     const std::uint64_t solves_before = solves.value();
-    auto client = Client::connect(endpoint);
+    auto client = Client::connect(endpoint, client_options);
     if (!client) return client.error();
     for (std::size_t i = 0; i < mix.size(); ++i) {
       core::Request request = mix[i];
       request.id = strf("cold-%zu", i);
-      auto response = client.value().call(request);
-      if (!response) return response.error();
+      RetryStats stats;
+      auto response = client.value().call_with_retry(request, retry_options, &stats);
+      report.retries += stats.retries;
+      report.reconnects += stats.reconnects;
+      if (!response) {
+        // Even the cold pass tolerates exhausted retries under chaos;
+        // without a plan armed this is a hard setup failure as before.
+        if (!options.chaos) return response.error();
+        ++report.client_errors;
+      }
     }
     if (report.in_process) {
       report.cold_hit_rate = hit_rate(stats_before, core::analysis_cache().stats());
@@ -154,19 +205,26 @@ Result<LoadGenReport> run_loadgen(const LoadGenOptions& options) {
     const std::size_t end = options.requests * (w + 1) / connections;
     workers.emplace_back([&, w, begin, end] {
       WorkerTally& tally = tallies[w];
-      auto client = Client::connect(endpoint);
+      auto client = Client::connect(endpoint, client_options);
       if (!client) {
         tally.dropped = true;
+        tally.dropped_requests = end - begin;
         return;
       }
       for (std::size_t i = begin; i < end; ++i) {
         core::Request request = mix[i % mix.size()];
         request.id = strf("warm-%zu", i);
         const auto t0 = Clock::now();
-        auto response = client.value().call(request);
+        RetryStats stats;
+        auto response = client.value().call_with_retry(request, retry_options, &stats);
+        tally.retries += stats.retries;
+        tally.reconnects += stats.reconnects;
         if (!response) {
-          tally.dropped = true;
-          return;
+          // Retries exhausted: a typed client error, not a silent drop —
+          // the connection is already re-established lazily on the next
+          // request by the retry loop, so the worker keeps going.
+          ++tally.client_errors;
+          continue;
         }
         tally.latencies_us.push_back(
             std::chrono::duration<double, std::micro>(Clock::now() - t0).count());
@@ -186,6 +244,10 @@ Result<LoadGenReport> run_loadgen(const LoadGenOptions& options) {
     report.ok += tally.ok;
     report.failed += tally.failed;
     report.overloaded += tally.overloaded;
+    report.client_errors += tally.client_errors;
+    report.dropped_requests += tally.dropped_requests;
+    report.retries += tally.retries;
+    report.reconnects += tally.reconnects;
     if (tally.dropped) ++report.dropped_connections;
     latencies.insert(latencies.end(), tally.latencies_us.begin(), tally.latencies_us.end());
   }

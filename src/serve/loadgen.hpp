@@ -28,6 +28,13 @@ struct LoadGenOptions {
   std::size_t connections = 16;
   /// Admission cap for the spawned daemon.
   std::size_t max_inflight = 256;
+  /// Chaos mode: arm the serve fault sites (torn writes, connection
+  /// resets, accept failures, slow reads) with a default seeded plan
+  /// unless one is already installed, run the in-process daemon with a
+  /// read deadline, and assert the client retry loop absorbs every
+  /// injected fault — the contract is one well-formed response or one
+  /// typed client error per request, zero silent drops.
+  bool chaos = false;
 };
 
 struct LoadGenReport {
@@ -35,6 +42,17 @@ struct LoadGenReport {
   std::size_t ok = 0;         // ok=true responses
   std::size_t failed = 0;     // ok=false responses (overloaded included)
   std::size_t overloaded = 0; // subset of failed with kOverloaded
+  /// Requests whose retries were exhausted by transport errors — they
+  /// still ended in a typed client error, never a hang.
+  std::size_t client_errors = 0;
+  /// Requests with no outcome at all (no response, no typed error).
+  /// Must stay zero — a nonzero value means a request was silently
+  /// dropped, which the chaos gate treats as failure.
+  std::size_t dropped_requests = 0;
+  /// Extra attempts the client retry loop spent absorbing faults and
+  /// overload rejections (serve_retries in BENCH_perf.json).
+  std::uint64_t retries = 0;
+  std::uint64_t reconnects = 0;
   /// Connections that could not be established or died mid-run. The
   /// `clara bench serve` acceptance bar is zero.
   std::size_t dropped_connections = 0;

@@ -270,9 +270,11 @@ Response Service::handle(const Request& request) {
   const std::string kind_label = std::string("kind=") + to_string(request.kind);
   if (!gate_.try_acquire()) {
     obs::metrics().counter("serve/rejected", kind_label).inc();
-    return core::error_response(
+    Response rejected = core::error_response(
         request, ErrorCode::kOverloaded,
         strf("server at capacity (%zu requests in flight); retry", options_.max_inflight));
+    rejected.retry_after_ms = options_.retry_after_ms;
+    return rejected;
   }
   const auto t0 = std::chrono::steady_clock::now();
   Response response = dispatch(request);

@@ -61,6 +61,9 @@ struct ServiceOptions {
   /// Concurrently-executing request cap (0 = unlimited). Requests
   /// beyond it are rejected with kOverloaded, never queued.
   std::size_t max_inflight = 64;
+  /// Backoff hint stamped on every kOverloaded rejection
+  /// (Response::retry_after_ms); 0 = no hint.
+  double retry_after_ms = 5.0;
 };
 
 class Service {

@@ -84,7 +84,7 @@ struct Args {
 /// the run would quietly do less than asked.
 const std::vector<std::string>& known_option_keys() {
   static const std::vector<std::string> kKeys = {
-      "band", "breakdown", "cache", "cache-entries", "connect", "csum-sw", "derate-unit",
+      "band", "breakdown", "cache", "cache-entries", "chaos", "connect", "csum-sw", "derate-unit",
       "energy", "fail-unit", "fault-plan", "flight-out", "greedy", "jobs", "lowered",
       "max-inflight", "max-rel-err", "metrics-format", "metrics-out", "nf", "nf-file", "nf-p4",
       "nic", "no-flow-cache", "no-optimize", "no-patterns", "out", "partial", "paths",
@@ -97,7 +97,7 @@ const std::vector<std::string>& known_option_keys() {
 bool is_bare_flag(const std::string& key) {
   return key == "lowered" || key == "greedy" || key == "no-patterns" || key == "no-optimize" ||
          key == "paths" || key == "energy" || key == "partial" || key == "csum-sw" ||
-         key == "no-flow-cache" || key == "breakdown" || key == "validate";
+         key == "no-flow-cache" || key == "breakdown" || key == "validate" || key == "chaos";
 }
 
 Args parse_args(int argc, char** argv) {
@@ -312,7 +312,10 @@ class RequestRunner {
       }
       client_.emplace(std::move(client).value());
     }
-    auto response = client_->call(request);
+    // Retrying call: the CLI survives a daemon restart mid-sweep — the
+    // retry loop reconnects on transport errors and honors the server's
+    // retry_after_ms hint on kOverloaded.
+    auto response = client_->call_with_retry(request);
     if (!response) {
       std::fprintf(stderr, "clarad: %s\n", response.error().message.c_str());
       return std::nullopt;
@@ -788,6 +791,7 @@ int cmd_bench(const Args& args) {
       }
       options.max_inflight = static_cast<std::size_t>(n);
     }
+    options.chaos = args.has("chaos");
     const auto report = serve::run_loadgen(options);
     if (!report) {
       std::fprintf(stderr, "bench serve: %s\n", report.error().message.c_str());
@@ -799,6 +803,16 @@ int cmd_bench(const Args& args) {
     if (report.value().dropped_connections > 0 || report.value().ok == 0) {
       std::fprintf(stderr, "FAIL: %zu dropped connection(s), %zu ok responses\n",
                    report.value().dropped_connections, report.value().ok);
+      return 1;
+    }
+    // The chaos contract: every request ends in exactly one well-formed
+    // response or one typed client error — zero silent drops.
+    const auto& r = report.value();
+    if (r.dropped_requests > 0 || r.ok + r.failed + r.client_errors != r.requests) {
+      std::fprintf(stderr,
+                   "FAIL: request accounting broken — %zu ok + %zu failed + %zu client "
+                   "error(s) != %zu requests (%zu silently dropped)\n",
+                   r.ok, r.failed, r.client_errors, r.requests, r.dropped_requests);
       return 1;
     }
     return 0;
@@ -864,6 +878,13 @@ void usage() {
       "  bench    milp_branch_and_bound | sweep_replay   run one benchmark scenario\n"
       "  bench    serve [--connect=<sock>] [--serve-requests=<N>]\n"
       "                 [--serve-connections=<N>] [--max-inflight=<N>]\n"
+      "                 [--chaos [--fault-plan=<f>]]\n"
+      "                                 --chaos arms the serve fault sites (torn\n"
+      "                                 writes, connection resets, accept failures,\n"
+      "                                 slow reads; default seeded plan unless\n"
+      "                                 --fault-plan installs one) and asserts every\n"
+      "                                 request ends in one well-formed response or\n"
+      "                                 one typed client error — zero silent drops\n"
       "                                 hammer a clarad daemon (spawned in-process\n"
       "                                 unless --connect) with a mixed request load;\n"
       "                                 prints client-observed latency percentiles;\n"

@@ -34,7 +34,8 @@ void usage() {
   std::printf(
       "clarad — Clara analysis daemon (clara-serve/1 over a Unix socket)\n\n"
       "  clarad [--socket=<path>] [--jobs=<N>] [--max-inflight=<N>]\n"
-      "         [--cache-entries=<N>]\n\n"
+      "         [--cache-entries=<N>] [--max-connections=<N>]\n"
+      "         [--read-deadline-ms=<N>] [--drain-ms=<N>]\n\n"
       "  --socket=<path>        listening socket (default /tmp/clarad.sock);\n"
       "                         an existing file at the path is replaced\n"
       "  --jobs=<N>             pool concurrency (default: CLARA_JOBS or\n"
@@ -42,7 +43,17 @@ void usage() {
       "  --max-inflight=<N>     admission cap; requests beyond it get a typed\n"
       "                         \"overloaded\" response (0 = unlimited,\n"
       "                         default 64)\n"
-      "  --cache-entries=<N>    analysis cache capacity per stage\n\n"
+      "  --cache-entries=<N>    analysis cache capacity per stage\n"
+      "  --max-connections=<N>  concurrent-connection cap; extra peers get one\n"
+      "                         typed \"overloaded\" hello (0 = unlimited)\n"
+      "  --read-deadline-ms=<N> close a connection that stalls mid-request\n"
+      "                         line longer than N ms, with a typed response\n"
+      "                         first (slow-loris defense; 0 = none,\n"
+      "                         default 30000)\n"
+      "  --drain-ms=<N>         on SIGTERM/SIGINT: stop accepting, answer new\n"
+      "                         requests with \"draining\", wait up to N ms for\n"
+      "                         live connections, then force-close (default\n"
+      "                         2000)\n\n"
       "Talk to it with `clara analyze --nf lpm --connect=<path>` or any\n"
       "client that writes one clara-serve/1 request object per line.\n");
 }
@@ -53,6 +64,9 @@ int main(int argc, char** argv) {
   using namespace clara;
   serve::DaemonOptions options;
   options.socket_path = "/tmp/clarad.sock";
+  // A standalone daemon defaults to the slow-loris deadline on; library
+  // embedders (tests, the loadgen) opt in instead.
+  options.read_deadline_ms = 30'000.0;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     if (arg == "--help" || arg == "-h") {
@@ -78,6 +92,27 @@ int main(int argc, char** argv) {
         return 2;
       }
       options.max_inflight = static_cast<std::size_t>(n);
+    } else if (key == "--max-connections") {
+      const long n = std::atol(value.c_str());
+      if (n < 0) {
+        std::fprintf(stderr, "--max-connections must be >= 0 (0 = unlimited)\n");
+        return 2;
+      }
+      options.max_connections = static_cast<std::size_t>(n);
+    } else if (key == "--read-deadline-ms") {
+      const long n = std::atol(value.c_str());
+      if (n < 0) {
+        std::fprintf(stderr, "--read-deadline-ms must be >= 0 (0 = no deadline)\n");
+        return 2;
+      }
+      options.read_deadline_ms = static_cast<double>(n);
+    } else if (key == "--drain-ms") {
+      const long n = std::atol(value.c_str());
+      if (n < 0) {
+        std::fprintf(stderr, "--drain-ms must be >= 0\n");
+        return 2;
+      }
+      options.drain_deadline_ms = static_cast<double>(n);
     } else if (key == "--cache-entries") {
       const long n = std::atol(value.c_str());
       if (n < 1) {
@@ -105,6 +140,19 @@ int main(int argc, char** argv) {
                daemon.socket_path().c_str(), parallel::jobs(), options.max_inflight);
   while (!g_stop.load(std::memory_order_relaxed)) {
     std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  }
+  // Graceful drain: stop accepting, answer requests still arriving on
+  // live connections with kOverloaded ("draining"), give in-flight work
+  // a bounded window, then stop() force-closes whatever remains.
+  daemon.begin_drain();
+  std::fprintf(stderr, "clarad: draining (%zu open connection(s), deadline %.0f ms)\n",
+               daemon.open_connections(), options.drain_deadline_ms);
+  const auto drain_start = std::chrono::steady_clock::now();
+  while (daemon.open_connections() > 0 &&
+         std::chrono::duration<double, std::milli>(std::chrono::steady_clock::now() -
+                                                   drain_start)
+                 .count() < options.drain_deadline_ms) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
   }
   std::fprintf(stderr, "clarad: shutting down (%zu connection(s) served)\n",
                daemon.connections_accepted());

@@ -5,21 +5,35 @@
 // a warm daemon answers repeated analyses without re-solving the ILP,
 // deadline expiry degrades instead of erroring, and the admission gate
 // rejects overload with typed responses rather than dropped
-// connections. Clean under -DCLARA_SANITIZE=thread.
+// connections. The resilience half (docs/robustness.md "Serve
+// resilience"): a seeded mutation-fuzz corpus over the wire parser,
+// hostile-client limits (oversized lines, newline-less floods,
+// slow-loris drips, connection caps), accept-loop errno survival,
+// connection-slot reaping, bounded drain, and the chaos loadgen
+// contract — every request ends in exactly one response or one typed
+// client error, reproducibly at jobs=1/2/8. Clean under
+// -DCLARA_SANITIZE=thread.
 #include <gtest/gtest.h>
 
+#include <sys/socket.h>
+#include <sys/un.h>
 #include <unistd.h>
 
 #include <atomic>
+#include <cerrno>
+#include <chrono>
+#include <cstring>
 #include <set>
 #include <string>
 #include <thread>
 #include <vector>
 
 #include "common/parallel.hpp"
+#include "common/rng.hpp"
 #include "common/strings.hpp"
 #include "core/cache.hpp"
 #include "core/request.hpp"
+#include "fault/fault.hpp"
 #include "obs/metrics.hpp"
 #include "serve/client.hpp"
 #include "serve/daemon.hpp"
@@ -66,6 +80,76 @@ Request small_analyze(const char* nf = "lpm") {
 std::string temp_socket(const char* tag) {
   return strf("/tmp/clara-serve-test-%s-%d.sock", tag, static_cast<int>(::getpid()));
 }
+
+/// Raw AF_UNIX client for hostile-peer tests the typed Client cannot
+/// express: garbage bytes, newline-less floods, mid-line stalls. Recv
+/// is bounded (2 s) so a daemon bug surfaces as a failed assertion,
+/// never a hung test.
+class RawClient {
+ public:
+  explicit RawClient(const std::string& path) {
+    fd_ = ::socket(AF_UNIX, SOCK_STREAM, 0);
+    if (fd_ < 0) return;
+    sockaddr_un addr{};
+    addr.sun_family = AF_UNIX;
+    std::memcpy(addr.sun_path, path.c_str(), path.size() + 1);
+    if (::connect(fd_, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) != 0) {
+      ::close(fd_);
+      fd_ = -1;
+      return;
+    }
+    const timeval tv{2, 0};
+    ::setsockopt(fd_, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv));
+  }
+  ~RawClient() {
+    if (fd_ >= 0) ::close(fd_);
+  }
+  RawClient(const RawClient&) = delete;
+  RawClient& operator=(const RawClient&) = delete;
+
+  [[nodiscard]] bool ok() const { return fd_ >= 0; }
+
+  bool send_bytes(std::string_view data) {
+    std::size_t sent = 0;
+    while (sent < data.size()) {
+      const ssize_t n = ::send(fd_, data.data() + sent, data.size() - sent, MSG_NOSIGNAL);
+      if (n <= 0) return false;  // EPIPE after a server-side close is expected
+      sent += static_cast<std::size_t>(n);
+    }
+    return true;
+  }
+
+  /// One '\n'-terminated line, or empty on EOF / recv timeout.
+  std::string read_line() {
+    while (true) {
+      if (const auto nl = buffer_.find('\n'); nl != std::string::npos) {
+        std::string line = buffer_.substr(0, nl);
+        buffer_.erase(0, nl + 1);
+        return line;
+      }
+      char chunk[4096];
+      const ssize_t n = ::recv(fd_, chunk, sizeof(chunk), 0);
+      if (n <= 0) return {};
+      buffer_.append(chunk, static_cast<std::size_t>(n));
+    }
+  }
+
+  /// Drains until the server closes: true on EOF or a reset (a close
+  /// with our unread bytes still queued surfaces as ECONNRESET), false
+  /// only on a recv timeout — the server is holding us open.
+  bool at_eof() {
+    char chunk[4096];
+    while (true) {
+      const ssize_t n = ::recv(fd_, chunk, sizeof(chunk), 0);
+      if (n == 0) return true;
+      if (n < 0) return errno != EAGAIN && errno != EWOULDBLOCK;
+    }
+  }
+
+ private:
+  int fd_ = -1;
+  std::string buffer_;
+};
 
 // --- wire format -------------------------------------------------------------
 
@@ -534,6 +618,500 @@ TEST(ServeDaemonTest, LoadgenSustainsMixedLoadWithZeroDrops) {
   EXPECT_GT(report.value().warm_hit_rate, 0.5);
   EXPECT_GT(report.value().p99_us, 0.0);
   EXPECT_GE(report.value().p99_us, report.value().p50_us);
+}
+
+// --- wire fuzz ---------------------------------------------------------------
+
+TEST(ServeWireTest, RetryAfterMsRoundTrips) {
+  Response rejected = core::error_response(small_analyze(), ErrorCode::kOverloaded, "busy");
+  rejected.retry_after_ms = 12.5;
+  const std::string line = rejected.to_json();
+  auto parsed = Response::from_json(line);
+  ASSERT_TRUE(parsed.ok()) << parsed.error().message;
+  EXPECT_EQ(parsed.value().retry_after_ms, 12.5);
+  EXPECT_EQ(parsed.value().error_code, ErrorCode::kOverloaded);
+  EXPECT_EQ(parsed.value().to_json(), line);
+}
+
+// Seeded corpus fuzz over the wire parser: byte mutations of real
+// request and response lines must produce typed kParse errors or valid
+// parses — never a crash, hang, or abort. Deterministic: the mutation
+// stream derives from fixed seeds, so a failure reproduces.
+TEST(ServeWireFuzzTest, MutatedWireCorpusNeverCrashes) {
+  std::vector<std::string> corpus;
+  {
+    Request r = small_analyze();
+    r.id = "fuzz-analyze";
+    r.nic = "netronome-agilio-cx";
+    r.energy = true;
+    r.breakdown = true;
+    corpus.push_back(r.to_json());
+  }
+  {
+    Request r = small_analyze("nat");
+    r.id = "fuzz-sweep";
+    r.kind = RequestKind::kSweep;
+    r.sweep_pps = {10'000.0, 60'000.0};
+    corpus.push_back(r.to_json());
+  }
+  {
+    Request r = small_analyze("nat");
+    r.id = "fuzz-repair";
+    r.kind = RequestKind::kRepair;
+    r.fault_plan = "fail-unit csum\n";
+    corpus.push_back(r.to_json());
+  }
+  {
+    Response response = core::error_response(small_analyze(), ErrorCode::kOverloaded, "busy");
+    response.retry_after_ms = 5.0;
+    corpus.push_back(response.to_json());
+  }
+
+  std::size_t parsed_ok = 0, rejected = 0;
+  for (std::size_t c = 0; c < corpus.size(); ++c) {
+    const bool is_response = c == corpus.size() - 1;
+    for (std::uint64_t round = 0; round < 80; ++round) {
+      Rng rng(parallel::shard_seed(0x5E44Eu + c, round));
+      std::string mutated = corpus[c];
+      const std::size_t flips = 1 + rng.next_below(8);
+      for (std::size_t f = 0; f < flips && !mutated.empty(); ++f) {
+        mutated[rng.next_below(mutated.size())] = static_cast<char>(rng.next_below(256));
+      }
+      if (is_response) {
+        auto parsed = Response::from_json(mutated);
+        if (parsed.ok()) {
+          ++parsed_ok;
+        } else {
+          ++rejected;
+          EXPECT_EQ(parsed.error().code, ErrorCode::kParse);
+          EXPECT_FALSE(parsed.error().message.empty());
+        }
+      } else {
+        auto parsed = Request::from_json(mutated);
+        if (parsed.ok()) {
+          ++parsed_ok;
+        } else {
+          ++rejected;
+          EXPECT_EQ(parsed.error().code, ErrorCode::kParse);
+          EXPECT_FALSE(parsed.error().message.empty());
+        }
+      }
+    }
+  }
+  // The corpus is strict JSON, so most mutations must be caught.
+  EXPECT_GT(rejected, 0u);
+  EXPECT_EQ(parsed_ok + rejected, corpus.size() * 80);
+}
+
+TEST(ServeWireFuzzTest, TruncatedLinesRejectedAtEveryPrefix) {
+  Request r = small_analyze();
+  r.id = "truncate-me";
+  const std::string line = r.to_json();
+  for (std::size_t cut = 0; cut < line.size(); ++cut) {
+    auto parsed = Request::from_json(line.substr(0, cut));
+    ASSERT_FALSE(parsed.ok()) << "prefix of " << cut << " bytes parsed as a full request";
+    EXPECT_EQ(parsed.error().code, ErrorCode::kParse);
+  }
+}
+
+TEST(ServeWireFuzzTest, FieldReorderingIsAcceptedAndCanonicalized) {
+  // Same key/value set, scrambled order: the parser is order-independent
+  // and re-serialization is canonical, so both spellings land on
+  // identical bytes.
+  const std::string in_order = strf(
+      R"({"proto":"clara-serve/1","id":"reorder","kind":"analyze","nf":"lpm","workload":"%s"})",
+      kSmallWorkload);
+  const std::string scrambled = strf(
+      R"({"workload":"%s","kind":"analyze","nf":"lpm","id":"reorder","proto":"clara-serve/1"})",
+      kSmallWorkload);
+  auto a = Request::from_json(in_order);
+  auto b = Request::from_json(scrambled);
+  ASSERT_TRUE(a.ok()) << a.error().message;
+  ASSERT_TRUE(b.ok()) << b.error().message;
+  EXPECT_EQ(a.value().to_json(), b.value().to_json());
+}
+
+TEST(ServeWireFuzzTest, DepthBombRejectedWithTypedError) {
+  std::string bomb = R"({"proto":"clara-serve/1","id":"bomb","kind":"sweep","sweep_pps":)";
+  bomb += std::string(256, '[');
+  bomb += "1";
+  bomb += std::string(256, ']');
+  bomb += "}";
+  auto parsed = Request::from_json(bomb);
+  ASSERT_FALSE(parsed.ok());
+  EXPECT_EQ(parsed.error().code, ErrorCode::kParse);
+}
+
+TEST(ServeWireFuzzTest, OversizedLineRejectedBeforeParsing) {
+  const std::string huge(core::kMaxWireBytes + 1, ' ');
+  auto request = Request::from_json(huge);
+  ASSERT_FALSE(request.ok());
+  EXPECT_EQ(request.error().code, ErrorCode::kParse);
+  auto response = Response::from_json(huge);
+  ASSERT_FALSE(response.ok());
+  EXPECT_EQ(response.error().code, ErrorCode::kParse);
+}
+
+// --- client retry ------------------------------------------------------------
+
+TEST(ServeClientTest, RetryBackoffIsDeterministicAndBounded) {
+  const RetryOptions options;  // base 1 ms, cap 200 ms, seed 42
+  // Pure function: same inputs, same backoff.
+  EXPECT_EQ(retry_backoff_ms(options, "req-1", 1, 0.0), retry_backoff_ms(options, "req-1", 1, 0.0));
+  // Exponential with jitter in [0.5, 1.0) of the base: attempt 1 -> base
+  // 1 ms, attempt 5 -> base 16 ms, attempt 20 -> capped at 200 ms.
+  const double first = retry_backoff_ms(options, "req-1", 1, 0.0);
+  EXPECT_GE(first, 0.5);
+  EXPECT_LT(first, 1.0);
+  const double fifth = retry_backoff_ms(options, "req-1", 5, 0.0);
+  EXPECT_GE(fifth, 8.0);
+  EXPECT_LT(fifth, 16.0);
+  const double capped = retry_backoff_ms(options, "req-1", 20, 0.0);
+  EXPECT_GE(capped, 100.0);
+  EXPECT_LT(capped, 200.0);
+  // The server's retry_after_ms hint replaces the exponential base.
+  const double hinted = retry_backoff_ms(options, "req-1", 1, 40.0);
+  EXPECT_GE(hinted, 20.0);
+  EXPECT_LT(hinted, 40.0);
+  // Different ids draw different jitter (with overwhelming probability).
+  EXPECT_NE(retry_backoff_ms(options, "req-1", 1, 0.0), retry_backoff_ms(options, "req-2", 1, 0.0));
+}
+
+TEST(ServeClientTest, CallWithRetryReconnectsAcrossDaemonRestart) {
+  CacheGuard cache;
+  const std::string path = temp_socket("restart");
+  DaemonOptions options;
+  options.socket_path = path;
+
+  auto first_daemon = std::make_unique<Daemon>(options);
+  ASSERT_TRUE(first_daemon->start().ok());
+  auto client = Client::connect(path);
+  ASSERT_TRUE(client.ok()) << client.error().message;
+  Request request = small_analyze();
+  request.id = "before-restart";
+  ASSERT_TRUE(client.value().call(request).ok());
+
+  first_daemon->stop();
+  first_daemon.reset();
+  Daemon second_daemon(options);
+  ASSERT_TRUE(second_daemon.start().ok());
+
+  // The client still holds the dead socket; call_with_retry notices the
+  // transport error and reconnects to the restarted daemon.
+  Request after = small_analyze();
+  after.id = "after-restart";
+  RetryStats stats;
+  auto response = client.value().call_with_retry(after, {}, &stats);
+  ASSERT_TRUE(response.ok()) << response.error().message;
+  EXPECT_TRUE(response.value().ok) << response.value().error;
+  EXPECT_GE(stats.reconnects, 1u);
+  EXPECT_GE(stats.retries, 1u);
+  second_daemon.stop();
+}
+
+// --- daemon hardening --------------------------------------------------------
+
+// Regression (the seed's accept loop exited on any non-EINTR errno): a
+// transient EMFILE injected into accept() must back off and retry, not
+// kill the listener. serve/accept_fail fires on every other accept
+// attempt; all six clients still get served.
+TEST(ServeDaemonTest, AcceptLoopSurvivesInjectedEmfile) {
+  CacheGuard cache;
+  fault::FaultPlan plan;
+  plan.seed = 7;
+  fault::SiteSpec spec;
+  spec.site = "serve/accept_fail";
+  spec.every = 2;
+  plan.add_site(spec);
+  fault::ScopedPlan scoped(plan);
+
+  DaemonOptions options;
+  options.socket_path = temp_socket("acceptfail");
+  Daemon daemon(options);
+  ASSERT_TRUE(daemon.start().ok());
+  for (std::size_t i = 0; i < 6; ++i) {
+    auto client = Client::connect(options.socket_path);
+    ASSERT_TRUE(client.ok()) << "connection " << i << ": " << client.error().message;
+    Request request = small_analyze();
+    request.id = strf("emfile-%zu", i);
+    auto response = client.value().call(request);
+    ASSERT_TRUE(response.ok()) << response.error().message;
+    EXPECT_TRUE(response.value().ok) << response.value().error;
+  }
+  EXPECT_GT(daemon.accept_retries(), 0u);
+  daemon.stop();
+  EXPECT_EQ(daemon.connections_accepted(), 6u);
+}
+
+// Regression (the seed kept one std::thread per connection ever served):
+// finished connection slots are reaped by the accept loop, so tracked
+// slots stay near the open count instead of growing with churn.
+TEST(ServeDaemonTest, FinishedConnectionSlotsAreReaped) {
+  CacheGuard cache;
+  DaemonOptions options;
+  options.socket_path = temp_socket("reap");
+  Daemon daemon(options);
+  ASSERT_TRUE(daemon.start().ok());
+
+  constexpr std::size_t kChurn = 16;
+  for (std::size_t i = 0; i < kChurn; ++i) {
+    auto client = Client::connect(options.socket_path);
+    ASSERT_TRUE(client.ok()) << client.error().message;
+    Request request = small_analyze();
+    request.id = strf("churn-%zu", i);
+    ASSERT_TRUE(client.value().call(request).ok());
+  }  // each destructor closes; the conn thread finishes on EOF
+
+  for (int spin = 0; spin < 500 && daemon.open_connections() > 0; ++spin) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  }
+  ASSERT_EQ(daemon.open_connections(), 0u);
+  // One more accept drives the reap of everything already finished.
+  auto last = Client::connect(options.socket_path);
+  ASSERT_TRUE(last.ok()) << last.error().message;
+  std::size_t tracked = daemon.tracked_connections();
+  for (int spin = 0; spin < 500 && tracked > 3; ++spin) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(2));
+    tracked = daemon.tracked_connections();
+  }
+  EXPECT_LE(tracked, 3u) << "finished connection threads must be reaped, not accumulated";
+  EXPECT_EQ(daemon.connections_accepted(), kChurn + 1);
+  daemon.stop();
+}
+
+TEST(ServeDaemonTest, ConnectionLimitRejectsWithTypedOverloadedHello) {
+  DaemonOptions options;
+  options.socket_path = temp_socket("connlimit");
+  options.max_connections = 1;
+  options.retry_after_ms = 7.0;
+  Daemon daemon(options);
+  ASSERT_TRUE(daemon.start().ok());
+
+  auto first = Client::connect(options.socket_path);
+  ASSERT_TRUE(first.ok()) << first.error().message;
+  auto second = Client::connect(options.socket_path);
+  ASSERT_FALSE(second.ok()) << "second connection must be rejected at max_connections=1";
+  EXPECT_EQ(second.error().code, ErrorCode::kOverloaded);
+  EXPECT_NE(second.error().message.find("retry_after_ms=7"), std::string::npos)
+      << second.error().message;
+
+  // Releasing the slot re-admits (the conn thread must notice the close
+  // first, so retry briefly).
+  first.value().close();
+  bool admitted = false;
+  for (int attempt = 0; attempt < 400 && !admitted; ++attempt) {
+    auto retry = Client::connect(options.socket_path);
+    if (retry.ok()) admitted = true;
+    if (!admitted) std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  }
+  EXPECT_TRUE(admitted);
+  daemon.stop();
+}
+
+TEST(ServeDaemonTest, OversizedLineGetsTypedParseCloseNotHang) {
+  DaemonOptions options;
+  options.socket_path = temp_socket("bigline");
+  options.max_line_bytes = 4096;
+  Daemon daemon(options);
+  ASSERT_TRUE(daemon.start().ok());
+
+  auto client = Client::connect(options.socket_path);
+  ASSERT_TRUE(client.ok()) << client.error().message;
+  Request request = small_analyze();
+  request.id = "big";
+  request.workload = std::string(8192, 'x');
+  ASSERT_TRUE(client.value().send(request).ok());
+  auto response = client.value().read_response();
+  ASSERT_TRUE(response.ok()) << response.error().message;
+  EXPECT_FALSE(response.value().ok);
+  EXPECT_EQ(response.value().error_code, ErrorCode::kParse);
+  EXPECT_EQ(response.value().id, "big") << "id salvaged from the rejected line";
+  auto next = client.value().read_response();
+  EXPECT_FALSE(next.ok()) << "connection must be closed after the typed rejection";
+  daemon.stop();
+}
+
+TEST(ServeDaemonTest, NewlinelessFloodCutOffAtBufferCap) {
+  DaemonOptions options;
+  options.socket_path = temp_socket("flood");
+  options.max_line_bytes = 2048;
+  options.max_buffer_bytes = 4096;
+  Daemon daemon(options);
+  ASSERT_TRUE(daemon.start().ok());
+
+  RawClient raw(options.socket_path);
+  ASSERT_TRUE(raw.ok());
+  ASSERT_FALSE(raw.read_line().empty()) << "no hello";
+  // 64 KiB without a newline: the per-connection buffer cap (4 KiB) must
+  // cut this off with a typed response — it never accumulates.
+  const std::string flood(64 * 1024, 'a');
+  (void)raw.send_bytes(flood);  // the server may close us mid-send
+  const std::string line = raw.read_line();
+  ASSERT_FALSE(line.empty()) << "expected a typed close response";
+  auto response = Response::from_json(line);
+  ASSERT_TRUE(response.ok()) << line;
+  EXPECT_FALSE(response.value().ok);
+  EXPECT_EQ(response.value().error_code, ErrorCode::kParse);
+  EXPECT_TRUE(raw.at_eof());
+  daemon.stop();
+}
+
+TEST(ServeDaemonTest, SlowLorisStallTimedOutWithinDeadline) {
+  DaemonOptions options;
+  options.socket_path = temp_socket("loris");
+  options.read_deadline_ms = 150.0;
+  Daemon daemon(options);
+  ASSERT_TRUE(daemon.start().ok());
+
+  RawClient raw(options.socket_path);
+  ASSERT_TRUE(raw.ok());
+  ASSERT_FALSE(raw.read_line().empty()) << "no hello";
+  const auto start = std::chrono::steady_clock::now();
+  ASSERT_TRUE(raw.send_bytes(R"({"proto":"clara-serve/1","id":"loris")"));
+  // ...and never finish the line. The daemon must cut us off with a
+  // typed response once read_deadline_ms expires.
+  const std::string line = raw.read_line();
+  const double elapsed_ms =
+      std::chrono::duration<double, std::milli>(std::chrono::steady_clock::now() - start).count();
+  ASSERT_FALSE(line.empty()) << "expected a typed timeout response";
+  auto response = Response::from_json(line);
+  ASSERT_TRUE(response.ok()) << line;
+  EXPECT_FALSE(response.value().ok);
+  EXPECT_EQ(response.value().error_code, ErrorCode::kParse);
+  EXPECT_EQ(response.value().id, "loris") << "id salvaged from the stalled partial line";
+  EXPECT_LT(elapsed_ms, 1500.0) << "connection held far past the read deadline";
+  EXPECT_TRUE(raw.at_eof());
+  daemon.stop();
+}
+
+// The deadline is measured from the FIRST byte of the pending line, so
+// a drip of one byte per 30 ms (each gap far below the deadline) cannot
+// hold the connection open forever.
+TEST(ServeDaemonTest, ByteDripCannotResetReadDeadline) {
+  DaemonOptions options;
+  options.socket_path = temp_socket("drip");
+  options.read_deadline_ms = 120.0;
+  Daemon daemon(options);
+  ASSERT_TRUE(daemon.start().ok());
+
+  RawClient raw(options.socket_path);
+  ASSERT_TRUE(raw.ok());
+  ASSERT_FALSE(raw.read_line().empty()) << "no hello";
+  for (int i = 0; i < 12; ++i) {  // ~360 ms of drip against a 120 ms deadline
+    (void)raw.send_bytes("x");    // sends start failing once the server closes
+    std::this_thread::sleep_for(std::chrono::milliseconds(30));
+  }
+  const std::string line = raw.read_line();
+  ASSERT_FALSE(line.empty()) << "expected a typed timeout response";
+  auto response = Response::from_json(line);
+  ASSERT_TRUE(response.ok()) << line;
+  EXPECT_FALSE(response.value().ok);
+  EXPECT_EQ(response.value().error_code, ErrorCode::kParse);
+  EXPECT_TRUE(raw.at_eof());
+  daemon.stop();
+}
+
+TEST(ServeDaemonTest, WriteFailureAbortsRemainingPipeline) {
+  CacheGuard cache;
+  DaemonOptions options;
+  options.socket_path = temp_socket("writefail");
+  Daemon daemon(options);
+  ASSERT_TRUE(daemon.start().ok());
+
+  auto& write_errors = obs::metrics().counter("serve/write_errors");
+  auto& aborted = obs::metrics().counter("serve/aborted_requests");
+  const std::uint64_t before = write_errors.value() + aborted.value();
+  {
+    auto client = Client::connect(options.socket_path);
+    ASSERT_TRUE(client.ok()) << client.error().message;
+    for (std::size_t i = 0; i < 6; ++i) {
+      Request request = small_analyze("nat");
+      request.id = strf("gone-%zu", i);
+      request.options.use_cache = false;  // keep each request live for a while
+      ASSERT_TRUE(client.value().send(request).ok());
+    }
+  }  // close without reading a single response
+  for (int spin = 0; spin < 1000 && daemon.open_connections() > 0; ++spin) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+  daemon.stop();
+  EXPECT_GT(write_errors.value() + aborted.value(), before)
+      << "a dead peer must surface as write errors / aborted pipeline work";
+}
+
+// Satellite: drain polish. begin_drain() stops accepting, answers new
+// requests on live connections with a typed kOverloaded ("draining"),
+// and stop() is bounded by drain_deadline_ms even when a client never
+// goes away.
+TEST(ServeDaemonTest, DrainAnswersTypedAndStopIsBounded) {
+  CacheGuard cache;
+  DaemonOptions options;
+  options.socket_path = temp_socket("drain");
+  options.drain_deadline_ms = 250.0;
+  Daemon daemon(options);
+  ASSERT_TRUE(daemon.start().ok());
+
+  auto client = Client::connect(options.socket_path);
+  ASSERT_TRUE(client.ok()) << client.error().message;
+  Request request = small_analyze();
+  request.id = "pre-drain";
+  ASSERT_TRUE(client.value().call(request).ok());
+
+  daemon.begin_drain();
+  EXPECT_TRUE(daemon.draining());
+  auto late = Client::connect(options.socket_path);
+  EXPECT_FALSE(late.ok()) << "listener must be closed while draining";
+
+  Request during = small_analyze();
+  during.id = "mid-drain";
+  auto response = client.value().call(during);
+  ASSERT_TRUE(response.ok()) << response.error().message;
+  EXPECT_FALSE(response.value().ok);
+  EXPECT_EQ(response.value().error_code, ErrorCode::kOverloaded);
+  EXPECT_NE(response.value().error.find("draining"), std::string::npos)
+      << response.value().error;
+  EXPECT_GT(response.value().retry_after_ms, 0.0);
+
+  // The client stays connected forever; stop() must still return within
+  // the drain deadline (plus scheduling slack), force-closing it.
+  const auto start = std::chrono::steady_clock::now();
+  daemon.stop();
+  const double elapsed_ms =
+      std::chrono::duration<double, std::milli>(std::chrono::steady_clock::now() - start).count();
+  EXPECT_LT(elapsed_ms, 2000.0) << "stop() hung past the drain deadline";
+}
+
+// --- chaos gate --------------------------------------------------------------
+
+// The chaos loadgen contract, in-process: with all four serve fault
+// sites armed, every request ends in exactly one well-formed response
+// or one typed client error — zero silent drops — and the retry
+// accounting is a pure function of the plan seed, so it reproduces
+// bit-identically at jobs=1/2/8.
+TEST(ServeChaosTest, ChaosContractHoldsAndRetriesAreDeterministicAcrossJobs) {
+  CacheGuard cache;
+  std::vector<std::uint64_t> retries;
+  std::vector<std::uint64_t> reconnects;
+  for (const std::size_t jobs_level : {1u, 2u, 8u}) {
+    JobsGuard jobs(jobs_level);
+    LoadGenOptions options;
+    options.requests = 96;
+    options.connections = 4;
+    options.chaos = true;
+    auto report = run_loadgen(options);
+    ASSERT_TRUE(report.ok()) << report.error().message;
+    EXPECT_EQ(report.value().dropped_requests, 0u) << "jobs=" << jobs_level;
+    EXPECT_EQ(report.value().ok + report.value().failed + report.value().client_errors,
+              report.value().requests)
+        << "jobs=" << jobs_level << ": every request needs exactly one outcome";
+    EXPECT_GT(report.value().retries, 0u) << "the default chaos plan must actually bite";
+    retries.push_back(report.value().retries);
+    reconnects.push_back(report.value().reconnects);
+  }
+  EXPECT_EQ(retries[1], retries[0]) << "retry accounting differs between jobs=1 and jobs=2";
+  EXPECT_EQ(retries[2], retries[0]) << "retry accounting differs between jobs=1 and jobs=8";
+  EXPECT_EQ(reconnects[1], reconnects[0]);
+  EXPECT_EQ(reconnects[2], reconnects[0]);
 }
 
 }  // namespace
